@@ -1,0 +1,98 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section. Each benchmark regenerates its artifact with
+// the Quick profile and logs the rendered table, so
+//
+//	go test -bench=Table3 -benchtime=1x
+//
+// prints the reproduction of Table III. cmd/wsdbench runs the same
+// experiments with configurable profiles (including the paper-scale -full).
+package wsd_test
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// tabler lifts any experiment result for uniform logging.
+type tabler interface{ GetTable() *experiment.Table }
+
+func benchArtifact[T tabler](b *testing.B, run func(experiment.Profile) (T, error)) {
+	b.Helper()
+	prof := experiment.Quick()
+	var last T
+	for i := 0; i < b.N; i++ {
+		r, err := run(prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.Log("\n" + last.GetTable().String())
+}
+
+func BenchmarkTable2WedgesMassive(b *testing.B) { benchArtifact(b, experiment.Table2) }
+
+func BenchmarkTable3TrianglesMassive(b *testing.B) { benchArtifact(b, experiment.Table3) }
+
+func BenchmarkTable4TrainingMassive(b *testing.B) { benchArtifact(b, experiment.Table4) }
+
+func BenchmarkTable5Transfer(b *testing.B) { benchArtifact(b, experiment.Table5) }
+
+func BenchmarkTable6InsertOnly(b *testing.B) { benchArtifact(b, experiment.Table6) }
+
+func BenchmarkTable7FourCliquesMassive(b *testing.B) { benchArtifact(b, experiment.Table7) }
+
+func BenchmarkTable8WedgesLight(b *testing.B) { benchArtifact(b, experiment.Table8) }
+
+func BenchmarkTable9TrianglesLight(b *testing.B) { benchArtifact(b, experiment.Table9) }
+
+func BenchmarkTable10FourCliquesLight(b *testing.B) { benchArtifact(b, experiment.Table10) }
+
+func BenchmarkTable11TrainingLight(b *testing.B) { benchArtifact(b, experiment.Table11) }
+
+func BenchmarkTable12TransferLight(b *testing.B) { benchArtifact(b, experiment.Table12) }
+
+func BenchmarkTable13Ablation(b *testing.B) { benchArtifact(b, experiment.Table13) }
+
+func BenchmarkFig1ScalabilityMassive(b *testing.B) { benchArtifact(b, experiment.Fig1) }
+
+func BenchmarkFig2aOrdering(b *testing.B) { benchArtifact(b, experiment.Fig2a) }
+
+func BenchmarkFig2bReservoirSweep(b *testing.B) { benchArtifact(b, experiment.Fig2b) }
+
+func BenchmarkFig2cTrainingSize(b *testing.B) { benchArtifact(b, experiment.Fig2c) }
+
+func BenchmarkFig2dWeightRelationship(b *testing.B) { benchArtifact(b, experiment.Fig2d) }
+
+func BenchmarkFig3ScalabilityLight(b *testing.B) { benchArtifact(b, experiment.Fig3) }
+
+func BenchmarkFig4aOrderingLight(b *testing.B) { benchArtifact(b, experiment.Fig4a) }
+
+func BenchmarkFig4bReservoirSweepLight(b *testing.B) { benchArtifact(b, experiment.Fig4b) }
+
+func BenchmarkFig4cTrainingSizeLight(b *testing.B) { benchArtifact(b, experiment.Fig4c) }
+
+func BenchmarkFig4dWeightRelationshipLight(b *testing.B) { benchArtifact(b, experiment.Fig4d) }
+
+func BenchmarkFig5DeletionIntensity(b *testing.B) {
+	prof := experiment.Quick()
+	var last *experiment.DeletionIntensityResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Fig5(prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.Log("\n" + last.Massive.Table.String() + "\n" + last.Light.Table.String())
+}
+
+// Ablation benches for the design choices DESIGN.md calls out beyond the
+// paper's own Table XIII.
+
+func BenchmarkAblationWeightFamilies(b *testing.B) { benchArtifact(b, experiment.WeightFamilies) }
+
+func BenchmarkAblationWRSAlpha(b *testing.B) { benchArtifact(b, experiment.WRSAlphaSweep) }
+
+func BenchmarkAblationDDPG(b *testing.B) { benchArtifact(b, experiment.DDPGAblation) }

@@ -1,0 +1,194 @@
+// Command wsdbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	wsdbench -exp table3              # one experiment, quick profile
+//	wsdbench -exp all -full           # full suite at paper-like trial counts
+//	wsdbench -list                    # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+type runner func(experiment.Profile) (*experiment.Table, error)
+
+func table(f func(experiment.Profile) (*experiment.AccuracyResult, error)) runner {
+	return func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := f(p)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table, nil
+	}
+}
+
+var experiments = map[string]runner{
+	"table2": table(experiment.Table2),
+	"table3": table(experiment.Table3),
+	"table4": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Table4(p)
+		return tbl(r, err)
+	},
+	"table5": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Table5(p)
+		return tbl(r, err)
+	},
+	"table6": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Table6(p)
+		return tbl(r, err)
+	},
+	"table7":  table(experiment.Table7),
+	"table8":  table(experiment.Table8),
+	"table9":  table(experiment.Table9),
+	"table10": table(experiment.Table10),
+	"table11": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Table11(p)
+		return tbl(r, err)
+	},
+	"table12": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Table12(p)
+		return tbl(r, err)
+	},
+	"table13": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Table13(p)
+		return tbl(r, err)
+	},
+	"fig1": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Fig1(p)
+		return tbl(r, err)
+	},
+	"fig2a": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Fig2a(p)
+		return tbl(r, err)
+	},
+	"fig2b": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Fig2b(p)
+		return tbl(r, err)
+	},
+	"fig2c": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Fig2c(p)
+		return tbl(r, err)
+	},
+	"fig2d": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Fig2d(p)
+		return tbl(r, err)
+	},
+	"fig3": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Fig3(p)
+		return tbl(r, err)
+	},
+	"fig4a": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Fig4a(p)
+		return tbl(r, err)
+	},
+	"fig4b": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Fig4b(p)
+		return tbl(r, err)
+	},
+	"fig4c": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Fig4c(p)
+		return tbl(r, err)
+	},
+	"fig4d": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Fig4d(p)
+		return tbl(r, err)
+	},
+	"fig5": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Fig5(p)
+		if err != nil {
+			return nil, err
+		}
+		combined := *r.Massive.Table
+		combined.Rows = append(combined.Rows, []string{"-- light --"})
+		combined.Rows = append(combined.Rows, r.Light.Table.Rows...)
+		return &combined, nil
+	},
+	"ablation-weights": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.WeightFamilies(p)
+		return tbl(r, err)
+	},
+	"ablation-wrs": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.WRSAlphaSweep(p)
+		return tbl(r, err)
+	},
+	"ablation-ddpg": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.DDPGAblation(p)
+		return tbl(r, err)
+	},
+}
+
+// tbl lifts any result carrying a Table field.
+func tbl(r interface{ GetTable() *experiment.Table }, err error) (*experiment.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.GetTable(), nil
+}
+
+func ids() []string {
+	out := make([]string, 0, len(experiments))
+	for id := range experiments {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (or 'all')")
+	full := flag.Bool("full", false, "use the paper-scale profile (100 trials, 1000 DDPG iterations)")
+	trials := flag.Int("trials", 0, "override the number of sampling trials")
+	seed := flag.Int64("seed", 0, "override the base seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(ids(), "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: wsdbench -exp <id>|all [-full] [-trials N] [-seed S]; -list shows ids")
+		os.Exit(2)
+	}
+	prof := experiment.Quick()
+	if *full {
+		prof = experiment.Full()
+	}
+	if *trials > 0 {
+		prof.Trials = *trials
+	}
+	if *seed != 0 {
+		prof.Seed = *seed
+	}
+
+	var selected []string
+	if *exp == "all" {
+		selected = ids()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			if _, ok := experiments[id]; !ok {
+				fmt.Fprintf(os.Stderr, "wsdbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	}
+	for _, id := range selected {
+		start := time.Now()
+		t, err := experiments[id](prof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsdbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

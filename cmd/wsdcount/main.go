@@ -1,0 +1,112 @@
+// Command wsdcount estimates a subgraph count over an edge event stream file
+// using any of the implemented algorithms, optionally comparing against the
+// exact count.
+//
+// Usage:
+//
+//	wsdcount -in stream.txt -pattern triangle -algo wsd-h -m 10000
+//	wsdgen -model ff -n 5000 | wsdcount -pattern wedge -algo thinkd -m 5000 -exact
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/exact"
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/rl"
+	"repro/internal/stream"
+)
+
+func main() {
+	in := flag.String("in", "", "stream file (default stdin); lines '+ u v', '- u v', or 'u v'")
+	pat := flag.String("pattern", "triangle", "pattern: wedge, triangle, 4cycle, 4clique, 5clique")
+	algo := flag.String("algo", "wsd-h", "algorithm: wsd-l, wsd-h, gps, gps-a, triest, thinkd, wrs")
+	m := flag.Int("m", 10000, "storage budget (edges)")
+	seed := flag.Int64("seed", 1, "sampler seed")
+	policyPath := flag.String("policy", "", "trained policy JSON (required for wsd-l)")
+	withExact := flag.Bool("exact", false, "also compute the exact count and report the relative error")
+	flag.Parse()
+
+	k, err := cli.ParsePattern(*pat)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := cli.ParseAlgo(*algo)
+	if err != nil {
+		fatal(err)
+	}
+
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	s, err := stream.Read(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := experiment.RunConfig{Pattern: k, Algo: a, M: *m}
+	if a == experiment.AlgoWSDL {
+		if *policyPath == "" {
+			fatal(fmt.Errorf("wsd-l requires -policy <file.json> (train one with wsdtrain)"))
+		}
+		data, err := os.ReadFile(*policyPath)
+		if err != nil {
+			fatal(err)
+		}
+		policy, err := rl.ParsePolicy(data)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Policy = policy
+	}
+	c, err := experiment.NewCounter(cfg, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	for _, ev := range s {
+		c.Process(ev)
+	}
+	elapsed := time.Since(start)
+
+	out := map[string]any{
+		"algorithm": c.Name(),
+		"pattern":   k.String(),
+		"events":    len(s),
+		"estimate":  c.Estimate(),
+		"seconds":   elapsed.Seconds(),
+	}
+	if *withExact {
+		ex := exact.New(k)
+		for _, ev := range s {
+			ex.Apply(ev)
+		}
+		truth := float64(ex.Count(k))
+		out["exact"] = truth
+		out["relative_error"] = metrics.RelErr(c.Estimate(), truth)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wsdcount: %v\n", err)
+	os.Exit(1)
+}

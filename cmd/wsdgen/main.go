@@ -1,0 +1,70 @@
+// Command wsdgen generates fully dynamic graph stream files for wsdcount and
+// external tooling.
+//
+// Usage:
+//
+//	wsdgen -model ff -n 10000 -p 0.5 -scenario light -beta 0.2 -out stream.txt
+//	wsdgen -model hk -n 5000 -m 6 -scenario massive -events 3 -out stream.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/stream"
+)
+
+func main() {
+	model := flag.String("model", "ff", "graph model: ff (forest fire), hk (holme-kim), ba (barabasi-albert), er (erdos-renyi), copy (copying), planted")
+	n := flag.Int("n", 10000, "number of vertices")
+	m := flag.Int("m", 4, "attachment/out-degree parameter (hk, ba, copy)")
+	p := flag.Float64("p", 0.5, "model probability (ff burning, copy copying, planted intra)")
+	communities := flag.Int("communities", 50, "community count (planted)")
+	scenario := flag.String("scenario", "insert", "deletion scenario: insert, light, massive")
+	beta := flag.Float64("beta", 0.2, "deletion intensity (light: beta_l, massive: beta_m)")
+	events := flag.Int("events", 3, "massive deletion event count")
+	seed := flag.Int64("seed", 1, "generation seed")
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	edges, err := cli.GenerateModel(*model, cli.ModelParams{N: *n, M: *m, P: *p, Communities: *communities}, rng)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsdgen: %v\n", err)
+		os.Exit(2)
+	}
+
+	var s stream.Stream
+	switch *scenario {
+	case "insert":
+		s = stream.InsertOnly(edges)
+	case "light":
+		s = stream.LightDeletion(edges, *beta, rng)
+	case "massive":
+		s = stream.MassiveDeletionEvents(edges, *events, *beta, 0.4, rng)
+	default:
+		fmt.Fprintf(os.Stderr, "wsdgen: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsdgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := stream.Write(w, s); err != nil {
+		fmt.Fprintf(os.Stderr, "wsdgen: %v\n", err)
+		os.Exit(1)
+	}
+	ins, del := s.Counts()
+	fmt.Fprintf(os.Stderr, "wsdgen: %d events (%d insertions, %d deletions), %d edges\n",
+		len(s), ins, del, len(edges))
+}

@@ -1,0 +1,90 @@
+package wsd_test
+
+import (
+	"fmt"
+
+	wsd "repro"
+)
+
+// The basic loop: feed insertion and deletion events, read the running
+// estimate.
+func ExampleNewTriangleCounter() {
+	c, err := wsd.NewTriangleCounter(1000, wsd.WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
+	c.Process(wsd.Insert(1, 2))
+	c.Process(wsd.Insert(2, 3))
+	c.Process(wsd.Insert(1, 3)) // completes the triangle {1,2,3}
+	fmt.Println(c.Estimate())
+	c.Process(wsd.Delete(2, 3)) // destroys it again
+	fmt.Println(c.Estimate())
+	// Output:
+	// 1
+	// 0
+}
+
+// Counting a different pattern uses the same machinery.
+func ExampleNewCounter() {
+	c, err := wsd.NewCounter(wsd.WedgePattern, 1000, wsd.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	c.Process(wsd.Insert(1, 2))
+	c.Process(wsd.Insert(2, 3))
+	c.Process(wsd.Insert(2, 4))
+	// Wedges centered at 2: {1,3}, {1,4}, {3,4}.
+	fmt.Println(c.Estimate())
+	// Output:
+	// 3
+}
+
+// Local counting tracks per-vertex participation alongside the global count.
+func ExampleNewLocalCounter() {
+	c, err := wsd.NewLocalCounter(wsd.TrianglePattern, 1000, wsd.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range [][2]wsd.VertexID{{1, 2}, {2, 3}, {1, 3}, {1, 4}, {3, 4}} {
+		c.Process(wsd.Insert(e[0], e[1]))
+	}
+	// Triangles: {1,2,3} and {1,3,4}; vertices 1 and 3 are in both.
+	fmt.Println(c.Estimate(), c.Local(1), c.Local(2))
+	// Output:
+	// 2 2 1
+}
+
+// A custom weight function receives the MDP state of each arriving edge.
+func ExampleWithWeightFunc() {
+	recencyBiased := func(s wsd.State) float64 {
+		// Upweight edges that complete instances with recent edges.
+		if s.Instances > 0 {
+			return 4
+		}
+		return 1
+	}
+	c, err := wsd.NewTriangleCounter(1000, wsd.WithSeed(3), wsd.WithWeightFunc(recencyBiased))
+	if err != nil {
+		panic(err)
+	}
+	c.Process(wsd.Insert(10, 11))
+	c.Process(wsd.Insert(11, 12))
+	c.Process(wsd.Insert(10, 12))
+	fmt.Println(c.Estimate())
+	// Output:
+	// 1
+}
+
+// The exact counter is the ground-truth companion for validation at small
+// scale.
+func ExampleNewExactCounter() {
+	ex := wsd.NewExactCounter(wsd.FourCliquePattern)
+	for u := wsd.VertexID(1); u <= 4; u++ {
+		for v := u + 1; v <= 4; v++ {
+			ex.Process(wsd.Insert(u, v))
+		}
+	}
+	fmt.Println(ex.Estimate()) // K4 contains one 4-clique
+	// Output:
+	// 1
+}

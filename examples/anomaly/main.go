@@ -1,0 +1,95 @@
+// Anomaly detection: spot a burst of suspiciously dense connectivity (a spam
+// farm / fake-engagement ring) in a dynamic network by monitoring the global
+// triangle count estimated by WSD.
+//
+// The paper's introduction motivates exactly this use: spammers form few but
+// remarkably well-connected links, so triangle statistics separate them from
+// organic activity. Here a clique of 40 sybil accounts wires itself up
+// mid-stream; a windowed z-score over WSD's triangle estimate flags the burst
+// while storing only ~8% of the edges.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	wsd "repro"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+
+	// Organic traffic: a growing social network.
+	organic := gen.HolmeKim(4000, 5, 0.7, rng)
+	events := stream.InsertOnly(organic)
+
+	// Inject the sybil ring at 60% of the stream: 40 accounts, near-clique.
+	var ring stream.Stream
+	base := graph.VertexID(1 << 20)
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			if rng.Float64() < 0.9 {
+				ring = append(ring, wsd.Insert(base+graph.VertexID(i), base+graph.VertexID(j)))
+			}
+		}
+	}
+	at := len(events) * 6 / 10
+	full := append(append(append(stream.Stream{}, events[:at]...), ring...), events[at:]...)
+
+	counter, err := wsd.NewTriangleCounter(1500, wsd.WithSeed(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Windowed burst detector over the estimate's per-window increments.
+	const window = 500
+	var prev float64
+	var increments []float64
+	alerts := 0
+	for i, ev := range full {
+		counter.Process(ev)
+		if (i+1)%window != 0 {
+			continue
+		}
+		inc := counter.Estimate() - prev
+		prev = counter.Estimate()
+		if len(increments) >= 8 {
+			mean, std := stats(increments)
+			z := (inc - mean) / math.Max(std, 1)
+			flag := ""
+			if z > 6 {
+				flag = "  <-- ALERT: dense subgraph burst"
+				alerts++
+			}
+			if flag != "" || (i+1)%(window*8) == 0 {
+				fmt.Printf("events %6d: +%8.0f triangles/window (z=%5.1f)%s\n", i+1, inc, z, flag)
+			}
+		}
+		increments = append(increments, inc)
+		if len(increments) > 40 {
+			increments = increments[1:]
+		}
+	}
+	fmt.Printf("\nsybil ring injected after event %d; windows flagged: %d\n", at, alerts)
+	if alerts == 0 {
+		fmt.Println("no alert raised — tune the window or threshold")
+	}
+}
+
+func stats(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

@@ -1,0 +1,68 @@
+// Checkpoint/resume: snapshot a long-running WSD counter mid-stream,
+// serialize it, and resume counting in a "new process" — the operational
+// feature a production deployment needs to survive restarts without
+// re-reading the (unreplayable, single-pass) stream.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/pattern"
+	"repro/internal/stream"
+	"repro/internal/weights"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(17))
+	edges := gen.ForestFire(4000, 0.5, rng)
+	events := stream.LightDeletion(edges, 0.2, rng)
+	half := len(events) / 2
+
+	// Phase 1: a counter processes the first half of the stream.
+	c1, err := core.New(core.Config{
+		M: 2000, Pattern: pattern.Triangle,
+		Weight: weights.GPSDefault(), Rng: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range events[:half] {
+		c1.Process(ev)
+	}
+	fmt.Printf("phase 1: %d events processed, estimate %.0f, %d edges sampled\n",
+		half, c1.Estimate(), c1.SampleSize())
+
+	// Checkpoint: serialize the full sampler state to bytes (in production,
+	// to disk or an object store).
+	blob, err := c1.Snapshot().Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint: %d bytes\n", len(blob))
+
+	// Phase 2 ("after the restart"): decode and resume. The weight function
+	// and a fresh random source are re-supplied — they are code, not state.
+	snap, err := core.DecodeSnapshot(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c2, err := core.Restore(snap, core.Config{
+		Weight: weights.GPSDefault(), Rng: rand.New(rand.NewSource(2)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range events[half:] {
+		c2.Process(ev)
+	}
+
+	// Reference: exact count of the full stream.
+	truth := exact.CountStatic(events.FinalGraph(), pattern.Triangle)
+	fmt.Printf("phase 2: resumed and finished; estimate %.0f, exact %d\n",
+		c2.Estimate(), truth)
+}

@@ -1,0 +1,98 @@
+// Local ranking: estimate per-vertex triangle participation on a fully
+// dynamic stream and rank vertices by their triangle-to-degree ratio — the
+// spam signal from the paper's introduction (spammers have few links but
+// extremely well-connected ones, so their ratios are outliers).
+//
+// The stream is ingested through the concurrent pipeline, the way a live
+// deployment would feed connection events from multiple shards.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	wsd "repro"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(21))
+	organic := gen.HolmeKim(3000, 5, 0.7, rng)
+
+	// A small ring of colluding accounts: very few distinct contacts, almost
+	// all of them interconnected.
+	var ringEdges []graph.Edge
+	const ringBase = graph.VertexID(900000)
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			if rng.Float64() < 0.9 {
+				ringEdges = append(ringEdges, graph.NewEdge(ringBase+graph.VertexID(i), ringBase+graph.VertexID(j)))
+			}
+		}
+	}
+	mixed := append(append([]graph.Edge{}, organic[:len(organic)/2]...), ringEdges...)
+	mixed = append(mixed, organic[len(organic)/2:]...)
+	events := stream.LightDeletion(mixed, 0.1, rng)
+
+	counter, err := wsd.NewLocalCounter(wsd.TrianglePattern, 6000, wsd.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc := wsd.NewProcessor(counter, 256)
+
+	// Track degrees on the side (cheap: one int per vertex).
+	deg := map[graph.VertexID]int{}
+	for _, ev := range events {
+		if err := proc.Submit(ev); err != nil {
+			log.Fatal(err)
+		}
+		d := 1
+		if ev.Op == stream.Delete {
+			d = -1
+		}
+		deg[ev.Edge.U] += d
+		deg[ev.Edge.V] += d
+	}
+	proc.Close()
+
+	// Rank by estimated local clustering coefficient tri(v)/C(deg(v), 2)
+	// among vertices with a meaningful degree: colluders have near-complete
+	// neighborhoods, organic hubs do not.
+	type ranked struct {
+		v     graph.VertexID
+		ratio float64
+	}
+	var rows []ranked
+	for _, vc := range counter.TopK(counter.Vertices()) {
+		if d := deg[vc.Vertex]; d >= 15 {
+			pairs := float64(d) * float64(d-1) / 2
+			rows = append(rows, ranked{v: vc.Vertex, ratio: vc.Count / pairs})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ratio > rows[j].ratio })
+
+	fmt.Println("top suspects by estimated local clustering coefficient (degree >= 15):")
+	ringHits := 0
+	for i, r := range rows[:min(15, len(rows))] {
+		tag := ""
+		if r.v >= ringBase {
+			tag = "  <-- planted colluder"
+			ringHits++
+		}
+		fmt.Printf("%2d. vertex %7d  clustering %5.2f%s\n", i+1, r.v, r.ratio, tag)
+	}
+	fmt.Printf("\n%d of the top 15 are planted colluders (40 planted among %d vertices)\n",
+		ringHits, len(deg))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,84 @@
+// Package cli holds the parsing and lookup helpers shared by the command-line
+// tools (wsdcount, wsdtrain, wsdgen, wsdbench), kept out of the main packages
+// so they are unit-testable.
+package cli
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// ParsePattern resolves a user-facing pattern name.
+func ParsePattern(s string) (pattern.Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "wedge", "path2", "2-path":
+		return pattern.Wedge, nil
+	case "triangle", "3clique", "3-clique":
+		return pattern.Triangle, nil
+	case "4cycle", "4-cycle", "square", "c4":
+		return pattern.FourCycle, nil
+	case "4clique", "four-clique", "4-clique":
+		return pattern.FourClique, nil
+	case "5clique", "five-clique", "5-clique":
+		return pattern.FiveClique, nil
+	}
+	return 0, fmt.Errorf("unknown pattern %q (wedge, triangle, 4cycle, 4clique, 5clique)", s)
+}
+
+// ParseAlgo resolves a user-facing algorithm name.
+func ParseAlgo(s string) (experiment.Algo, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "wsd-l", "wsdl":
+		return experiment.AlgoWSDL, nil
+	case "wsd-h", "wsdh", "wsd":
+		return experiment.AlgoWSDH, nil
+	case "gps":
+		return experiment.AlgoGPS, nil
+	case "gps-a", "gpsa":
+		return experiment.AlgoGPSA, nil
+	case "triest":
+		return experiment.AlgoTriest, nil
+	case "thinkd":
+		return experiment.AlgoThinkD, nil
+	case "wrs":
+		return experiment.AlgoWRS, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (wsd-l, wsd-h, gps, gps-a, triest, thinkd, wrs)", s)
+}
+
+// ModelParams carries the generator knobs shared across models; unused fields
+// are ignored per model.
+type ModelParams struct {
+	N           int     // vertices
+	M           int     // attachment/out-degree
+	P           float64 // model probability
+	Communities int     // planted partition community count
+}
+
+// GenerateModel builds an edge sequence from a named random-graph model.
+func GenerateModel(model string, p ModelParams, rng *rand.Rand) ([]graph.Edge, error) {
+	switch strings.ToLower(strings.TrimSpace(model)) {
+	case "ff", "forestfire", "forest-fire":
+		return gen.ForestFire(p.N, p.P, rng), nil
+	case "hk", "holmekim", "holme-kim":
+		return gen.HolmeKim(p.N, p.M, 0.8, rng), nil
+	case "ba", "barabasi-albert":
+		return gen.BarabasiAlbert(p.N, p.M, rng), nil
+	case "er", "erdos-renyi":
+		return gen.ErdosRenyi(p.N, p.N*p.M, rng), nil
+	case "copy", "copying":
+		return gen.CopyingModel(p.N, p.M, p.P, rng), nil
+	case "planted", "planted-partition":
+		if p.Communities < 1 {
+			return nil, fmt.Errorf("planted partition needs a positive community count")
+		}
+		return gen.PlantedPartition(p.Communities, p.N/p.Communities, p.P, 0.001, rng), nil
+	}
+	return nil, fmt.Errorf("unknown model %q (ff, hk, ba, er, copy, planted)", model)
+}

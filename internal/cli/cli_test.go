@@ -1,0 +1,72 @@
+package cli
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/pattern"
+)
+
+func TestParsePattern(t *testing.T) {
+	cases := map[string]pattern.Kind{
+		"wedge":    pattern.Wedge,
+		"triangle": pattern.Triangle,
+		"TRIANGLE": pattern.Triangle,
+		" 4clique": pattern.FourClique,
+		"4-cycle":  pattern.FourCycle,
+		"c4":       pattern.FourCycle,
+		"5clique":  pattern.FiveClique,
+	}
+	for in, want := range cases {
+		got, err := ParsePattern(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePattern(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePattern("pentagon"); err == nil {
+		t.Error("unknown pattern should error")
+	}
+}
+
+func TestParseAlgo(t *testing.T) {
+	cases := map[string]experiment.Algo{
+		"wsd-l":  experiment.AlgoWSDL,
+		"WSD-H":  experiment.AlgoWSDH,
+		"wsd":    experiment.AlgoWSDH,
+		"gps":    experiment.AlgoGPS,
+		"gps-a":  experiment.AlgoGPSA,
+		"gpsa":   experiment.AlgoGPSA,
+		"triest": experiment.AlgoTriest,
+		"thinkd": experiment.AlgoThinkD,
+		"wrs":    experiment.AlgoWRS,
+	}
+	for in, want := range cases {
+		got, err := ParseAlgo(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgo(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseAlgo("magic"); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestGenerateModel(t *testing.T) {
+	params := ModelParams{N: 200, M: 3, P: 0.4, Communities: 5}
+	for _, model := range []string{"ff", "hk", "ba", "er", "copy", "planted"} {
+		edges, err := GenerateModel(model, params, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if len(edges) == 0 {
+			t.Fatalf("%s: no edges", model)
+		}
+	}
+	if _, err := GenerateModel("warp", params, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("unknown model should error")
+	}
+	if _, err := GenerateModel("planted", ModelParams{N: 100}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("planted without communities should error")
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/reservoir"
+)
+
+// Snapshot is a serializable image of a WSD counter's state: everything
+// needed to resume a long-running stream after a restart except the weight
+// function and the random source, which are code and must be re-supplied at
+// restore time (exactly like the configuration itself).
+type Snapshot struct {
+	Version     int            `json:"version"`
+	M           int            `json:"m"`
+	Pattern     pattern.Kind   `json:"pattern"`
+	TemporalAgg TemporalAgg    `json:"temporal_agg"`
+	TauP        float64        `json:"tau_p"`
+	TauQ        float64        `json:"tau_q"`
+	Estimate    float64        `json:"estimate"`
+	Insertions  int64          `json:"insertions"`
+	Items       []SnapshotItem `json:"items"`
+}
+
+// SnapshotItem is one sampled edge in a snapshot.
+type SnapshotItem struct {
+	U       graph.VertexID `json:"u"`
+	V       graph.VertexID `json:"v"`
+	Weight  float64        `json:"weight"`
+	Rank    float64        `json:"rank"`
+	Arrival int64          `json:"arrival"`
+}
+
+// snapshotVersion guards the wire format.
+const snapshotVersion = 1
+
+// Snapshot captures the counter's current state.
+func (c *Counter) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Version:     snapshotVersion,
+		M:           c.cfg.M,
+		Pattern:     c.cfg.Pattern,
+		TemporalAgg: c.cfg.TemporalAgg,
+		TauP:        c.tauP,
+		TauQ:        c.tauQ,
+		Estimate:    c.estimate,
+		Insertions:  c.insertions,
+	}
+	for _, it := range c.res.Items() {
+		s.Items = append(s.Items, SnapshotItem{
+			U: it.Edge.U, V: it.Edge.V,
+			Weight: it.Weight, Rank: it.Rank, Arrival: it.Arrival,
+		})
+	}
+	return s
+}
+
+// MarshalJSON is provided by the plain struct; Encode/Decode helpers keep the
+// call sites symmetric.
+
+// Encode serializes the snapshot to JSON.
+func (s *Snapshot) Encode() ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSnapshot parses a snapshot produced by Encode.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d unsupported (want %d)", s.Version, snapshotVersion)
+	}
+	return &s, nil
+}
+
+// Restore reconstructs a counter from a snapshot. cfg supplies the
+// non-serializable parts (weight function and random source); its M, Pattern
+// and TemporalAgg must match the snapshot or an error is returned, since a
+// mismatch would silently break the estimator's probability bookkeeping.
+func Restore(s *Snapshot, cfg Config) (*Counter, error) {
+	if cfg.M == 0 {
+		cfg.M = s.M
+	}
+	if cfg.M != s.M {
+		return nil, fmt.Errorf("core: restore M=%d does not match snapshot M=%d", cfg.M, s.M)
+	}
+	cfg.Pattern = s.Pattern
+	cfg.TemporalAgg = s.TemporalAgg
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Items) > s.M {
+		return nil, fmt.Errorf("core: snapshot holds %d items, above M=%d", len(s.Items), s.M)
+	}
+	c.tauP = s.TauP
+	c.tauQ = s.TauQ
+	c.estimate = s.Estimate
+	c.insertions = s.Insertions
+	seen := make(map[graph.Edge]bool, len(s.Items))
+	for _, it := range s.Items {
+		e := graph.NewEdge(it.U, it.V)
+		if e.IsLoop() || seen[e] {
+			return nil, fmt.Errorf("core: snapshot contains invalid or duplicate edge %v", e)
+		}
+		seen[e] = true
+		c.res.Push(&reservoir.Item{Edge: e, Weight: it.Weight, Rank: it.Rank, Arrival: it.Arrival})
+	}
+	return c, nil
+}

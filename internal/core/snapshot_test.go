@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/pattern"
+	"repro/internal/stream"
+	"repro/internal/weights"
+)
+
+// TestSnapshotRoundTrip: snapshot mid-stream, restore, and verify the
+// restored counter produces identical estimates and thresholds when both
+// process the remaining events with identical randomness.
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := testStream(t, 31, 300, 0.25)
+	half := len(s) / 2
+
+	build := func(seed int64) *Counter {
+		c, err := New(Config{M: 80, Pattern: pattern.Triangle, Weight: weights.GPSDefault(),
+			Rng: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	orig := build(1)
+	for _, ev := range s[:half] {
+		orig.Process(ev)
+	}
+
+	data, err := orig.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(*&snap, Config{Weight: weights.GPSDefault(),
+		Rng: rand.New(rand.NewSource(99))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Estimate() != orig.Estimate() || restored.SampleSize() != orig.SampleSize() {
+		t.Fatalf("restored state differs: est %v vs %v, size %d vs %d",
+			restored.Estimate(), orig.Estimate(), restored.SampleSize(), orig.SampleSize())
+	}
+	tp1, tq1 := orig.Thresholds()
+	tp2, tq2 := restored.Thresholds()
+	if tp1 != tp2 || tq1 != tq2 {
+		t.Fatalf("thresholds differ: (%v,%v) vs (%v,%v)", tp1, tq1, tp2, tq2)
+	}
+
+	// Continue both with the same rng seed: identical trajectories.
+	origCont := build(7)
+	*origCont = *orig
+	origCont.cfg.Rng = rand.New(rand.NewSource(7))
+	restored.cfg.Rng = rand.New(rand.NewSource(7))
+	for _, ev := range s[half:] {
+		origCont.Process(ev)
+		restored.Process(ev)
+	}
+	if origCont.Estimate() != restored.Estimate() {
+		t.Fatalf("post-restore trajectories diverge: %v vs %v",
+			origCont.Estimate(), restored.Estimate())
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	c, err := New(Config{M: 50, Pattern: pattern.Wedge, Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	edges := gen.BarabasiAlbert(100, 2, rng)
+	for _, e := range edges[:40] {
+		c.Process(stream.Event{Op: stream.Insert, Edge: e})
+	}
+	snap := c.Snapshot()
+
+	// Mismatched M.
+	if _, err := Restore(snap, Config{M: 10, Rng: rng}); err == nil {
+		t.Error("mismatched M should be rejected")
+	}
+	// Missing rng.
+	if _, err := Restore(snap, Config{}); err == nil {
+		t.Error("missing rng should be rejected")
+	}
+	// Corrupt snapshot: duplicate item.
+	snap.Items = append(snap.Items, snap.Items[0])
+	if _, err := Restore(snap, Config{Rng: rng}); err == nil {
+		t.Error("duplicate item should be rejected")
+	}
+	// Version check.
+	if _, err := DecodeSnapshot([]byte(`{"version":99}`)); err == nil {
+		t.Error("unknown version should be rejected")
+	}
+	if _, err := DecodeSnapshot([]byte(`garbage`)); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}

@@ -1,0 +1,284 @@
+// Package core implements the paper's primary contribution: the WSD weighted
+// sampling framework for fully dynamic graph streams (Algorithm 1), its
+// unbiased subgraph count estimator (Algorithm 2, Eqs. 11-13), and the MDP
+// state extraction the RL weight function consumes (Section IV-A).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/reservoir"
+	"repro/internal/stream"
+	"repro/internal/weights"
+)
+
+// TemporalAgg selects how the temporal state features v_j (Eq. 20) aggregate
+// arrival indexes across the instances in Hk.
+type TemporalAgg int
+
+const (
+	// AggMax is the paper's definition (Eq. 20): v_j is the maximum j-th
+	// arrival index over instances. WSD-L (Max) in Table XIII.
+	AggMax TemporalAgg = iota
+	// AggAvg replaces max with the average, the WSD-L (Avg) ablation of
+	// Table XIII.
+	AggAvg
+)
+
+// Config configures a WSD counter.
+type Config struct {
+	// M is the reservoir capacity. Must be at least Pattern.Size() for the
+	// estimator to be unbiased (Theorem 4's precondition M >= |H|).
+	M int
+	// Pattern is the subgraph pattern H whose count is estimated.
+	Pattern pattern.Kind
+	// Weight is the weight function W(e, R). Nil means uniform.
+	Weight weights.Func
+	// TemporalAgg selects the v_j aggregation; the zero value is the paper's
+	// max aggregation.
+	TemporalAgg TemporalAgg
+	// Rng drives the rank randomization. Required.
+	Rng *rand.Rand
+	// OnInstance, when non-nil, observes every pattern instance the
+	// estimator counts: sign is +1 for a formation (insertion event) and -1
+	// for a destruction (deletion event); contribution is the
+	// inverse-probability product added to or subtracted from the global
+	// estimate; eventEdge is the edge whose event triggered the count and
+	// others are the instance's remaining sampled edges (reused buffer — do
+	// not retain). Extensions such as local (per-vertex) counting build on
+	// this hook.
+	OnInstance func(sign, contribution float64, eventEdge graph.Edge, others []graph.Edge)
+}
+
+func (c *Config) validate() error {
+	if c.M < c.Pattern.Size() {
+		return fmt.Errorf("core: M=%d is below pattern size |H|=%d; the estimator requires M >= |H|", c.M, c.Pattern.Size())
+	}
+	if c.Rng == nil {
+		return fmt.Errorf("core: Config.Rng is required")
+	}
+	return nil
+}
+
+// Counter is the WSD subgraph counter: it consumes a fully dynamic edge
+// stream one event at a time and maintains an unbiased estimate of the
+// pattern count |J(t)|.
+//
+// Counter is not safe for concurrent use; run one per goroutine.
+type Counter struct {
+	cfg Config
+
+	res        *reservoir.Reservoir
+	tauP, tauQ float64
+	estimate   float64
+	insertions int64 // t_k: number of insertion events processed
+
+	// Scratch buffers reused across events to keep the per-event path
+	// allocation-free.
+	temporal []float64
+	count    []int64
+	arrivals []float64
+	vec      []float64
+
+	// lastState records the most recent MDP state handed to the weight
+	// function; exposed for the RL environment and for policy analysis.
+	lastState weights.State
+}
+
+// New returns a WSD counter for the given configuration.
+func New(cfg Config) (*Counter, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Weight == nil {
+		cfg.Weight = weights.Uniform()
+	}
+	h := cfg.Pattern.Size()
+	return &Counter{
+		cfg:      cfg,
+		res:      reservoir.New(cfg.M),
+		temporal: make([]float64, h),
+		count:    make([]int64, h),
+		arrivals: make([]float64, 0, h),
+	}, nil
+}
+
+// Name identifies the algorithm for reports.
+func (c *Counter) Name() string { return "WSD" }
+
+// Estimate returns the current unbiased estimate of |J(t)| (Eq. 13).
+func (c *Counter) Estimate() float64 { return c.estimate }
+
+// SampleSize returns the current number of sampled edges.
+func (c *Counter) SampleSize() int { return c.res.Len() }
+
+// Thresholds returns the current (tau_p, tau_q) pair, exposed for tests of
+// Lemma 1's invariants.
+func (c *Counter) Thresholds() (tauP, tauQ float64) { return c.tauP, c.tauQ }
+
+// LastState returns the MDP state computed for the most recent insertion
+// event. The Temporal slice is reused across events; callers that retain it
+// must copy.
+func (c *Counter) LastState() weights.State { return c.lastState }
+
+// Reservoir exposes the underlying reservoir for analysis (e.g. the
+// weight-relationship experiment). Callers must not mutate it.
+func (c *Counter) Reservoir() *reservoir.Reservoir { return c.res }
+
+// inclusionProb returns P[e in R(t)] = P[r(e) > tau_q] = min(1, w/tau_q)
+// for the rank function r = w/u, u ~ U(0,1] (Lemma 1).
+func (c *Counter) inclusionProb(it *reservoir.Item) float64 {
+	if c.tauQ <= 0 {
+		return 1
+	}
+	p := it.Weight / c.tauQ
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Process consumes one stream event, first updating the estimate per
+// Algorithm 2 and then the sample per Algorithm 1. Infeasible events are
+// ignored defensively.
+func (c *Counter) Process(ev stream.Event) {
+	if ev.Edge.IsLoop() {
+		return
+	}
+	switch ev.Op {
+	case stream.Insert:
+		c.insert(ev.Edge)
+	case stream.Delete:
+		c.delete(ev.Edge)
+	}
+}
+
+func (c *Counter) insert(e graph.Edge) {
+	if _, ok := c.res.Get(e); ok {
+		// Infeasible duplicate insertion; the problem definition forbids it.
+		return
+	}
+	c.insertions++
+	tk := c.insertions
+	h := c.cfg.Pattern.Size()
+
+	// Line 4-7 of Algorithm 2: enumerate the instances J with e in J and the
+	// other edges sampled, adding the product of inverse inclusion
+	// probabilities (Eq. 11). The same pass extracts the MDP state features.
+	for j := range c.temporal {
+		c.temporal[j] = 0
+		c.count[j] = 0
+	}
+	instances := 0
+	c.cfg.Pattern.ForEachCompletion(c.res, e.U, e.V, func(others []graph.Edge) bool {
+		prod := 1.0
+		arr := c.arrivals[:0]
+		for _, oe := range others {
+			it, ok := c.res.Get(oe)
+			if !ok {
+				// Enumeration only yields reservoir edges; absence is a bug.
+				panic(fmt.Sprintf("core: enumerated edge %v missing from reservoir", oe))
+			}
+			prod *= 1 / c.inclusionProb(it)
+			arr = append(arr, float64(it.Arrival))
+		}
+		c.estimate += prod
+		if c.cfg.OnInstance != nil {
+			c.cfg.OnInstance(+1, prod, e, others)
+		}
+		instances++
+
+		// Temporal features: sort the other edges by arrival (positions
+		// 1..|H|-1); position |H| is the new edge itself at t_k.
+		sort.Float64s(arr)
+		for j, a := range arr {
+			switch c.cfg.TemporalAgg {
+			case AggMax:
+				if a > c.temporal[j] {
+					c.temporal[j] = a
+				}
+			case AggAvg:
+				c.temporal[j] += a
+			}
+			c.count[j]++
+		}
+		return true
+	})
+	if c.cfg.TemporalAgg == AggAvg {
+		for j := 0; j < h-1; j++ {
+			if c.count[j] > 0 {
+				c.temporal[j] /= float64(c.count[j])
+			}
+		}
+	}
+	if instances > 0 {
+		c.temporal[h-1] = float64(tk)
+	} else {
+		c.temporal[h-1] = 0
+	}
+
+	c.lastState = weights.State{
+		Instances: instances,
+		DegU:      c.res.Degree(e.U),
+		DegV:      c.res.Degree(e.V),
+		Temporal:  c.temporal,
+		Now:       tk,
+	}
+
+	// Algorithm 1, insert(e): weight, rank, then Cases 1 and 2.
+	w := weights.Sanitize(c.cfg.Weight(c.lastState))
+	u := 1 - c.cfg.Rng.Float64() // uniform in (0, 1]
+	rank := w / u
+
+	if !c.res.Full() {
+		// Case 1: non-full reservoir; tau_p and tau_q are retained.
+		if rank > c.tauP {
+			// Case 1.1.
+			c.res.Push(&reservoir.Item{Edge: e, Weight: w, Rank: rank, Arrival: tk})
+		}
+		// Case 1.2: discard.
+		return
+	}
+	// Case 2: full reservoir. tau_p becomes the minimum sampled rank.
+	em := c.res.Min()
+	c.tauP = em.Rank
+	switch {
+	case rank > c.tauP:
+		// Case 2.1: evict the minimum, include e, and raise tau_q to tau_p.
+		c.res.PopMin()
+		c.res.Push(&reservoir.Item{Edge: e, Weight: w, Rank: rank, Arrival: tk})
+		c.tauQ = c.tauP
+	case rank > c.tauQ:
+		// Case 2.2: discard e but remember its rank as the new tau_q.
+		c.tauQ = rank
+	default:
+		// Case 2.3: discard.
+	}
+}
+
+func (c *Counter) delete(e graph.Edge) {
+	// Eq. (12): subtract the destroyed instances, observed against the
+	// reservoir just before the deletion is applied.
+	c.cfg.Pattern.ForEachCompletion(c.res, e.U, e.V, func(others []graph.Edge) bool {
+		prod := 1.0
+		for _, oe := range others {
+			it, ok := c.res.Get(oe)
+			if !ok {
+				panic(fmt.Sprintf("core: enumerated edge %v missing from reservoir", oe))
+			}
+			prod *= 1 / c.inclusionProb(it)
+		}
+		c.estimate -= prod
+		if c.cfg.OnInstance != nil {
+			c.cfg.OnInstance(-1, prod, e, others)
+		}
+		return true
+	})
+	// Case 3: drop e from the reservoir if sampled; tau_p and tau_q are
+	// retained.
+	c.res.Remove(e)
+}

@@ -1,0 +1,283 @@
+// Package gen provides random graph generators. The paper's synthetic
+// datasets use the Forest Fire model of Leskovec et al.; the evaluation's
+// real graphs span four categories (citation, community, social, web) that we
+// stand in for with generators reproducing each category's defining
+// structural property at reduced scale (see DESIGN.md, Substitutions).
+//
+// All generators return the edge sequence in generation ("natural") order,
+// which doubles as the arrival order for streams, and are deterministic given
+// the *rand.Rand they are handed.
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ForestFire generates a graph with n vertices using the Forest Fire model
+// G(n, p) with forward burning probability p (Leskovec, Kleinberg, Faloutsos,
+// "Graph evolution: densification and shrinking diameters"). Vertices arrive
+// one at a time; each picks a uniformly random ambassador among earlier
+// vertices, links to it, and recursively "burns" a geometrically distributed
+// number of the ambassador's neighbors, linking to every burned vertex. The
+// model reproduces heavy-tailed degrees, densification, and community
+// structure, which is why the paper uses it for synthetic streams.
+func ForestFire(n int, p float64, rng *rand.Rand) []graph.Edge {
+	if n < 2 {
+		return nil
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 0.99 {
+		// Cap the burning probability: p -> 1 makes every new vertex link to
+		// the entire existing graph, which densifies quadratically.
+		p = 0.99
+	}
+	adj := make([][]graph.VertexID, n)
+	var edges []graph.Edge
+	// burnCap bounds the fire spread per arrival so a single vertex cannot
+	// burn the whole graph (matches the practical implementations).
+	const burnCap = 200
+
+	link := func(u, v graph.VertexID) {
+		edges = append(edges, graph.NewEdge(u, v))
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+
+	for v := 1; v < n; v++ {
+		newV := graph.VertexID(v)
+		ambassador := graph.VertexID(rng.Intn(v))
+		visited := map[graph.VertexID]bool{newV: true, ambassador: true}
+		link(newV, ambassador)
+		frontier := []graph.VertexID{ambassador}
+		burned := 1
+		for len(frontier) > 0 && burned < burnCap {
+			w := frontier[0]
+			frontier = frontier[1:]
+			// Burn x ~ Geometric(1-p) of w's unvisited neighbors: each
+			// neighbor in random order survives the fire with prob 1-p.
+			nbrs := adj[w]
+			order := rng.Perm(len(nbrs))
+			for _, i := range order {
+				if rng.Float64() >= p {
+					break
+				}
+				x := nbrs[i]
+				if visited[x] {
+					continue
+				}
+				visited[x] = true
+				link(newV, x)
+				frontier = append(frontier, x)
+				burned++
+				if burned >= burnCap {
+					break
+				}
+			}
+		}
+	}
+	return dedup(edges)
+}
+
+// BarabasiAlbert generates a preferential-attachment graph with n vertices,
+// each new vertex attaching m edges to existing vertices chosen proportional
+// to degree. It produces the hub-dominated structure typical of online social
+// networks (the celebrity phenomenon motivating weighted sampling in the
+// paper's introduction).
+func BarabasiAlbert(n, m int, rng *rand.Rand) []graph.Edge {
+	if n < 2 || m < 1 {
+		return nil
+	}
+	var edges []graph.Edge
+	// targets is the repeated-endpoint list implementing preferential
+	// attachment: choosing uniformly from it selects proportional to degree.
+	targets := make([]graph.VertexID, 0, 2*n*m)
+	// Seed with a single edge.
+	edges = append(edges, graph.NewEdge(0, 1))
+	targets = append(targets, 0, 1)
+	for v := 2; v < n; v++ {
+		newV := graph.VertexID(v)
+		// Track chosen targets in draw order: emitting edges by iterating a
+		// map would make the output depend on Go's randomized map iteration
+		// and break cross-process determinism.
+		chosen := make(map[graph.VertexID]bool, m)
+		order := make([]graph.VertexID, 0, m)
+		for len(order) < m && len(order) < v {
+			t := targets[rng.Intn(len(targets))]
+			if t == newV || chosen[t] {
+				continue
+			}
+			chosen[t] = true
+			order = append(order, t)
+		}
+		for _, t := range order {
+			edges = append(edges, graph.NewEdge(newV, t))
+			targets = append(targets, newV, t)
+		}
+	}
+	return dedup(edges)
+}
+
+// HolmeKim generates a scale-free graph with tunable clustering (Holme &
+// Kim's "growing scale-free networks with tunable clustering"): preferential
+// attachment as in BarabasiAlbert, but after each attachment step the next
+// link closes a triad with probability pt by attaching to a random neighbor
+// of the previous target. This keeps the hub structure of online social
+// networks while restoring the high triangle density real social graphs have
+// (plain BA clustering vanishes with n).
+func HolmeKim(n, m int, pt float64, rng *rand.Rand) []graph.Edge {
+	if n < 2 || m < 1 {
+		return nil
+	}
+	var edges []graph.Edge
+	adj := make([][]graph.VertexID, n)
+	targets := make([]graph.VertexID, 0, 2*n*m)
+	link := func(u, v graph.VertexID) {
+		edges = append(edges, graph.NewEdge(u, v))
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+		targets = append(targets, u, v)
+	}
+	link(0, 1)
+	for v := 2; v < n; v++ {
+		newV := graph.VertexID(v)
+		chosen := make(map[graph.VertexID]bool, m)
+		var prev graph.VertexID
+		havePrev := false
+		for len(chosen) < m && len(chosen) < v {
+			var t graph.VertexID
+			if havePrev && rng.Float64() < pt && len(adj[prev]) > 0 {
+				// Triad formation: attach to a neighbor of the previous
+				// target, closing a triangle with (newV, prev).
+				t = adj[prev][rng.Intn(len(adj[prev]))]
+			} else {
+				t = targets[rng.Intn(len(targets))]
+			}
+			if t == newV || chosen[t] {
+				havePrev = false
+				continue
+			}
+			chosen[t] = true
+			link(newV, t)
+			prev, havePrev = t, true
+		}
+	}
+	return dedup(edges)
+}
+
+// ErdosRenyi generates a G(n, m) uniform random graph with n vertices and m
+// distinct edges in random arrival order. Used as a structureless control in
+// tests and ablations.
+func ErdosRenyi(n, m int, rng *rand.Rand) []graph.Edge {
+	if n < 2 || m < 1 {
+		return nil
+	}
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	seen := make(map[graph.Edge]struct{}, m)
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		e := graph.NewEdge(u, v)
+		if _, ok := seen[e]; ok {
+			continue
+		}
+		seen[e] = struct{}{}
+		edges = append(edges, e)
+	}
+	return edges
+}
+
+// PlantedPartition generates a community-structured graph: k communities of
+// the given size, with each intra-community pair connected with probability
+// pIn and inter-community pairs with probability pOut. Edges arrive grouped
+// loosely by community (vertices are interleaved), mimicking community
+// networks like DBLP/YouTube where triangles concentrate inside communities.
+func PlantedPartition(k, size int, pIn, pOut float64, rng *rand.Rand) []graph.Edge {
+	n := k * size
+	if n < 2 {
+		return nil
+	}
+	community := func(v graph.VertexID) int { return int(v) % k }
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if community(graph.VertexID(u)) == community(graph.VertexID(v)) {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				edges = append(edges, graph.NewEdge(graph.VertexID(u), graph.VertexID(v)))
+			}
+		}
+	}
+	// Natural order for a community network: random arrival within a gentle
+	// global shuffle (communities grow concurrently).
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	return edges
+}
+
+// CopyingModel generates a web-like graph: each new vertex links to a random
+// prototype page and, for each of outDeg-1 further links, copies one of the
+// prototype's neighbors with probability copyProb or links to a uniform
+// random earlier vertex otherwise (Kumar et al.'s copying model). Because the
+// new page links both the prototype and its copied neighbors, copying closes
+// triangles and builds the dense cores observed in web link structure.
+func CopyingModel(n, outDeg int, copyProb float64, rng *rand.Rand) []graph.Edge {
+	if n < 2 || outDeg < 1 {
+		return nil
+	}
+	adj := make([][]graph.VertexID, n)
+	var edges []graph.Edge
+	link := func(u, v graph.VertexID) {
+		if u == v {
+			return
+		}
+		edges = append(edges, graph.NewEdge(u, v))
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	link(0, 1)
+	for v := 2; v < n; v++ {
+		newV := graph.VertexID(v)
+		proto := graph.VertexID(rng.Intn(v))
+		link(newV, proto)
+		for i := 1; i < outDeg; i++ {
+			var target graph.VertexID
+			if len(adj[proto]) > 0 && rng.Float64() < copyProb {
+				target = adj[proto][rng.Intn(len(adj[proto]))]
+			} else {
+				target = graph.VertexID(rng.Intn(v))
+			}
+			link(newV, target)
+		}
+	}
+	return dedup(edges)
+}
+
+// dedup removes duplicate and self-loop edges, preserving first-occurrence
+// order.
+func dedup(edges []graph.Edge) []graph.Edge {
+	seen := make(map[graph.Edge]struct{}, len(edges))
+	out := edges[:0]
+	for _, e := range edges {
+		if e.IsLoop() {
+			continue
+		}
+		if _, ok := seen[e]; ok {
+			continue
+		}
+		seen[e] = struct{}{}
+		out = append(out, e)
+	}
+	return out
+}

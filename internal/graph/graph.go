@@ -1,0 +1,197 @@
+// Package graph provides the core data model shared by every subsystem:
+// vertex identifiers, normalized undirected edges, and dynamic adjacency
+// structures used both by exact counters and by sampled-graph views.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. Generators produce dense identifiers starting
+// at 0, but nothing in the library assumes density.
+type VertexID uint32
+
+// Edge is an undirected edge. Construct edges with NewEdge so that U <= V
+// always holds; two Edge values are then comparable with == and usable as map
+// keys regardless of the endpoint order they were observed in.
+type Edge struct {
+	U, V VertexID
+}
+
+// NewEdge returns the normalized undirected edge {u, v}.
+func NewEdge(u, v VertexID) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// IsLoop reports whether the edge is a self-loop. The streaming problem
+// definition (Section II of the paper) considers simple graphs; generators
+// and loaders reject loops, and samplers ignore them defensively.
+func (e Edge) IsLoop() bool { return e.U == e.V }
+
+// Other returns the endpoint of e that is not v. It panics if v is not an
+// endpoint of e; callers always know membership.
+func (e Edge) Other(v VertexID) VertexID {
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", v, e))
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// AdjSet is a dynamic adjacency structure over an undirected simple graph.
+// The zero value is not usable; construct with NewAdjSet. It supports O(1)
+// expected insert, delete and membership, and neighbor iteration, which is
+// everything the exact counters and the uniform-sampling baselines need.
+type AdjSet struct {
+	adj   map[VertexID]map[VertexID]struct{}
+	edges int
+}
+
+// NewAdjSet returns an empty adjacency set.
+func NewAdjSet() *AdjSet {
+	return &AdjSet{adj: make(map[VertexID]map[VertexID]struct{})}
+}
+
+// Len returns the number of edges currently stored.
+func (a *AdjSet) Len() int { return a.edges }
+
+// NumVertices returns the number of vertices with at least one incident edge.
+func (a *AdjSet) NumVertices() int { return len(a.adj) }
+
+// Has reports whether edge e is present.
+func (a *AdjSet) Has(e Edge) bool {
+	n, ok := a.adj[e.U]
+	if !ok {
+		return false
+	}
+	_, ok = n[e.V]
+	return ok
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (a *AdjSet) HasEdge(u, v VertexID) bool { return a.Has(NewEdge(u, v)) }
+
+// Add inserts edge e. It reports whether the edge was newly added (false if
+// it was already present or is a self-loop).
+func (a *AdjSet) Add(e Edge) bool {
+	if e.IsLoop() || a.Has(e) {
+		return false
+	}
+	a.link(e.U, e.V)
+	a.link(e.V, e.U)
+	a.edges++
+	return true
+}
+
+// Remove deletes edge e. It reports whether the edge was present.
+func (a *AdjSet) Remove(e Edge) bool {
+	if !a.Has(e) {
+		return false
+	}
+	a.unlink(e.U, e.V)
+	a.unlink(e.V, e.U)
+	a.edges--
+	return true
+}
+
+func (a *AdjSet) link(u, v VertexID) {
+	n := a.adj[u]
+	if n == nil {
+		n = make(map[VertexID]struct{})
+		a.adj[u] = n
+	}
+	n[v] = struct{}{}
+}
+
+func (a *AdjSet) unlink(u, v VertexID) {
+	n := a.adj[u]
+	delete(n, v)
+	if len(n) == 0 {
+		delete(a.adj, u)
+	}
+}
+
+// Degree returns the number of neighbors of v.
+func (a *AdjSet) Degree(v VertexID) int { return len(a.adj[v]) }
+
+// ForEachNeighbor calls fn for every neighbor of u. Iteration stops early if
+// fn returns false. Iteration order is unspecified.
+func (a *AdjSet) ForEachNeighbor(u VertexID, fn func(v VertexID) bool) {
+	for v := range a.adj[u] {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// Neighbors returns the neighbors of u as a freshly allocated slice, sorted
+// ascending for determinism. Intended for tests and small-scale inspection;
+// hot paths should use ForEachNeighbor.
+func (a *AdjSet) Neighbors(u VertexID) []VertexID {
+	n := a.adj[u]
+	out := make([]VertexID, 0, len(n))
+	for v := range n {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges as a freshly allocated slice, sorted for
+// determinism. Intended for tests and snapshotting.
+func (a *AdjSet) Edges() []Edge {
+	out := make([]Edge, 0, a.edges)
+	for u, ns := range a.adj {
+		for v := range ns {
+			if u < v {
+				out = append(out, Edge{U: u, V: v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// CommonNeighbors calls fn for every common neighbor of u and v, iterating
+// over the smaller neighborhood. Iteration stops early if fn returns false.
+func (a *AdjSet) CommonNeighbors(u, v VertexID, fn func(w VertexID) bool) {
+	nu, nv := a.adj[u], a.adj[v]
+	if len(nu) > len(nv) {
+		nu, nv = nv, nu
+	}
+	for w := range nu {
+		if _, ok := nv[w]; ok {
+			if !fn(w) {
+				return
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the adjacency set.
+func (a *AdjSet) Clone() *AdjSet {
+	c := NewAdjSet()
+	c.edges = a.edges
+	for u, ns := range a.adj {
+		m := make(map[VertexID]struct{}, len(ns))
+		for v := range ns {
+			m[v] = struct{}{}
+		}
+		c.adj[u] = m
+	}
+	return c
+}

@@ -1,0 +1,71 @@
+// Package metrics implements the evaluation metrics of Section V-A: absolute
+// relative error (ARE) at stream end and mean absolute relative error (MARE)
+// over the stream's lifetime, plus small statistical helpers for aggregating
+// repeated sampling trials.
+package metrics
+
+import "math"
+
+// RelErr returns |est - truth| / truth. A truth magnitude below 1 is clamped
+// to 1 so early-stream checkpoints with zero instances do not divide by zero;
+// the paper's streams are evaluated where counts are large, so the clamp only
+// affects warmup checkpoints.
+func RelErr(est, truth float64) float64 {
+	denom := math.Abs(truth)
+	if denom < 1 {
+		denom = 1
+	}
+	return math.Abs(est-truth) / denom
+}
+
+// MARE accumulates relative errors sampled at checkpoints along a stream and
+// reports their mean: (1/T) * sum |Xhat_i - X_i| / X_i.
+type MARE struct {
+	sum float64
+	n   int
+}
+
+// Observe records one checkpoint.
+func (m *MARE) Observe(est, truth float64) {
+	m.sum += RelErr(est, truth)
+	m.n++
+}
+
+// Value returns the mean relative error over observed checkpoints (0 when
+// none were observed).
+func (m *MARE) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// Checkpoints returns the number of observations.
+func (m *MARE) Checkpoints() int { return m.n }
+
+// Summary holds the mean and sample standard deviation of a series.
+type Summary struct {
+	Mean, Std float64
+	N         int
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	for _, x := range xs {
+		s.Mean += x
+	}
+	s.Mean /= float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}

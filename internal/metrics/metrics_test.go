@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelErr(t *testing.T) {
+	cases := []struct {
+		est, truth, want float64
+	}{
+		{110, 100, 0.1},
+		{90, 100, 0.1},
+		{100, 100, 0},
+		{5, 0, 5},       // clamped denominator
+		{0.5, 0.2, 0.3}, // |0.5-0.2|/max(0.2,1)
+	}
+	for _, tc := range cases {
+		if got := RelErr(tc.est, tc.truth); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("RelErr(%v, %v) = %v, want %v", tc.est, tc.truth, got, tc.want)
+		}
+	}
+}
+
+func TestRelErrNonNegativeProperty(t *testing.T) {
+	f := func(est, truth float64) bool {
+		if math.IsNaN(est) || math.IsInf(est, 0) || math.IsNaN(truth) || math.IsInf(truth, 0) {
+			return true
+		}
+		return RelErr(est, truth) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMARE(t *testing.T) {
+	var m MARE
+	if m.Value() != 0 {
+		t.Fatal("empty MARE should be 0")
+	}
+	m.Observe(110, 100) // 0.1
+	m.Observe(100, 100) // 0.0
+	m.Observe(130, 100) // 0.3
+	if got := m.Value(); math.Abs(got-0.4/3) > 1e-12 {
+		t.Fatalf("MARE = %v, want %v", got, 0.4/3)
+	}
+	if m.Checkpoints() != 3 {
+		t.Fatalf("checkpoints = %d", m.Checkpoints())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s = Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", s.Mean)
+	}
+	// Sample std of this classic series is sqrt(32/7).
+	if math.Abs(s.Std-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, math.Sqrt(32.0/7))
+	}
+	one := Summarize([]float64{3})
+	if one.Mean != 3 || one.Std != 0 {
+		t.Fatalf("single-element summary = %+v", one)
+	}
+}

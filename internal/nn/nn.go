@@ -1,0 +1,516 @@
+// Package nn is a minimal neural-network library sufficient for the paper's
+// DDPG weight-function learner (Section IV-B): dense layers, ReLU, batch
+// normalization, mean-squared-error loss, and the Adam optimizer, all over
+// row-major float64 matrices. It is stdlib-only and deterministic given a
+// seed.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix. Rows index samples in a batch; columns
+// index features.
+type Matrix struct {
+	R, C int
+	V    []float64
+}
+
+// NewMatrix returns an R x C zero matrix.
+func NewMatrix(r, c int) Matrix {
+	return Matrix{R: r, C: c, V: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from per-sample feature slices; all rows must have
+// equal length.
+func FromRows(rows [][]float64) Matrix {
+	if len(rows) == 0 {
+		return Matrix{}
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.C {
+			panic(fmt.Sprintf("nn: ragged rows: row %d has %d cols, want %d", i, len(row), m.C))
+		}
+		copy(m.Row(i), row)
+	}
+	return m
+}
+
+// Row returns a mutable view of row i.
+func (m Matrix) Row(i int) []float64 { return m.V[i*m.C : (i+1)*m.C] }
+
+// At returns element (i, j).
+func (m Matrix) At(i, j int) float64 { return m.V[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, x float64) { m.V[i*m.C+j] = x }
+
+// Clone returns a deep copy.
+func (m Matrix) Clone() Matrix {
+	c := Matrix{R: m.R, C: m.C, V: make([]float64, len(m.V))}
+	copy(c.V, m.V)
+	return c
+}
+
+// Param is a learnable tensor with its gradient accumulator.
+type Param struct {
+	W Matrix // value
+	G Matrix // gradient, same shape
+}
+
+func newParam(r, c int) *Param {
+	return &Param{W: NewMatrix(r, c), G: NewMatrix(r, c)}
+}
+
+// Zero clears the gradient.
+func (p *Param) Zero() {
+	for i := range p.G.V {
+		p.G.V[i] = 0
+	}
+}
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Forward computes the layer output for a batch. train toggles
+	// training-time behavior (batch statistics vs running statistics).
+	Forward(x Matrix, train bool) Matrix
+	// Backward consumes the gradient of the loss w.r.t. the layer output,
+	// accumulates parameter gradients, and returns the gradient w.r.t. the
+	// layer input. It must be called right after the corresponding Forward.
+	Backward(dOut Matrix) Matrix
+	// Params returns the learnable parameters (possibly none).
+	Params() []*Param
+	// Clone returns a deep copy sharing no state, used for target networks.
+	Clone() Layer
+}
+
+// Dense is a fully connected layer: y = x*W + b.
+type Dense struct {
+	In, Out int
+	Weight  *Param // In x Out
+	Bias    *Param // 1 x Out
+	x       Matrix // cached input for backward
+}
+
+// NewDense returns a dense layer with Xavier-uniform initialization.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, Weight: newParam(in, out), Bias: newParam(1, out)}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range d.Weight.W.V {
+		d.Weight.W.V[i] = (2*rng.Float64() - 1) * limit
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x Matrix, _ bool) Matrix {
+	if x.C != d.In {
+		panic(fmt.Sprintf("nn: Dense expects %d inputs, got %d", d.In, x.C))
+	}
+	d.x = x
+	y := NewMatrix(x.R, d.Out)
+	for i := 0; i < x.R; i++ {
+		xi := x.Row(i)
+		yi := y.Row(i)
+		copy(yi, d.Bias.W.V)
+		for k := 0; k < d.In; k++ {
+			xv := xi[k]
+			if xv == 0 {
+				continue
+			}
+			wRow := d.Weight.W.Row(k)
+			for j := 0; j < d.Out; j++ {
+				yi[j] += xv * wRow[j]
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dOut Matrix) Matrix {
+	dx := NewMatrix(d.x.R, d.In)
+	for i := 0; i < d.x.R; i++ {
+		xi := d.x.Row(i)
+		gi := dOut.Row(i)
+		dxi := dx.Row(i)
+		for j := 0; j < d.Out; j++ {
+			d.Bias.G.V[j] += gi[j]
+		}
+		for k := 0; k < d.In; k++ {
+			wRow := d.Weight.W.Row(k)
+			gRow := d.Weight.G.Row(k)
+			sum := 0.0
+			for j := 0; j < d.Out; j++ {
+				gRow[j] += xi[k] * gi[j]
+				sum += wRow[j] * gi[j]
+			}
+			dxi[k] = sum
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+// Clone implements Layer.
+func (d *Dense) Clone() Layer {
+	c := &Dense{In: d.In, Out: d.Out, Weight: newParam(d.In, d.Out), Bias: newParam(1, d.Out)}
+	copy(c.Weight.W.V, d.Weight.W.V)
+	copy(c.Bias.W.V, d.Bias.W.V)
+	return c
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x Matrix, _ bool) Matrix {
+	y := x.Clone()
+	if cap(r.mask) < len(y.V) {
+		r.mask = make([]bool, len(y.V))
+	}
+	r.mask = r.mask[:len(y.V)]
+	for i, v := range y.V {
+		if v <= 0 {
+			y.V[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dOut Matrix) Matrix {
+	dx := dOut.Clone()
+	for i := range dx.V {
+		if !r.mask[i] {
+			dx.V[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Clone implements Layer.
+func (r *ReLU) Clone() Layer { return NewReLU() }
+
+// LeakyReLU is a rectifier with a small negative-side slope. The paper's
+// actor uses a plain ReLU; training it with a leaky gradient avoids the
+// dying-ReLU collapse (a constant-zero actor has zero gradient and can never
+// recover), while the exported policy still applies the hard ReLU at
+// deployment.
+type LeakyReLU struct {
+	Slope float64
+	x     Matrix
+}
+
+// NewLeakyReLU returns a leaky rectifier with the given negative slope.
+func NewLeakyReLU(slope float64) *LeakyReLU { return &LeakyReLU{Slope: slope} }
+
+// Forward implements Layer.
+func (r *LeakyReLU) Forward(x Matrix, _ bool) Matrix {
+	r.x = x
+	y := x.Clone()
+	for i, v := range y.V {
+		if v < 0 {
+			y.V[i] = v * r.Slope
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *LeakyReLU) Backward(dOut Matrix) Matrix {
+	dx := dOut.Clone()
+	for i := range dx.V {
+		if r.x.V[i] < 0 {
+			dx.V[i] *= r.Slope
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *LeakyReLU) Params() []*Param { return nil }
+
+// Clone implements Layer.
+func (r *LeakyReLU) Clone() Layer { return NewLeakyReLU(r.Slope) }
+
+// BatchNorm is 1-D batch normalization with learnable scale/shift and running
+// statistics for inference, applied before the activation as in the paper's
+// critic network.
+type BatchNorm struct {
+	Dim      int
+	Gamma    *Param
+	Beta     *Param
+	RunMean  []float64
+	RunVar   []float64
+	Momentum float64
+	Eps      float64
+
+	// caches for backward
+	x      Matrix
+	xhat   Matrix
+	mean   []float64
+	invStd []float64
+}
+
+// NewBatchNorm returns a batch normalization layer over dim features.
+func NewBatchNorm(dim int) *BatchNorm {
+	b := &BatchNorm{
+		Dim:      dim,
+		Gamma:    newParam(1, dim),
+		Beta:     newParam(1, dim),
+		RunMean:  make([]float64, dim),
+		RunVar:   make([]float64, dim),
+		Momentum: 0.9,
+		Eps:      1e-5,
+	}
+	for i := range b.Gamma.W.V {
+		b.Gamma.W.V[i] = 1
+	}
+	for i := range b.RunVar {
+		b.RunVar[i] = 1
+	}
+	return b
+}
+
+// Forward implements Layer. In training mode it normalizes with batch
+// statistics and updates running statistics; in inference mode it uses the
+// running statistics (required for single-sample policy evaluation).
+func (b *BatchNorm) Forward(x Matrix, train bool) Matrix {
+	if x.C != b.Dim {
+		panic(fmt.Sprintf("nn: BatchNorm expects %d features, got %d", b.Dim, x.C))
+	}
+	y := NewMatrix(x.R, x.C)
+	if !train || x.R == 1 {
+		for i := 0; i < x.R; i++ {
+			xi, yi := x.Row(i), y.Row(i)
+			for j := 0; j < x.C; j++ {
+				xhat := (xi[j] - b.RunMean[j]) / math.Sqrt(b.RunVar[j]+b.Eps)
+				yi[j] = b.Gamma.W.V[j]*xhat + b.Beta.W.V[j]
+			}
+		}
+		b.x = Matrix{} // invalidate backward cache
+		return y
+	}
+	n := float64(x.R)
+	if b.mean == nil {
+		b.mean = make([]float64, b.Dim)
+		b.invStd = make([]float64, b.Dim)
+	}
+	for j := 0; j < b.Dim; j++ {
+		sum := 0.0
+		for i := 0; i < x.R; i++ {
+			sum += x.At(i, j)
+		}
+		mean := sum / n
+		varSum := 0.0
+		for i := 0; i < x.R; i++ {
+			d := x.At(i, j) - mean
+			varSum += d * d
+		}
+		variance := varSum / n
+		b.mean[j] = mean
+		b.invStd[j] = 1 / math.Sqrt(variance+b.Eps)
+		b.RunMean[j] = b.Momentum*b.RunMean[j] + (1-b.Momentum)*mean
+		b.RunVar[j] = b.Momentum*b.RunVar[j] + (1-b.Momentum)*variance
+	}
+	b.x = x
+	b.xhat = NewMatrix(x.R, x.C)
+	for i := 0; i < x.R; i++ {
+		xi, yi, hi := x.Row(i), y.Row(i), b.xhat.Row(i)
+		for j := 0; j < x.C; j++ {
+			h := (xi[j] - b.mean[j]) * b.invStd[j]
+			hi[j] = h
+			yi[j] = b.Gamma.W.V[j]*h + b.Beta.W.V[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer. It must follow a training-mode Forward with
+// batch size > 1.
+func (b *BatchNorm) Backward(dOut Matrix) Matrix {
+	if b.x.V == nil {
+		panic("nn: BatchNorm.Backward without training-mode Forward")
+	}
+	n := float64(b.x.R)
+	dx := NewMatrix(b.x.R, b.x.C)
+	for j := 0; j < b.Dim; j++ {
+		var sumDy, sumDyXhat float64
+		for i := 0; i < b.x.R; i++ {
+			dy := dOut.At(i, j)
+			sumDy += dy
+			sumDyXhat += dy * b.xhat.At(i, j)
+		}
+		b.Beta.G.V[j] += sumDy
+		b.Gamma.G.V[j] += sumDyXhat
+		g := b.Gamma.W.V[j]
+		for i := 0; i < b.x.R; i++ {
+			dy := dOut.At(i, j)
+			xhat := b.xhat.At(i, j)
+			dx.Set(i, j, g*b.invStd[j]*(dy-sumDy/n-xhat*sumDyXhat/n))
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// Clone implements Layer.
+func (b *BatchNorm) Clone() Layer {
+	c := NewBatchNorm(b.Dim)
+	copy(c.Gamma.W.V, b.Gamma.W.V)
+	copy(c.Beta.W.V, b.Beta.W.V)
+	copy(c.RunMean, b.RunMean)
+	copy(c.RunVar, b.RunVar)
+	c.Momentum = b.Momentum
+	c.Eps = b.Eps
+	return c
+}
+
+// Network is a sequential stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork returns a network over the given layers.
+func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// Forward runs the batch through all layers.
+func (n *Network) Forward(x Matrix, train bool) Matrix {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the output gradient through all layers, accumulating
+// parameter gradients, and returns the input gradient.
+func (n *Network) Backward(dOut Matrix) Matrix {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dOut = n.Layers[i].Backward(dOut)
+	}
+	return dOut
+}
+
+// Params returns all learnable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrads clears every parameter gradient.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.Zero()
+	}
+}
+
+// Clone returns a deep copy (a target network).
+func (n *Network) Clone() *Network {
+	c := &Network{Layers: make([]Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		c.Layers[i] = l.Clone()
+	}
+	return c
+}
+
+// SoftUpdate blends source parameters into target: theta' <- tau*theta +
+// (1-tau)*theta', the DDPG target-tracking rule. Networks must have identical
+// architecture. BatchNorm running statistics are copied outright so target
+// inference stays calibrated.
+func SoftUpdate(target, source *Network, tau float64) {
+	tp, sp := target.Params(), source.Params()
+	if len(tp) != len(sp) {
+		panic("nn: SoftUpdate on mismatched networks")
+	}
+	for i := range tp {
+		for j := range tp[i].W.V {
+			tp[i].W.V[j] = tau*sp[i].W.V[j] + (1-tau)*tp[i].W.V[j]
+		}
+	}
+	for i, l := range target.Layers {
+		tb, ok1 := l.(*BatchNorm)
+		sb, ok2 := source.Layers[i].(*BatchNorm)
+		if ok1 && ok2 {
+			copy(tb.RunMean, sb.RunMean)
+			copy(tb.RunVar, sb.RunVar)
+		}
+	}
+}
+
+// MSE returns the mean-squared-error loss between pred and target (both
+// column vectors as R x 1 matrices) and the gradient w.r.t. pred.
+func MSE(pred, target Matrix) (loss float64, grad Matrix) {
+	if pred.R != target.R || pred.C != target.C {
+		panic("nn: MSE shape mismatch")
+	}
+	grad = NewMatrix(pred.R, pred.C)
+	n := float64(len(pred.V))
+	for i := range pred.V {
+		d := pred.V[i] - target.V[i]
+		loss += d * d
+		grad.V[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// Adam is the Adam optimizer over a fixed parameter list.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  [][]float64
+	params                []*Param
+}
+
+// NewAdam returns an Adam optimizer with standard betas for the given
+// parameters.
+func NewAdam(params []*Param, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p.W.V))
+		a.v[i] = make([]float64, len(p.W.V))
+	}
+	return a
+}
+
+// Step applies one Adam update from the accumulated gradients and clears
+// them.
+func (a *Adam) Step() {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		for j := range p.W.V {
+			g := p.G.V[j]
+			a.m[i][j] = a.Beta1*a.m[i][j] + (1-a.Beta1)*g
+			a.v[i][j] = a.Beta2*a.v[i][j] + (1-a.Beta2)*g*g
+			mhat := a.m[i][j] / c1
+			vhat := a.v[i][j] / c2
+			p.W.V[j] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+		p.Zero()
+	}
+}

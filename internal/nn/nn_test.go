@@ -1,0 +1,257 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 || m.Row(1)[2] != 7 {
+		t.Fatal("Set/At/Row inconsistent")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("Clone shares storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromRows with ragged rows should panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {1}})
+}
+
+func TestDenseForward(t *testing.T) {
+	d := NewDense(2, 2, rand.New(rand.NewSource(1)))
+	// Overwrite with known weights: y = [x0+2*x1, 3*x0] + [0.5, -0.5].
+	copy(d.Weight.W.V, []float64{1, 3, 2, 0})
+	copy(d.Bias.W.V, []float64{0.5, -0.5})
+	y := d.Forward(FromRows([][]float64{{1, 1}}), false)
+	if !almostEqual(y.At(0, 0), 3.5, 1e-12) || !almostEqual(y.At(0, 1), 2.5, 1e-12) {
+		t.Fatalf("forward = %v", y.V)
+	}
+}
+
+// numericalGrad checks one parameter's analytic gradient against a central
+// difference of the scalar loss L = sum(output).
+func numericalGrad(t *testing.T, layer Layer, x Matrix, p *Param, idx int) (analytic, numeric float64) {
+	t.Helper()
+	sumLoss := func() float64 {
+		y := layer.Forward(x, true)
+		s := 0.0
+		for _, v := range y.V {
+			s += v
+		}
+		return s
+	}
+	// Analytic: dL/dy = 1.
+	y := layer.Forward(x, true)
+	grad := NewMatrix(y.R, y.C)
+	for i := range grad.V {
+		grad.V[i] = 1
+	}
+	for _, pp := range layer.Params() {
+		pp.Zero()
+	}
+	layer.Backward(grad)
+	analytic = p.G.V[idx]
+
+	const h = 1e-6
+	orig := p.W.V[idx]
+	p.W.V[idx] = orig + h
+	up := sumLoss()
+	p.W.V[idx] = orig - h
+	down := sumLoss()
+	p.W.V[idx] = orig
+	numeric = (up - down) / (2 * h)
+	return analytic, numeric
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense(3, 2, rng)
+	x := FromRows([][]float64{{0.5, -1, 2}, {1, 0.25, -0.5}})
+	for idx := 0; idx < 6; idx++ {
+		a, n := numericalGrad(t, d, x, d.Weight, idx)
+		if !almostEqual(a, n, 1e-4) {
+			t.Fatalf("weight grad %d: analytic %v, numeric %v", idx, a, n)
+		}
+	}
+	a, n := numericalGrad(t, d, x, d.Bias, 0)
+	if !almostEqual(a, n, 1e-4) {
+		t.Fatalf("bias grad: analytic %v, numeric %v", a, n)
+	}
+}
+
+func TestDenseInputGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDense(2, 2, rng)
+	x := FromRows([][]float64{{0.3, -0.7}})
+	y := d.Forward(x, true)
+	grad := NewMatrix(y.R, y.C)
+	for i := range grad.V {
+		grad.V[i] = 1
+	}
+	dx := d.Backward(grad)
+	// dL/dx_k = sum_j W[k][j].
+	for k := 0; k < 2; k++ {
+		want := d.Weight.W.At(k, 0) + d.Weight.W.At(k, 1)
+		if !almostEqual(dx.At(0, k), want, 1e-12) {
+			t.Fatalf("input grad %d = %v, want %v", k, dx.At(0, k), want)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := NewReLU()
+	y := r.Forward(FromRows([][]float64{{-1, 0, 2}}), true)
+	if y.V[0] != 0 || y.V[1] != 0 || y.V[2] != 2 {
+		t.Fatalf("relu forward = %v", y.V)
+	}
+	dx := r.Backward(FromRows([][]float64{{5, 5, 5}}))
+	if dx.V[0] != 0 || dx.V[1] != 0 || dx.V[2] != 5 {
+		t.Fatalf("relu backward = %v", dx.V)
+	}
+}
+
+func TestBatchNormForwardNormalizes(t *testing.T) {
+	b := NewBatchNorm(1)
+	x := FromRows([][]float64{{2}, {4}, {6}, {8}})
+	y := b.Forward(x, true)
+	var mean, variance float64
+	for i := 0; i < 4; i++ {
+		mean += y.At(i, 0)
+	}
+	mean /= 4
+	for i := 0; i < 4; i++ {
+		variance += (y.At(i, 0) - mean) * (y.At(i, 0) - mean)
+	}
+	variance /= 4
+	if !almostEqual(mean, 0, 1e-9) || !almostEqual(variance, 1, 1e-3) {
+		t.Fatalf("normalized batch has mean %v var %v", mean, variance)
+	}
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	b := NewBatchNorm(2)
+	// Non-trivial gamma/beta.
+	b.Gamma.W.V[0], b.Gamma.W.V[1] = 1.5, 0.5
+	b.Beta.W.V[0], b.Beta.W.V[1] = 0.2, -0.1
+	x := FromRows([][]float64{{1, 2}, {3, -1}, {-2, 0.5}, {0.5, 4}})
+	for idx := 0; idx < 2; idx++ {
+		a, n := numericalGrad(t, b, x, b.Gamma, idx)
+		if !almostEqual(a, n, 1e-4) {
+			t.Fatalf("gamma grad %d: analytic %v, numeric %v", idx, a, n)
+		}
+		a, n = numericalGrad(t, b, x, b.Beta, idx)
+		if !almostEqual(a, n, 1e-4) {
+			t.Fatalf("beta grad %d: analytic %v, numeric %v", idx, a, n)
+		}
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	b := NewBatchNorm(1)
+	x := FromRows([][]float64{{10}, {12}, {14}, {16}})
+	for i := 0; i < 200; i++ {
+		b.Forward(x, true)
+	}
+	y := b.Forward(FromRows([][]float64{{13}}), false)
+	// Running mean converges to 13, so the normalized output is ~0.
+	if math.Abs(y.At(0, 0)) > 0.2 {
+		t.Fatalf("inference output %v, want ~0", y.At(0, 0))
+	}
+}
+
+func TestMSE(t *testing.T) {
+	pred := FromRows([][]float64{{1}, {3}})
+	tgt := FromRows([][]float64{{0}, {5}})
+	loss, grad := MSE(pred, tgt)
+	if !almostEqual(loss, (1+4)/2.0, 1e-12) {
+		t.Fatalf("loss = %v", loss)
+	}
+	if !almostEqual(grad.At(0, 0), 1, 1e-12) || !almostEqual(grad.At(1, 0), -2, 1e-12) {
+		t.Fatalf("grad = %v", grad.V)
+	}
+}
+
+func TestNetworkCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := NewNetwork(NewDense(2, 4, rng), NewBatchNorm(4), NewReLU(), NewDense(4, 1, rng))
+	c := n.Clone()
+	n.Params()[0].W.V[0] += 100
+	if c.Params()[0].W.V[0] == n.Params()[0].W.V[0] {
+		t.Fatal("clone shares parameters")
+	}
+}
+
+func TestSoftUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := NewNetwork(NewDense(2, 2, rng))
+	tgt := src.Clone()
+	src.Params()[0].W.V[0] = 10
+	tgt.Params()[0].W.V[0] = 0
+	SoftUpdate(tgt, src, 0.1)
+	if !almostEqual(tgt.Params()[0].W.V[0], 1, 1e-12) {
+		t.Fatalf("soft update = %v, want 1", tgt.Params()[0].W.V[0])
+	}
+}
+
+// TestAdamConvergesOnQuadratic: Adam minimizes a simple least-squares problem
+// through a Dense layer.
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := NewNetwork(NewDense(1, 1, rng))
+	opt := NewAdam(net.Params(), 0.05)
+	x := FromRows([][]float64{{1}, {2}, {3}, {4}})
+	tgt := FromRows([][]float64{{3}, {5}, {7}, {9}}) // y = 2x + 1
+	var loss float64
+	for i := 0; i < 3000; i++ {
+		net.ZeroGrads()
+		pred := net.Forward(x, true)
+		var grad Matrix
+		loss, grad = MSE(pred, tgt)
+		net.Backward(grad)
+		opt.Step()
+	}
+	if loss > 1e-3 {
+		t.Fatalf("Adam failed to fit y=2x+1: loss %v", loss)
+	}
+	d := net.Layers[0].(*Dense)
+	if !almostEqual(d.Weight.W.V[0], 2, 0.05) || !almostEqual(d.Bias.W.V[0], 1, 0.15) {
+		t.Fatalf("fit w=%v b=%v, want 2 and 1", d.Weight.W.V[0], d.Bias.W.V[0])
+	}
+}
+
+// TestCriticArchitectureTrains: the paper's critic (dense-batchnorm-relu-
+// dense) can fit a small nonlinear function.
+func TestCriticArchitectureTrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := NewNetwork(NewDense(2, 10, rng), NewBatchNorm(10), NewReLU(), NewDense(10, 1, rng))
+	opt := NewAdam(net.Params(), 0.01)
+	var rows, tgts [][]float64
+	for i := 0; i < 64; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		rows = append(rows, []float64{a, b})
+		tgts = append(tgts, []float64{a*b + 0.5*a})
+	}
+	x, y := FromRows(rows), FromRows(tgts)
+	var loss float64
+	for i := 0; i < 4000; i++ {
+		net.ZeroGrads()
+		pred := net.Forward(x, true)
+		var grad Matrix
+		loss, grad = MSE(pred, y)
+		net.Backward(grad)
+		opt.Step()
+	}
+	if loss > 0.02 {
+		t.Fatalf("critic architecture failed to fit: loss %v", loss)
+	}
+}

@@ -1,0 +1,273 @@
+// Package pattern defines the subgraph patterns studied in the paper (wedge,
+// triangle, 4-clique) and the enumeration primitive every estimator is built
+// on: listing the pattern instances that an arriving or departing edge
+// completes or destroys together with edges of a sampled graph (line 4 of
+// Algorithm 2).
+package pattern
+
+import "repro/internal/graph"
+
+// View is the read-only graph interface enumeration runs against. Both the
+// exact dynamic graph (*graph.AdjSet) and every sampler's reservoir implement
+// it.
+type View interface {
+	// HasEdge reports whether the undirected edge {u, v} is present.
+	HasEdge(u, v graph.VertexID) bool
+	// Degree returns the number of neighbors of u.
+	Degree(u graph.VertexID) int
+	// ForEachNeighbor calls fn for each neighbor of u until fn returns false.
+	ForEachNeighbor(u graph.VertexID, fn func(v graph.VertexID) bool)
+}
+
+// Kind identifies a subgraph pattern H.
+type Kind int
+
+const (
+	// Wedge is the length-2 path (2 edges).
+	Wedge Kind = iota
+	// Triangle is the 3-clique (3 edges).
+	Triangle
+	// FourClique is the 4-clique (6 edges).
+	FourClique
+	// FourCycle is the chordless-or-not 4-cycle C4 (4 edges). The paper
+	// evaluates wedges, triangles and 4-cliques; C4 is provided as an
+	// extension exercising the same estimator machinery on a sparse pattern.
+	FourCycle
+	// FiveClique is the 5-clique (10 edges), provided as an extension: the
+	// paper argues WSD generalizes to larger dense patterns, and the whole
+	// stack (estimators, exact counters, RL state) is pattern-generic.
+	FiveClique
+)
+
+// Size returns |H|, the number of edges in the pattern.
+func (k Kind) Size() int {
+	switch k {
+	case Wedge:
+		return 2
+	case Triangle:
+		return 3
+	case FourClique:
+		return 6
+	case FourCycle:
+		return 4
+	case FiveClique:
+		return 10
+	}
+	panic("pattern: unknown kind")
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Wedge:
+		return "wedge"
+	case Triangle:
+		return "triangle"
+	case FourClique:
+		return "4-clique"
+	case FourCycle:
+		return "4-cycle"
+	case FiveClique:
+		return "5-clique"
+	}
+	return "unknown"
+}
+
+// Kinds lists all supported patterns in increasing size order.
+func Kinds() []Kind { return []Kind{Wedge, Triangle, FourCycle, FourClique, FiveClique} }
+
+// ForEachCompletion enumerates the instances of pattern k that the edge
+// {u, v} completes against view: for each instance, fn receives the other
+// Size()-1 edges (every edge except {u, v} itself), all of which are present
+// in the view. Enumeration stops early if fn returns false.
+//
+// The others slice is reused across invocations; fn must not retain it.
+//
+// The edge {u, v} itself may or may not be present in the view: neighbors
+// equal to the opposite endpoint are excluded explicitly, so the same call
+// serves both insertion events (edge not yet sampled) and deletion events
+// (edge possibly still sampled), matching the X and Y estimators of
+// Eqs. (11)-(12).
+func (k Kind) ForEachCompletion(v View, a, b graph.VertexID, fn func(others []graph.Edge) bool) {
+	switch k {
+	case Wedge:
+		forEachWedge(v, a, b, fn)
+	case Triangle:
+		forEachTriangle(v, a, b, fn)
+	case FourClique:
+		forEachFourClique(v, a, b, fn)
+	case FourCycle:
+		forEachFourCycle(v, a, b, fn)
+	case FiveClique:
+		forEachFiveClique(v, a, b, fn)
+	default:
+		panic("pattern: unknown kind")
+	}
+}
+
+// CountCompletions returns the number of instances completed by {a, b},
+// i.e. |H(e)| in the paper's weight heuristic and |Hk| in the RL state.
+func (k Kind) CountCompletions(v View, a, b graph.VertexID) int {
+	n := 0
+	k.ForEachCompletion(v, a, b, func([]graph.Edge) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+func forEachWedge(v View, a, b graph.VertexID, fn func([]graph.Edge) bool) {
+	var others [1]graph.Edge
+	stop := false
+	v.ForEachNeighbor(a, func(x graph.VertexID) bool {
+		if x == b {
+			return true
+		}
+		others[0] = graph.NewEdge(a, x)
+		if !fn(others[:]) {
+			stop = true
+			return false
+		}
+		return true
+	})
+	if stop {
+		return
+	}
+	v.ForEachNeighbor(b, func(y graph.VertexID) bool {
+		if y == a {
+			return true
+		}
+		others[0] = graph.NewEdge(b, y)
+		return fn(others[:])
+	})
+}
+
+func forEachTriangle(v View, a, b graph.VertexID, fn func([]graph.Edge) bool) {
+	var others [2]graph.Edge
+	// Iterate the smaller neighborhood, probing the other side.
+	lo, hi := a, b
+	if v.Degree(lo) > v.Degree(hi) {
+		lo, hi = hi, lo
+	}
+	v.ForEachNeighbor(lo, func(w graph.VertexID) bool {
+		if w == a || w == b {
+			return true
+		}
+		if !v.HasEdge(hi, w) {
+			return true
+		}
+		others[0] = graph.NewEdge(a, w)
+		others[1] = graph.NewEdge(b, w)
+		return fn(others[:])
+	})
+}
+
+func forEachFourCycle(v View, a, b graph.VertexID, fn func([]graph.Edge) bool) {
+	// A 4-cycle completed by (a, b) is a path a - x - y - b of length 3: the
+	// other edges are (a, x), (x, y), (y, b).
+	var others [3]graph.Edge
+	stop := false
+	v.ForEachNeighbor(a, func(x graph.VertexID) bool {
+		if x == b {
+			return true
+		}
+		v.ForEachNeighbor(x, func(y graph.VertexID) bool {
+			if y == a || y == b || y == x {
+				return true
+			}
+			if !v.HasEdge(y, b) {
+				return true
+			}
+			others[0] = graph.NewEdge(a, x)
+			others[1] = graph.NewEdge(x, y)
+			others[2] = graph.NewEdge(y, b)
+			if !fn(others[:]) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		return !stop
+	})
+}
+
+func forEachFourClique(v View, a, b graph.VertexID, fn func([]graph.Edge) bool) {
+	// Collect common neighbors of a and b, then emit each adjacent pair.
+	var common []graph.VertexID
+	lo, hi := a, b
+	if v.Degree(lo) > v.Degree(hi) {
+		lo, hi = hi, lo
+	}
+	v.ForEachNeighbor(lo, func(w graph.VertexID) bool {
+		if w == a || w == b {
+			return true
+		}
+		if v.HasEdge(hi, w) {
+			common = append(common, w)
+		}
+		return true
+	})
+	var others [5]graph.Edge
+	for i := 0; i < len(common); i++ {
+		for j := i + 1; j < len(common); j++ {
+			w, x := common[i], common[j]
+			if !v.HasEdge(w, x) {
+				continue
+			}
+			others[0] = graph.NewEdge(a, w)
+			others[1] = graph.NewEdge(b, w)
+			others[2] = graph.NewEdge(a, x)
+			others[3] = graph.NewEdge(b, x)
+			others[4] = graph.NewEdge(w, x)
+			if !fn(others[:]) {
+				return
+			}
+		}
+	}
+}
+
+func forEachFiveClique(v View, a, b graph.VertexID, fn func([]graph.Edge) bool) {
+	// A 5-clique completed by (a, b) is a triple {w, x, y} of pairwise
+	// adjacent common neighbors of a and b; the other 9 edges connect a and b
+	// to the triple and the triple internally.
+	var common []graph.VertexID
+	lo, hi := a, b
+	if v.Degree(lo) > v.Degree(hi) {
+		lo, hi = hi, lo
+	}
+	v.ForEachNeighbor(lo, func(w graph.VertexID) bool {
+		if w == a || w == b {
+			return true
+		}
+		if v.HasEdge(hi, w) {
+			common = append(common, w)
+		}
+		return true
+	})
+	var others [9]graph.Edge
+	for i := 0; i < len(common); i++ {
+		for j := i + 1; j < len(common); j++ {
+			if !v.HasEdge(common[i], common[j]) {
+				continue
+			}
+			for k := j + 1; k < len(common); k++ {
+				w, x, y := common[i], common[j], common[k]
+				if !v.HasEdge(w, y) || !v.HasEdge(x, y) {
+					continue
+				}
+				others[0] = graph.NewEdge(a, w)
+				others[1] = graph.NewEdge(b, w)
+				others[2] = graph.NewEdge(a, x)
+				others[3] = graph.NewEdge(b, x)
+				others[4] = graph.NewEdge(a, y)
+				others[5] = graph.NewEdge(b, y)
+				others[6] = graph.NewEdge(w, x)
+				others[7] = graph.NewEdge(w, y)
+				others[8] = graph.NewEdge(x, y)
+				if !fn(others[:]) {
+					return
+				}
+			}
+		}
+	}
+}

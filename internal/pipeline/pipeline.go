@@ -1,0 +1,101 @@
+// Package pipeline wraps a single-pass counter in a concurrent ingestion
+// loop. The samplers are deliberately single-threaded (one-pass streaming
+// algorithms with sequential state), so the pipeline owns the counter on one
+// goroutine, accepts events from many producers through a buffered channel,
+// and publishes the running estimate for lock-free concurrent readers — the
+// shape a real deployment (e.g. a feed of social-network connection events)
+// needs.
+package pipeline
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stream"
+)
+
+// Counter is the single-pass estimator the pipeline drives.
+type Counter interface {
+	Process(ev stream.Event)
+	Estimate() float64
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("pipeline: processor closed")
+
+// Processor runs a counter on a dedicated goroutine.
+type Processor struct {
+	counter   Counter
+	events    chan stream.Event
+	estimate  atomic.Uint64 // float64 bits of the latest estimate
+	processed atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// New starts a processor over the counter with the given channel buffer.
+// The counter must not be touched by the caller afterwards.
+func New(c Counter, buffer int) *Processor {
+	if buffer < 1 {
+		buffer = 1
+	}
+	p := &Processor{
+		counter: c,
+		events:  make(chan stream.Event, buffer),
+		done:    make(chan struct{}),
+	}
+	p.estimate.Store(math.Float64bits(c.Estimate()))
+	go p.run()
+	return p
+}
+
+func (p *Processor) run() {
+	defer close(p.done)
+	for ev := range p.events {
+		p.counter.Process(ev)
+		p.estimate.Store(math.Float64bits(p.counter.Estimate()))
+		p.processed.Add(1)
+	}
+}
+
+// Submit enqueues one event, blocking while the buffer is full. It returns
+// ErrClosed after Close.
+func (p *Processor) Submit(ev stream.Event) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	// Holding the lock across the send keeps Submit/Close race-free: Close
+	// waits for the lock before closing the channel, so no send can hit a
+	// closed channel.
+	p.events <- ev
+	p.mu.Unlock()
+	return nil
+}
+
+// Estimate returns the most recently published estimate. Safe for concurrent
+// use; it lags Submit by at most the channel buffer.
+func (p *Processor) Estimate() float64 {
+	return math.Float64frombits(p.estimate.Load())
+}
+
+// Processed returns the number of events applied so far.
+func (p *Processor) Processed() int64 { return p.processed.Load() }
+
+// Close drains all pending events, stops the worker, and returns the final
+// estimate. Subsequent Submit calls fail with ErrClosed; Close is idempotent.
+func (p *Processor) Close() float64 {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.events)
+	}
+	p.mu.Unlock()
+	<-p.done
+	return p.Estimate()
+}

@@ -1,0 +1,137 @@
+package pipeline
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/pattern"
+	"repro/internal/stream"
+	"repro/internal/weights"
+)
+
+func newCounter(t *testing.T, seed int64) *core.Counter {
+	t.Helper()
+	c, err := core.New(core.Config{M: 300, Pattern: pattern.Triangle,
+		Weight: weights.GPSDefault(), Rng: rand.New(rand.NewSource(seed))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testEvents(seed int64, n int) stream.Stream {
+	rng := rand.New(rand.NewSource(seed))
+	edges := gen.HolmeKim(n, 4, 0.7, rng)
+	return stream.LightDeletion(edges, 0.2, rng)
+}
+
+// TestMatchesSequential: one producer through the pipeline produces exactly
+// the sequential result.
+func TestMatchesSequential(t *testing.T) {
+	s := testEvents(1, 400)
+
+	seq := newCounter(t, 7)
+	for _, ev := range s {
+		seq.Process(ev)
+	}
+
+	p := New(newCounter(t, 7), 64)
+	for _, ev := range s {
+		if err := p.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final := p.Close()
+	if final != seq.Estimate() {
+		t.Fatalf("pipeline %v, sequential %v", final, seq.Estimate())
+	}
+	if p.Processed() != int64(len(s)) {
+		t.Fatalf("processed %d, want %d", p.Processed(), len(s))
+	}
+}
+
+// TestConcurrentProducersAndReaders exercises the pipeline under the race
+// detector: many producers, concurrent estimate readers.
+func TestConcurrentProducersAndReaders(t *testing.T) {
+	s := testEvents(2, 600)
+	p := New(newCounter(t, 3), 32)
+
+	var wg sync.WaitGroup
+	const producers = 4
+	chunk := (len(s) + producers - 1) / producers
+	for i := 0; i < producers; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > len(s) {
+			hi = len(s)
+		}
+		wg.Add(1)
+		go func(evs stream.Stream) {
+			defer wg.Done()
+			for _, ev := range evs {
+				if err := p.Submit(ev); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s[lo:hi])
+	}
+	stopReaders := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+					_ = p.Estimate()
+					_ = p.Processed()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	close(stopReaders)
+	readers.Wait()
+	if p.Processed() != int64(len(s)) {
+		t.Fatalf("processed %d, want %d", p.Processed(), len(s))
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	p := New(newCounter(t, 1), 4)
+	if err := p.Submit(stream.Event{Op: stream.Insert, Edge: testEvents(3, 10)[0].Edge}); err != nil {
+		t.Fatal(err)
+	}
+	a := p.Close()
+	b := p.Close() // idempotent
+	if a != b {
+		t.Fatalf("Close not idempotent: %v vs %v", a, b)
+	}
+	if err := p.Submit(stream.Event{}); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestEstimateEventuallyVisible(t *testing.T) {
+	p := New(newCounter(t, 5), 8)
+	tri := testEvents(4, 50)
+	for _, ev := range tri {
+		if err := p.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final := p.Close()
+	if final == 0 {
+		t.Log("final estimate 0 — acceptable for a sparse sample, but Estimate must match Close")
+	}
+	if p.Estimate() != final {
+		t.Fatalf("Estimate after Close = %v, want %v", p.Estimate(), final)
+	}
+}

@@ -1,0 +1,246 @@
+// Package reservoir implements the fixed-capacity rank-keyed sample storage
+// shared by the weighted sampling frameworks (GPS, GPS-A, WSD). It combines a
+// min-priority queue on edge ranks (for threshold maintenance and eviction)
+// with a hash index and an adjacency index (for O(1) membership and neighbor
+// enumeration during subgraph counting).
+package reservoir
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Item is a sampled edge together with the bookkeeping the weighted samplers
+// need: the weight assigned at insertion time, the resulting rank, the
+// insertion event index (for the RL temporal state), and the GPS-A lazy
+// deletion tag.
+type Item struct {
+	Edge    graph.Edge
+	Weight  float64
+	Rank    float64
+	Arrival int64 // index t_k of the insertion event that sampled this edge
+	Deleted bool  // GPS-A "DEL" tag; WSD never sets it
+
+	heapIdx int
+}
+
+// Reservoir is a bounded min-priority queue of Items keyed by Rank with edge
+// and adjacency indexes. The zero value is not usable; construct with New.
+//
+// Reservoir implements pattern.View over all stored items (the WSD view). Use
+// Live for the view that excludes DEL-tagged items (the GPS-A estimator
+// view).
+type Reservoir struct {
+	capacity int
+	heap     []*Item
+	byEdge   map[graph.Edge]*Item
+	adj      map[graph.VertexID]map[graph.VertexID]*Item
+}
+
+// New returns an empty reservoir with the given capacity M. It panics if
+// capacity < 1; the callers validate user-facing configuration.
+func New(capacity int) *Reservoir {
+	if capacity < 1 {
+		panic(fmt.Sprintf("reservoir: capacity must be >= 1, got %d", capacity))
+	}
+	return &Reservoir{
+		capacity: capacity,
+		heap:     make([]*Item, 0, capacity),
+		byEdge:   make(map[graph.Edge]*Item, capacity),
+		adj:      make(map[graph.VertexID]map[graph.VertexID]*Item),
+	}
+}
+
+// Len returns the number of stored items, including DEL-tagged ones.
+func (r *Reservoir) Len() int { return len(r.heap) }
+
+// Cap returns the capacity M.
+func (r *Reservoir) Cap() int { return r.capacity }
+
+// Full reports whether the reservoir holds exactly M items.
+func (r *Reservoir) Full() bool { return len(r.heap) >= r.capacity }
+
+// Min returns the item with the minimum rank, or nil if empty.
+func (r *Reservoir) Min() *Item {
+	if len(r.heap) == 0 {
+		return nil
+	}
+	return r.heap[0]
+}
+
+// Get returns the item for edge e, if present.
+func (r *Reservoir) Get(e graph.Edge) (*Item, bool) {
+	it, ok := r.byEdge[e]
+	return it, ok
+}
+
+// Push inserts a new item. It panics if the reservoir is full or already
+// contains the edge: both indicate a sampler logic bug, not an input error.
+func (r *Reservoir) Push(it *Item) {
+	if r.Full() {
+		panic("reservoir: push into full reservoir")
+	}
+	if _, ok := r.byEdge[it.Edge]; ok {
+		panic(fmt.Sprintf("reservoir: duplicate push of edge %v", it.Edge))
+	}
+	it.heapIdx = len(r.heap)
+	r.heap = append(r.heap, it)
+	r.byEdge[it.Edge] = it
+	r.linkAdj(it)
+	r.siftUp(it.heapIdx)
+}
+
+// PopMin removes and returns the minimum-rank item. It returns nil if the
+// reservoir is empty.
+func (r *Reservoir) PopMin() *Item {
+	if len(r.heap) == 0 {
+		return nil
+	}
+	return r.removeAt(0)
+}
+
+// Remove deletes the item for edge e, returning it, or nil if absent.
+func (r *Reservoir) Remove(e graph.Edge) *Item {
+	it, ok := r.byEdge[e]
+	if !ok {
+		return nil
+	}
+	return r.removeAt(it.heapIdx)
+}
+
+func (r *Reservoir) removeAt(i int) *Item {
+	it := r.heap[i]
+	last := len(r.heap) - 1
+	r.swap(i, last)
+	r.heap = r.heap[:last]
+	if i < last {
+		// Restore heap order for the element moved into slot i.
+		if !r.siftDown(i) {
+			r.siftUp(i)
+		}
+	}
+	delete(r.byEdge, it.Edge)
+	r.unlinkAdj(it)
+	return it
+}
+
+func (r *Reservoir) linkAdj(it *Item) {
+	for _, pair := range [2][2]graph.VertexID{{it.Edge.U, it.Edge.V}, {it.Edge.V, it.Edge.U}} {
+		u, v := pair[0], pair[1]
+		m := r.adj[u]
+		if m == nil {
+			m = make(map[graph.VertexID]*Item)
+			r.adj[u] = m
+		}
+		m[v] = it
+	}
+}
+
+func (r *Reservoir) unlinkAdj(it *Item) {
+	for _, pair := range [2][2]graph.VertexID{{it.Edge.U, it.Edge.V}, {it.Edge.V, it.Edge.U}} {
+		u, v := pair[0], pair[1]
+		m := r.adj[u]
+		delete(m, v)
+		if len(m) == 0 {
+			delete(r.adj, u)
+		}
+	}
+}
+
+func (r *Reservoir) swap(i, j int) {
+	r.heap[i], r.heap[j] = r.heap[j], r.heap[i]
+	r.heap[i].heapIdx = i
+	r.heap[j].heapIdx = j
+}
+
+func (r *Reservoir) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if r.heap[parent].Rank <= r.heap[i].Rank {
+			return
+		}
+		r.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown restores heap order downward from i, reporting whether any swap
+// happened.
+func (r *Reservoir) siftDown(i int) bool {
+	moved := false
+	n := len(r.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && r.heap[left].Rank < r.heap[smallest].Rank {
+			smallest = left
+		}
+		if right < n && r.heap[right].Rank < r.heap[smallest].Rank {
+			smallest = right
+		}
+		if smallest == i {
+			return moved
+		}
+		r.swap(i, smallest)
+		i = smallest
+		moved = true
+	}
+}
+
+// HasEdge implements pattern.View over all stored items.
+func (r *Reservoir) HasEdge(u, v graph.VertexID) bool {
+	_, ok := r.byEdge[graph.NewEdge(u, v)]
+	return ok
+}
+
+// Degree implements pattern.View over all stored items.
+func (r *Reservoir) Degree(u graph.VertexID) int { return len(r.adj[u]) }
+
+// ForEachNeighbor implements pattern.View over all stored items.
+func (r *Reservoir) ForEachNeighbor(u graph.VertexID, fn func(v graph.VertexID) bool) {
+	for v := range r.adj[u] {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// Items returns all stored items in unspecified order. Intended for tests and
+// policy analysis, not hot paths.
+func (r *Reservoir) Items() []*Item {
+	out := make([]*Item, len(r.heap))
+	copy(out, r.heap)
+	return out
+}
+
+// Live returns a view over the non-DEL-tagged items only. GPS-A enumerates
+// subgraphs against this view (Eq. 6: I(e in R \ R_tag)).
+func (r *Reservoir) Live() LiveView { return LiveView{r: r} }
+
+// LiveView is a pattern.View over the reservoir that excludes DEL-tagged
+// items.
+type LiveView struct{ r *Reservoir }
+
+// HasEdge implements pattern.View.
+func (lv LiveView) HasEdge(u, v graph.VertexID) bool {
+	it, ok := lv.r.byEdge[graph.NewEdge(u, v)]
+	return ok && !it.Deleted
+}
+
+// Degree implements pattern.View. It returns the unfiltered degree: the value
+// is only used to choose which endpoint's neighborhood to iterate, so an
+// upper bound is acceptable and avoids a scan.
+func (lv LiveView) Degree(u graph.VertexID) int { return lv.r.Degree(u) }
+
+// ForEachNeighbor implements pattern.View, skipping DEL-tagged edges.
+func (lv LiveView) ForEachNeighbor(u graph.VertexID, fn func(v graph.VertexID) bool) {
+	for v, it := range lv.r.adj[u] {
+		if it.Deleted {
+			continue
+		}
+		if !fn(v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package reservoir
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func item(u, v graph.VertexID, rank float64) *Item {
+	return &Item{Edge: graph.NewEdge(u, v), Weight: 1, Rank: rank}
+}
+
+func TestPushPopOrdering(t *testing.T) {
+	r := New(10)
+	ranks := []float64{5, 1, 9, 3, 7}
+	for i, rk := range ranks {
+		r.Push(item(graph.VertexID(i), graph.VertexID(i+100), rk))
+	}
+	sort.Float64s(ranks)
+	for _, want := range ranks {
+		got := r.PopMin()
+		if got == nil || got.Rank != want {
+			t.Fatalf("PopMin rank = %v, want %v", got, want)
+		}
+	}
+	if r.PopMin() != nil {
+		t.Fatal("PopMin on empty should return nil")
+	}
+}
+
+func TestCapacityAndDuplicatePanics(t *testing.T) {
+	r := New(1)
+	r.Push(item(1, 2, 1))
+	for name, fn := range map[string]func(){
+		"overflow":  func() { r.Push(item(3, 4, 2)) },
+		"duplicate": func() { r2 := New(2); r2.Push(item(1, 2, 1)); r2.Push(item(2, 1, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	if !r.Full() {
+		t.Fatal("reservoir with 1/1 items should be full")
+	}
+}
+
+func TestNewValidatesCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) should panic")
+		}
+	}()
+	New(0)
+}
+
+func TestRemoveMiddle(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 8; i++ {
+		r.Push(item(graph.VertexID(i), graph.VertexID(i+100), float64(i)))
+	}
+	removed := r.Remove(graph.NewEdge(4, 104))
+	if removed == nil || removed.Rank != 4 {
+		t.Fatalf("Remove returned %v", removed)
+	}
+	if r.Remove(graph.NewEdge(4, 104)) != nil {
+		t.Fatal("double remove should return nil")
+	}
+	// Remaining pops must still come out sorted.
+	prev := -1.0
+	for r.Len() > 0 {
+		it := r.PopMin()
+		if it.Rank <= prev {
+			t.Fatalf("heap order broken after middle removal: %v after %v", it.Rank, prev)
+		}
+		prev = it.Rank
+	}
+}
+
+func TestAdjacencyView(t *testing.T) {
+	r := New(10)
+	r.Push(item(1, 2, 1))
+	r.Push(item(1, 3, 2))
+	r.Push(item(2, 3, 3))
+	if !r.HasEdge(2, 1) || !r.HasEdge(3, 2) {
+		t.Fatal("HasEdge broken")
+	}
+	if r.Degree(1) != 2 || r.Degree(3) != 2 {
+		t.Fatalf("degrees wrong: %d %d", r.Degree(1), r.Degree(3))
+	}
+	var nbrs []graph.VertexID
+	r.ForEachNeighbor(1, func(v graph.VertexID) bool {
+		nbrs = append(nbrs, v)
+		return true
+	})
+	if len(nbrs) != 2 {
+		t.Fatalf("neighbors of 1 = %v", nbrs)
+	}
+	r.Remove(graph.NewEdge(1, 2))
+	if r.HasEdge(1, 2) || r.Degree(1) != 1 {
+		t.Fatal("adjacency not updated after removal")
+	}
+}
+
+func TestLiveViewFiltersDeleted(t *testing.T) {
+	r := New(10)
+	r.Push(item(1, 2, 1))
+	r.Push(item(1, 3, 2))
+	it, _ := r.Get(graph.NewEdge(1, 2))
+	it.Deleted = true
+	live := r.Live()
+	if live.HasEdge(1, 2) {
+		t.Fatal("live view exposes a DEL-tagged edge")
+	}
+	if !live.HasEdge(1, 3) {
+		t.Fatal("live view hides an untagged edge")
+	}
+	n := 0
+	live.ForEachNeighbor(1, func(graph.VertexID) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("live neighbors of 1 = %d, want 1", n)
+	}
+	// The raw view still sees both.
+	if !r.HasEdge(1, 2) || r.Degree(1) != 2 {
+		t.Fatal("raw view must include tagged edges")
+	}
+}
+
+// TestHeapInvariantUnderRandomOps drives random push/pop/remove sequences and
+// checks heap order, index consistency, and size bounds.
+func TestHeapInvariantUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := New(50)
+	present := map[graph.Edge]bool{}
+	for op := 0; op < 20000; op++ {
+		switch rng.Intn(3) {
+		case 0:
+			if r.Full() {
+				continue
+			}
+			e := graph.NewEdge(graph.VertexID(rng.Intn(40)), graph.VertexID(40+rng.Intn(40)))
+			if present[e] {
+				continue
+			}
+			r.Push(&Item{Edge: e, Weight: 1, Rank: rng.Float64()})
+			present[e] = true
+		case 1:
+			if it := r.PopMin(); it != nil {
+				delete(present, it.Edge)
+				if m := r.Min(); m != nil && m.Rank < it.Rank {
+					t.Fatalf("op %d: PopMin returned %v but min is now %v", op, it.Rank, m.Rank)
+				}
+			}
+		case 2:
+			e := graph.NewEdge(graph.VertexID(rng.Intn(40)), graph.VertexID(40+rng.Intn(40)))
+			if r.Remove(e) != nil {
+				delete(present, e)
+			}
+		}
+		if r.Len() != len(present) {
+			t.Fatalf("op %d: size %d, reference %d", op, r.Len(), len(present))
+		}
+	}
+}
+
+// TestMinIsGlobalMinProperty: Min always returns the smallest rank present.
+func TestMinIsGlobalMinProperty(t *testing.T) {
+	f := func(ranks []float64) bool {
+		if len(ranks) == 0 {
+			return true
+		}
+		if len(ranks) > 64 {
+			ranks = ranks[:64]
+		}
+		r := New(64)
+		min := ranks[0]
+		for i, rk := range ranks {
+			r.Push(&Item{Edge: graph.NewEdge(graph.VertexID(i), graph.VertexID(i+1000)), Rank: rk})
+			if rk < min {
+				min = rk
+			}
+		}
+		return r.Min().Rank == min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	r := New(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := graph.NewEdge(graph.VertexID(i%5000), graph.VertexID(5000+i%5000))
+		if r.Full() {
+			r.PopMin()
+		}
+		if _, ok := r.Get(e); !ok {
+			r.Push(&Item{Edge: e, Rank: rng.Float64()})
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package rl implements the paper's reinforcement-learning weight function
+// (Section IV): the MDP over insertion events, a replay buffer, the DDPG
+// actor-critic learner, and the exported linear policy that WSD-L evaluates
+// at stream time (the paper hard-codes the trained actor parameters into the
+// C++ runtime; we extract them into a dependency-free closure the same way).
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/weights"
+)
+
+// Transition is one replay-memory experience (s_i, a_i, r_i, s_{i+1}).
+type Transition struct {
+	S  []float64
+	A  float64
+	R  float64
+	S2 []float64
+}
+
+// Replay is a bounded FIFO replay memory with uniform sampling.
+type Replay struct {
+	buf  []Transition
+	next int
+	full bool
+}
+
+// NewReplay returns a replay memory with the given capacity.
+func NewReplay(capacity int) *Replay {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Replay{buf: make([]Transition, capacity)}
+}
+
+// Add appends a transition, evicting the oldest when full.
+func (r *Replay) Add(t Transition) {
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of stored transitions.
+func (r *Replay) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Sample draws n transitions uniformly with replacement.
+func (r *Replay) Sample(rng *rand.Rand, n int) []Transition {
+	out := make([]Transition, n)
+	size := r.Len()
+	for i := range out {
+		out[i] = r.buf[rng.Intn(size)]
+	}
+	return out
+}
+
+// Config holds DDPG hyperparameters; zero values take the paper's settings
+// where stated (batch 128, replay 10k, Adam lr 1e-3, gamma 0.99) and standard
+// DDPG defaults elsewhere.
+type Config struct {
+	StateDim   int     // dimension of the state vector (|H| + 3)
+	Hidden     int     // critic hidden width (paper: 10)
+	Gamma      float64 // reward discount (paper: 0.99)
+	LR         float64 // Adam learning rate (paper: 1e-3)
+	BatchSize  int     // minibatch size N (paper: 128)
+	ReplayCap  int     // replay memory size (paper: 10,000)
+	SoftTau    float64 // target soft-update coefficient
+	NoiseStd   float64 // exploration noise std dev on actions
+	NoiseDecay float64 // multiplicative noise decay per update
+	Seed       int64
+}
+
+func (c *Config) fill() error {
+	if c.StateDim < 1 {
+		return fmt.Errorf("rl: StateDim must be positive, got %d", c.StateDim)
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 10
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.99
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 128
+	}
+	if c.ReplayCap == 0 {
+		c.ReplayCap = 10000
+	}
+	if c.SoftTau == 0 {
+		c.SoftTau = 0.01
+	}
+	if c.NoiseStd == 0 {
+		c.NoiseStd = 0.5
+	}
+	if c.NoiseDecay == 0 {
+		c.NoiseDecay = 0.999
+	}
+	return nil
+}
+
+// DDPG is the actor-critic learner. The actor is the paper's single linear
+// layer mu(s) = ReLU(W*s + b) + 1 (the +1 avoids zero weights, Section V-A);
+// the critic Q(s, a) has one hidden layer of 10 units with batch
+// normalization before the ReLU activation.
+type DDPG struct {
+	cfg     Config
+	rng     *rand.Rand
+	actor   *nn.Network
+	critic  *nn.Network
+	actorT  *nn.Network
+	criticT *nn.Network
+	actOpt  *nn.Adam
+	critOpt *nn.Adam
+	replay  *Replay
+	noise   float64
+	updates int
+}
+
+// NewDDPG constructs the learner.
+func NewDDPG(cfg Config) (*DDPG, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	actorDense := nn.NewDense(cfg.StateDim, 1, rng)
+	// Start the actor alive: a small positive bias keeps early
+	// pre-activations above zero so gradients flow; the leaky slope lets it
+	// recover if the critic ever pushes it negative (see nn.LeakyReLU).
+	actorDense.Bias.W.V[0] = 0.3
+	actor := nn.NewNetwork(
+		actorDense,
+		nn.NewLeakyReLU(0.01),
+	)
+	critic := nn.NewNetwork(
+		nn.NewDense(cfg.StateDim+1, cfg.Hidden, rng),
+		nn.NewBatchNorm(cfg.Hidden),
+		nn.NewReLU(),
+		nn.NewDense(cfg.Hidden, 1, rng),
+	)
+	d := &DDPG{
+		cfg:     cfg,
+		rng:     rng,
+		actor:   actor,
+		critic:  critic,
+		actorT:  actor.Clone(),
+		criticT: critic.Clone(),
+		replay:  NewReplay(cfg.ReplayCap),
+		noise:   cfg.NoiseStd,
+	}
+	// The critic trains at the configured rate; the actor an order of
+	// magnitude slower (the original DDPG prescription: 1e-3 / 1e-4), which
+	// keeps the policy from chasing a still-converging critic.
+	d.actOpt = nn.NewAdam(actor.Params(), cfg.LR/10)
+	d.critOpt = nn.NewAdam(critic.Params(), cfg.LR)
+	return d, nil
+}
+
+// Replay exposes the replay memory for the environment loop.
+func (d *DDPG) Replay() *Replay { return d.replay }
+
+// Updates returns the number of gradient updates performed.
+func (d *DDPG) Updates() int { return d.updates }
+
+// Action evaluates the current policy on a state vector. With explore set,
+// Gaussian noise (decayed per update) is added before the positivity shift.
+func (d *DDPG) Action(state []float64, explore bool) float64 {
+	x := nn.FromRows([][]float64{state})
+	y := d.actor.Forward(x, false)
+	a := y.At(0, 0)
+	if explore {
+		a += d.rng.NormFloat64() * d.noise
+	}
+	// Deployment semantics: hard ReLU plus the paper's +1 shift (the leaky
+	// slope exists only for training gradients).
+	if a < 0 {
+		a = 0
+	}
+	return a + 1
+}
+
+// Update performs one DDPG gradient step from a replay minibatch: a critic
+// step on the Bellman target (Eqs. 28-29) and an actor step on the negated
+// expected return (Eq. 30), followed by soft target updates. It is a no-op
+// until the replay holds a full batch.
+func (d *DDPG) Update() bool {
+	if d.replay.Len() < d.cfg.BatchSize {
+		return false
+	}
+	batch := d.replay.Sample(d.rng, d.cfg.BatchSize)
+	n := len(batch)
+	dim := d.cfg.StateDim
+
+	// Bellman targets y_i = r_i + gamma * Q'(s_{i+1}, mu'(s_{i+1})).
+	next := nn.NewMatrix(n, dim)
+	for i, t := range batch {
+		copy(next.Row(i), t.S2)
+	}
+	nextA := d.actorT.Forward(next, false)
+	nextSA := nn.NewMatrix(n, dim+1)
+	for i := 0; i < n; i++ {
+		copy(nextSA.Row(i), next.Row(i))
+		nextSA.Set(i, dim, nextA.At(i, 0)+1)
+	}
+	nextQ := d.criticT.Forward(nextSA, false)
+	target := nn.NewMatrix(n, 1)
+	for i, t := range batch {
+		target.Set(i, 0, t.R+d.cfg.Gamma*nextQ.At(i, 0))
+	}
+
+	// Critic step.
+	sa := nn.NewMatrix(n, dim+1)
+	for i, t := range batch {
+		copy(sa.Row(i), t.S)
+		sa.Set(i, dim, t.A)
+	}
+	d.critic.ZeroGrads()
+	pred := d.critic.Forward(sa, true)
+	_, grad := nn.MSE(pred, target)
+	d.critic.Backward(grad)
+	d.critOpt.Step()
+
+	// Actor step: maximize Q(s, mu(s)) => gradient ascent through the critic
+	// into the actor's action output.
+	states := nn.NewMatrix(n, dim)
+	for i, t := range batch {
+		copy(states.Row(i), t.S)
+	}
+	d.actor.ZeroGrads()
+	act := d.actor.Forward(states, true)
+	sa2 := nn.NewMatrix(n, dim+1)
+	for i := 0; i < n; i++ {
+		copy(sa2.Row(i), states.Row(i))
+		sa2.Set(i, dim, act.At(i, 0)+1)
+	}
+	d.critic.ZeroGrads()
+	d.critic.Forward(sa2, true)
+	dQ := nn.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		dQ.Set(i, 0, -1.0/float64(n)) // d(-mean Q)/dQ_i
+	}
+	dSA := d.critic.Backward(dQ)
+	d.critic.ZeroGrads() // discard critic grads; this step trains the actor
+	dAct := nn.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		dAct.Set(i, 0, dSA.At(i, dim))
+	}
+	d.actor.Backward(dAct)
+	d.actOpt.Step()
+
+	nn.SoftUpdate(d.actorT, d.actor, d.cfg.SoftTau)
+	nn.SoftUpdate(d.criticT, d.critic, d.cfg.SoftTau)
+	d.noise *= d.cfg.NoiseDecay
+	d.updates++
+	return true
+}
+
+// ExtractPolicy snapshots the actor into a standalone linear policy.
+func (d *DDPG) ExtractPolicy() *Policy {
+	dense := d.actor.Layers[0].(*nn.Dense)
+	p := &Policy{W: make([]float64, dense.In), B: dense.Bias.W.V[0]}
+	for k := 0; k < dense.In; k++ {
+		p.W[k] = dense.Weight.W.At(k, 0)
+	}
+	return p
+}
+
+// Policy is the trained actor as a plain linear function: weight(s) =
+// ReLU(W . vector(s) + B) + 1. It has no dependency on the nn package at
+// evaluation time and serializes to JSON for reuse across runs.
+type Policy struct {
+	W []float64 `json:"w"`
+	B float64   `json:"b"`
+}
+
+// Weight evaluates the policy on an MDP state.
+func (p *Policy) Weight(s weights.State) float64 {
+	vec := s.Vector(make([]float64, 0, len(p.W)))
+	return p.Eval(vec)
+}
+
+// Eval evaluates the policy on a pre-encoded state vector.
+func (p *Policy) Eval(vec []float64) float64 {
+	if len(vec) != len(p.W) {
+		// Dimension mismatch means the policy was trained for a different
+		// pattern size; degrade to uniform rather than corrupt ranks.
+		return 1
+	}
+	a := p.B
+	for i, w := range p.W {
+		a += w * vec[i]
+	}
+	if a < 0 || math.IsNaN(a) {
+		a = 0
+	}
+	return a + 1
+}
+
+// Func adapts the policy to the weights.Func interface consumed by WSD. The
+// returned closure reuses one scratch buffer and must therefore be used from
+// a single goroutine, matching the samplers' concurrency contract.
+func (p *Policy) Func() weights.Func {
+	scratch := make([]float64, 0, len(p.W))
+	return func(s weights.State) float64 {
+		scratch = s.Vector(scratch)
+		return p.Eval(scratch)
+	}
+}
+
+// MarshalJSON implements json.Marshaler (value receiver keeps the default
+// field encoding).
+func (p *Policy) MarshalJSON() ([]byte, error) {
+	type alias Policy
+	return json.Marshal((*alias)(p))
+}
+
+// ParsePolicy decodes a policy produced by json.Marshal.
+func ParsePolicy(data []byte) (*Policy, error) {
+	var p Policy
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("rl: parse policy: %w", err)
+	}
+	if len(p.W) == 0 {
+		return nil, fmt.Errorf("rl: parse policy: empty weight vector")
+	}
+	return &p, nil
+}

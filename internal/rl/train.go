@@ -1,0 +1,183 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/pattern"
+	"repro/internal/stream"
+	"repro/internal/weights"
+)
+
+// TrainConfig configures policy training (Section V-A, "Policy Learning").
+type TrainConfig struct {
+	// Pattern is the subgraph pattern the policy is trained for.
+	Pattern pattern.Kind
+	// M is the reservoir size used during training episodes.
+	M int
+	// Streams are the training streams. The paper generates 10 streams with
+	// the scenario parameters of the evaluation; fewer overfit, more cost
+	// training time without much gain.
+	Streams []stream.Stream
+	// Iterations is the number of DDPG gradient updates (paper: 1,000).
+	Iterations int
+	// WarmupSteps is the number of environment steps collected before
+	// updates begin. Zero means one batch worth.
+	WarmupSteps int
+	// TemporalAgg selects the v_j aggregation of the MDP state (Table XIII
+	// ablation); the zero value is the paper's max aggregation.
+	TemporalAgg core.TemporalAgg
+	// DDPG carries the learner hyperparameters. StateDim is filled in from
+	// Pattern automatically.
+	DDPG Config
+	// Seed drives both the learner and the sampler randomness.
+	Seed int64
+}
+
+// TrainStats reports what training did.
+type TrainStats struct {
+	Updates     int
+	EnvSteps    int
+	Episodes    int
+	Elapsed     time.Duration
+	FinalRelErr float64 // relative error at the end of the last episode
+}
+
+// Train runs DDPG on the WSD sampling environment and returns the extracted
+// policy.
+//
+// Environment semantics (Section IV-A): each insertion event t_k is an MDP
+// step. The state s_k is extracted by the WSD counter during its estimator
+// pass; the action a_k is the weight assigned to the arriving edge; the
+// reward is r_k = eps(t_k) - eps(t_k+1). We measure eps as relative rather
+// than absolute error so rewards are scale-free across graphs — the
+// telescoping objective of Eq. 26 (minimize the final error) is unchanged.
+func Train(cfg TrainConfig) (*Policy, TrainStats, error) {
+	if len(cfg.Streams) == 0 {
+		return nil, TrainStats{}, fmt.Errorf("rl: Train requires at least one training stream")
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1000
+	}
+	cfg.DDPG.StateDim = weights.VectorDim(cfg.Pattern.Size())
+	if cfg.DDPG.Seed == 0 {
+		cfg.DDPG.Seed = cfg.Seed + 1
+	}
+	agent, err := NewDDPG(cfg.DDPG)
+	if err != nil {
+		return nil, TrainStats{}, err
+	}
+	warmup := cfg.WarmupSteps
+	if warmup <= 0 {
+		warmup = agent.cfg.BatchSize
+	}
+
+	// Spread the gradient-update budget over one full sweep of the training
+	// streams (the paper's hours-long training implies far more environment
+	// experience per update than updating every step of the first stream
+	// would give): update every updateEvery insertion events.
+	totalInsertions := 0
+	for _, s := range cfg.Streams {
+		ins, _ := s.Counts()
+		totalInsertions += ins
+	}
+	updateEvery := totalInsertions / cfg.Iterations
+	if updateEvery < 1 {
+		updateEvery = 1
+	}
+
+	start := time.Now()
+	var stats TrainStats
+	episode := 0
+	for agent.Updates() < cfg.Iterations {
+		s := cfg.Streams[episode%len(cfg.Streams)]
+		relErr, steps, err := runEpisode(cfg, agent, s, warmup, updateEvery, int64(episode))
+		if err != nil {
+			return nil, TrainStats{}, err
+		}
+		stats.EnvSteps += steps
+		stats.FinalRelErr = relErr
+		episode++
+		stats.Episodes = episode
+		if steps == 0 {
+			return nil, TrainStats{}, fmt.Errorf("rl: training stream %d produced no insertion events", episode-1)
+		}
+	}
+	stats.Updates = agent.Updates()
+	stats.Elapsed = time.Since(start)
+	return agent.ExtractPolicy(), stats, nil
+}
+
+// runEpisode plays one training stream through a WSD counter whose weight
+// function queries the (exploring) actor, harvesting transitions and applying
+// gradient updates as the stream flows.
+func runEpisode(cfg TrainConfig, agent *DDPG, s stream.Stream, warmup, updateEvery int, episode int64) (float64, int, error) {
+	// The weight function closure captures the state/action of the pending
+	// MDP step; Process invokes it exactly once per insertion event.
+	var pendingS []float64
+	var pendingA float64
+	var pendingErr float64
+	havePending := false
+
+	scratch := make([]float64, 0, cfg.DDPG.StateDim)
+	var lastAction float64
+	weightFn := func(st weights.State) float64 {
+		scratch = st.Vector(scratch)
+		lastAction = agent.Action(scratch, true)
+		return lastAction
+	}
+
+	counter, err := core.New(core.Config{
+		M:           cfg.M,
+		Pattern:     cfg.Pattern,
+		Weight:      weightFn,
+		TemporalAgg: cfg.TemporalAgg,
+		Rng:         newRand(cfg.Seed ^ (episode+1)*0x5851F42D4C957F2D),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	truth := exact.New(cfg.Pattern)
+
+	steps := 0
+	relErr := 0.0
+	for _, ev := range s {
+		isInsert := ev.Op == stream.Insert
+		counter.Process(ev)
+		truth.Apply(ev)
+		if !isInsert {
+			continue
+		}
+		steps++
+		relErr = relativeError(counter.Estimate(), float64(truth.Count(cfg.Pattern)))
+		stateVec := append([]float64(nil), scratch...)
+		if havePending {
+			agent.Replay().Add(Transition{
+				S:  pendingS,
+				A:  pendingA,
+				R:  pendingErr - relErr, // Eq. 25
+				S2: stateVec,
+			})
+			if steps > warmup && steps%updateEvery == 0 && agent.Updates() < cfg.Iterations {
+				agent.Update()
+			}
+		}
+		pendingS, pendingA, pendingErr = stateVec, lastAction, relErr
+		havePending = true
+	}
+	return relErr, steps, nil
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func relativeError(estimate, truth float64) float64 {
+	denom := math.Abs(truth)
+	if denom < 1 {
+		denom = 1
+	}
+	return math.Abs(estimate-truth) / denom
+}

@@ -1,0 +1,39 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the stream parser: it must never panic,
+// and whatever it accepts must survive a Write/Read round trip unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add("+ 1 2\n- 1 2\n")
+	f.Add("1 2\n2 3\n")
+	f.Add("# comment\n\n+ 0 4294967295\n")
+	f.Add("- \n+ x y\n1 2 3\n")
+	f.Add(strings.Repeat("+ 7 9\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			t.Fatalf("Write of accepted stream failed: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted stream failed: %v", err)
+		}
+		if len(again) != len(s) {
+			t.Fatalf("round trip length %d, want %d", len(again), len(s))
+		}
+		for i := range s {
+			if s[i] != again[i] {
+				t.Fatalf("event %d: %v != %v", i, s[i], again[i])
+			}
+		}
+	})
+}

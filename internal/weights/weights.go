@@ -1,0 +1,102 @@
+// Package weights defines the edge weight function W(e, R) used by the
+// weighted sampling frameworks, the MDP state it is evaluated on (Section
+// IV-A of the paper), and the heuristic weight families the paper compares
+// against the learned policy.
+package weights
+
+import "math"
+
+// State is the MDP state s_k of Eq. (22): the topological features
+// [|Hk|, |Nk(u)|, |Nk(v)|] of Eq. (19) and the temporal features
+// [v_1, ..., v_|H|] of Eqs. (20)-(21), all computed from the reservoir at the
+// moment edge e arrives.
+type State struct {
+	// Instances is |Hk|: the number of pattern instances the arriving edge
+	// completes with sampled edges.
+	Instances int
+	// DegU and DegV are |Nk(u)| and |Nk(v)|: the endpoint degrees in the
+	// sampled graph.
+	DegU, DegV int
+	// Temporal holds v_1..v_|H|: per arrival-order position, the aggregated
+	// (max by default, avg in the Table XIII ablation) insertion-event index
+	// of that position's edge over all completed instances. The last entry is
+	// t_k itself whenever Instances > 0, and all entries are 0 otherwise.
+	Temporal []float64
+	// Now is t_k, the index of the current insertion event (1-based).
+	Now int64
+}
+
+// Vector encodes the state as the feature vector fed to the actor and critic
+// networks. Counts are log1p-compressed and temporal indexes are normalized
+// by t_k (a recency ratio in [0, 1]); the MDP state definition is unchanged,
+// this is input preprocessing for the function approximators (the paper
+// relies on batch normalization for the same purpose).
+func (s State) Vector(dst []float64) []float64 {
+	dst = append(dst[:0],
+		math.Log1p(float64(s.Instances)),
+		math.Log1p(float64(s.DegU)),
+		math.Log1p(float64(s.DegV)),
+	)
+	now := float64(s.Now)
+	if now < 1 {
+		now = 1
+	}
+	for _, v := range s.Temporal {
+		dst = append(dst, v/now)
+	}
+	return dst
+}
+
+// VectorDim returns the dimension of Vector's output for a pattern with h
+// edges: |H| + 3 (Eq. 22).
+func VectorDim(h int) int { return h + 3 }
+
+// Func maps the MDP state of an arriving edge to its sampling weight
+// W(e, R) > 0.
+type Func func(State) float64
+
+// Uniform returns the constant weight function W = 1, which reduces weighted
+// sampling to uniform priority sampling.
+func Uniform() Func {
+	return func(State) float64 { return 1 }
+}
+
+// Heuristic returns W(e, R) = a*|H(e)| + b, the heuristic family of Ahmed et
+// al. used by GPS.
+func Heuristic(a, b float64) Func {
+	return func(s State) float64 { return a*float64(s.Instances) + b }
+}
+
+// GPSDefault returns the paper's WSD-H weight function W(e, R) = 9*|H(e)| + 1
+// (Section V-A).
+func GPSDefault() Func { return Heuristic(9, 1) }
+
+// DegreeSum returns W(e, R) = |Nk(u)| + |Nk(v)| + 1, a topology-only
+// heuristic used in the weight-family ablation.
+func DegreeSum() Func {
+	return func(s State) float64 { return float64(s.DegU+s.DegV) + 1 }
+}
+
+// DegreeProduct returns W(e, R) = |Nk(u)|*|Nk(v)| + 1, the variance-motivated
+// heuristic for hub-heavy graphs (two celebrities subscribing to each other,
+// Section I), used in the weight-family ablation.
+func DegreeProduct() Func {
+	return func(s State) float64 { return float64(s.DegU)*float64(s.DegV) + 1 }
+}
+
+// Sanitize clamps an arbitrary weight to a positive finite value. Samplers
+// apply it to every user-provided weight so that a buggy or exploding policy
+// degrades to uniform behavior instead of corrupting rank arithmetic.
+func Sanitize(w float64) float64 {
+	if math.IsNaN(w) || w <= 0 {
+		return 1
+	}
+	if math.IsInf(w, +1) || w > maxWeight {
+		return maxWeight
+	}
+	return w
+}
+
+// maxWeight bounds sanitized weights. Ranks are w/u with u in (0,1], so the
+// bound keeps ranks comfortably inside float64 range.
+const maxWeight = 1e12

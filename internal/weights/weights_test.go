@@ -1,0 +1,99 @@
+package weights
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeuristicFamilies(t *testing.T) {
+	st := State{Instances: 3, DegU: 2, DegV: 5, Now: 10}
+	cases := []struct {
+		name string
+		fn   Func
+		want float64
+	}{
+		{"uniform", Uniform(), 1},
+		{"gps-default", GPSDefault(), 28}, // 9*3+1
+		{"heuristic(2,1)", Heuristic(2, 1), 7},
+		{"degree-sum", DegreeSum(), 8},
+		{"degree-product", DegreeProduct(), 11},
+	}
+	for _, tc := range cases {
+		if got := tc.fn(st); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestVectorShapeAndScaling(t *testing.T) {
+	st := State{
+		Instances: 2,
+		DegU:      3,
+		DegV:      4,
+		Temporal:  []float64{5, 8, 10},
+		Now:       10,
+	}
+	vec := st.Vector(nil)
+	if len(vec) != VectorDim(3) {
+		t.Fatalf("vector dim = %d, want %d", len(vec), VectorDim(3))
+	}
+	if vec[0] != math.Log1p(2) || vec[1] != math.Log1p(3) || vec[2] != math.Log1p(4) {
+		t.Fatalf("count features wrong: %v", vec[:3])
+	}
+	want := []float64{0.5, 0.8, 1.0}
+	for i, w := range want {
+		if math.Abs(vec[3+i]-w) > 1e-12 {
+			t.Fatalf("temporal feature %d = %v, want %v", i, vec[3+i], w)
+		}
+	}
+}
+
+func TestVectorReusesBuffer(t *testing.T) {
+	st := State{Temporal: []float64{1, 2}, Now: 2}
+	buf := make([]float64, 0, 8)
+	v1 := st.Vector(buf)
+	v2 := st.Vector(v1)
+	if &v1[0] != &v2[0] {
+		t.Fatal("Vector should reuse the provided buffer capacity")
+	}
+}
+
+func TestVectorZeroNow(t *testing.T) {
+	st := State{Temporal: []float64{0, 0}, Now: 0}
+	vec := st.Vector(nil)
+	for _, v := range vec {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("vector contains non-finite value: %v", vec)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{5, 5},
+		{0, 1},
+		{-3, 1},
+		{math.NaN(), 1},
+		{math.Inf(1), 1e12},
+		{1e30, 1e12},
+		{0.5, 0.5},
+	}
+	for _, tc := range cases {
+		if got := Sanitize(tc.in); got != tc.want {
+			t.Errorf("Sanitize(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSanitizePositiveFiniteProperty(t *testing.T) {
+	f := func(w float64) bool {
+		s := Sanitize(w)
+		return s > 0 && !math.IsInf(s, 0) && !math.IsNaN(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

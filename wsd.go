@@ -1,0 +1,239 @@
+// Package wsd is a Go implementation of "Reinforcement Learning Enhanced
+// Weighted Sampling for Accurate Subgraph Counting on Fully Dynamic Graph
+// Streams" (ICDE 2023): the WSD weighted sampling framework with its unbiased
+// subgraph-count estimator, the GPS/GPS-A priority-sampling family, the
+// uniform-sampling baselines (TRIEST-FD, ThinkD, WRS), and a pure-Go DDPG
+// learner for the data-driven weight function (WSD-L).
+//
+// This root package is the supported facade: it re-exports the types a
+// downstream user needs and provides convenience constructors. Power users
+// can reach the subsystems directly under internal/ when vendoring the
+// module.
+//
+// # Quick start
+//
+//	counter, err := wsd.NewTriangleCounter(10_000, wsd.WithSeed(42))
+//	if err != nil { ... }
+//	counter.Process(wsd.Insert(1, 2))
+//	counter.Process(wsd.Insert(2, 3))
+//	counter.Process(wsd.Insert(1, 3))
+//	fmt.Println(counter.Estimate()) // 1
+//
+// See examples/ for runnable programs and cmd/ for the reproduction CLIs.
+package wsd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/pattern"
+	"repro/internal/pipeline"
+	"repro/internal/rl"
+	"repro/internal/stream"
+	"repro/internal/weights"
+)
+
+// Re-exported fundamental types.
+type (
+	// VertexID identifies a vertex.
+	VertexID = graph.VertexID
+	// Edge is a normalized undirected edge; build with NewEdge.
+	Edge = graph.Edge
+	// Event is one stream event (op, edge).
+	Event = stream.Event
+	// Stream is a sequence of events.
+	Stream = stream.Stream
+	// Pattern identifies a subgraph pattern (WedgePattern, TrianglePattern,
+	// FourCliquePattern).
+	Pattern = pattern.Kind
+	// WeightFunc maps the MDP state of an arriving edge to its sampling
+	// weight.
+	WeightFunc = weights.Func
+	// State is the MDP state handed to weight functions.
+	State = weights.State
+	// Policy is a trained WSD-L weight policy.
+	Policy = rl.Policy
+)
+
+// Supported subgraph patterns.
+const (
+	// WedgePattern is the length-2 path.
+	WedgePattern = pattern.Wedge
+	// TrianglePattern is the 3-clique.
+	TrianglePattern = pattern.Triangle
+	// FourCliquePattern is the 4-clique.
+	FourCliquePattern = pattern.FourClique
+)
+
+// NewEdge returns the normalized undirected edge {u, v}.
+func NewEdge(u, v VertexID) Edge { return graph.NewEdge(u, v) }
+
+// Insert returns the insertion event (+, {u, v}).
+func Insert(u, v VertexID) Event {
+	return Event{Op: stream.Insert, Edge: graph.NewEdge(u, v)}
+}
+
+// Delete returns the deletion event (-, {u, v}).
+func Delete(u, v VertexID) Event {
+	return Event{Op: stream.Delete, Edge: graph.NewEdge(u, v)}
+}
+
+// Counter is the single-pass estimator surface shared by WSD and the
+// baselines: feed events, read the unbiased running estimate.
+type Counter interface {
+	Process(ev Event)
+	Estimate() float64
+	Name() string
+}
+
+// options collects the functional options for NewCounter.
+type options struct {
+	seed   int64
+	weight WeightFunc
+	policy *Policy
+}
+
+// Option configures a counter constructor.
+type Option func(*options)
+
+// WithSeed fixes the sampler's randomness; counters with equal seeds and
+// inputs are fully deterministic.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithWeightFunc uses a custom weight function W(e, R) (defaults to the
+// paper's WSD-H heuristic 9|H(e)|+1).
+func WithWeightFunc(w WeightFunc) Option {
+	return func(o *options) { o.weight = w }
+}
+
+// WithPolicy uses a trained WSD-L policy as the weight function.
+func WithPolicy(p *Policy) Option {
+	return func(o *options) { o.policy = p }
+}
+
+// NewCounter returns a WSD counter for the given pattern with reservoir
+// capacity m. Without options it is WSD-H (the paper's heuristic instance).
+func NewCounter(p Pattern, m int, opts ...Option) (Counter, error) {
+	o := options{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	w := o.weight
+	if o.policy != nil {
+		if w != nil {
+			return nil, fmt.Errorf("wsd: WithWeightFunc and WithPolicy are mutually exclusive")
+		}
+		w = o.policy.Func()
+	}
+	if w == nil {
+		w = weights.GPSDefault()
+	}
+	return core.New(core.Config{
+		M:       m,
+		Pattern: p,
+		Weight:  w,
+		Rng:     rand.New(rand.NewSource(o.seed)),
+	})
+}
+
+// NewTriangleCounter returns a WSD triangle counter with reservoir capacity
+// m.
+func NewTriangleCounter(m int, opts ...Option) (Counter, error) {
+	return NewCounter(TrianglePattern, m, opts...)
+}
+
+// NewWedgeCounter returns a WSD wedge counter with reservoir capacity m.
+func NewWedgeCounter(m int, opts ...Option) (Counter, error) {
+	return NewCounter(WedgePattern, m, opts...)
+}
+
+// ExactCounter tracks exact subgraph counts over a dynamic stream; use it as
+// ground truth when validating estimates on small streams.
+type ExactCounter struct {
+	inner *exact.Counter
+	kind  Pattern
+}
+
+// NewExactCounter returns an exact counter for pattern p.
+func NewExactCounter(p Pattern) *ExactCounter {
+	return &ExactCounter{inner: exact.New(p), kind: p}
+}
+
+// Process consumes one event.
+func (c *ExactCounter) Process(ev Event) { c.inner.Apply(ev) }
+
+// Estimate returns the exact count (the name keeps it a Counter).
+func (c *ExactCounter) Estimate() float64 { return float64(c.inner.Count(c.kind)) }
+
+// Name identifies the counter.
+func (c *ExactCounter) Name() string { return "exact" }
+
+// TrainPolicy trains a WSD-L weight policy with DDPG on the given training
+// streams (Section IV of the paper). m is the reservoir size used during
+// training episodes; iterations is the gradient-update budget (the paper uses
+// 1,000).
+func TrainPolicy(p Pattern, m, iterations int, trainStreams []Stream, seed int64) (*Policy, error) {
+	policy, _, err := rl.Train(rl.TrainConfig{
+		Pattern:    p,
+		M:          m,
+		Streams:    trainStreams,
+		Iterations: iterations,
+		Seed:       seed,
+	})
+	return policy, err
+}
+
+// HeuristicWeight returns the paper's WSD-H weight function 9|H(e)|+1.
+func HeuristicWeight() WeightFunc { return weights.GPSDefault() }
+
+// UniformWeight returns the constant weight function (uniform sampling).
+func UniformWeight() WeightFunc { return weights.Uniform() }
+
+// LocalCounter estimates both the global pattern count and per-vertex
+// participation counts (local counting, the companion problem behind the
+// anomaly-detection applications in the paper's introduction).
+type LocalCounter = local.Counter
+
+// VertexCount pairs a vertex with its local estimate.
+type VertexCount = local.VertexCount
+
+// NewLocalCounter returns a WSD counter that additionally maintains unbiased
+// per-vertex participation estimates.
+func NewLocalCounter(p Pattern, m int, opts ...Option) (*LocalCounter, error) {
+	o := options{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	w := o.weight
+	if o.policy != nil {
+		if w != nil {
+			return nil, fmt.Errorf("wsd: WithWeightFunc and WithPolicy are mutually exclusive")
+		}
+		w = o.policy.Func()
+	}
+	if w == nil {
+		w = weights.GPSDefault()
+	}
+	return local.New(core.Config{
+		M:       m,
+		Pattern: p,
+		Weight:  w,
+		Rng:     rand.New(rand.NewSource(o.seed)),
+	})
+}
+
+// Processor ingests events from concurrent producers and publishes the
+// running estimate for lock-free readers; see NewProcessor.
+type Processor = pipeline.Processor
+
+// NewProcessor wraps a counter in a dedicated ingestion goroutine with the
+// given channel buffer. The counter must not be used directly afterwards.
+func NewProcessor(c Counter, buffer int) *Processor {
+	return pipeline.New(c, buffer)
+}

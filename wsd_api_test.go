@@ -1,0 +1,152 @@
+package wsd_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	wsd "repro"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+func TestQuickstartAPI(t *testing.T) {
+	c, err := wsd.NewTriangleCounter(100, wsd.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Process(wsd.Insert(1, 2))
+	c.Process(wsd.Insert(2, 3))
+	c.Process(wsd.Insert(1, 3))
+	if got := c.Estimate(); got != 1 {
+		t.Fatalf("estimate = %v, want 1", got)
+	}
+	c.Process(wsd.Delete(1, 3))
+	if got := c.Estimate(); got != 0 {
+		t.Fatalf("estimate after deletion = %v, want 0", got)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := wsd.NewTriangleCounter(2); err == nil {
+		t.Fatal("M below pattern size should error")
+	}
+	p := &wsd.Policy{W: make([]float64, 6)}
+	if _, err := wsd.NewTriangleCounter(100,
+		wsd.WithPolicy(p), wsd.WithWeightFunc(wsd.UniformWeight())); err == nil {
+		t.Fatal("policy + weight func should be rejected")
+	}
+	if _, err := wsd.NewTriangleCounter(100, wsd.WithPolicy(p)); err != nil {
+		t.Fatalf("policy-only should be fine: %v", err)
+	}
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	edges := gen.BarabasiAlbert(500, 3, rng)
+	s := stream.InsertOnly(edges)
+	run := func(seed int64) float64 {
+		c, err := wsd.NewTriangleCounter(200, wsd.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range s {
+			c.Process(ev)
+		}
+		return c.Estimate()
+	}
+	if run(5) != run(5) {
+		t.Fatal("same seed must reproduce the estimate exactly")
+	}
+	if run(5) == run(6) {
+		t.Fatal("different seeds should (almost surely) differ")
+	}
+}
+
+func TestExactCounterFacade(t *testing.T) {
+	ex := wsd.NewExactCounter(wsd.WedgePattern)
+	ex.Process(wsd.Insert(1, 2))
+	ex.Process(wsd.Insert(2, 3))
+	if ex.Estimate() != 1 {
+		t.Fatalf("wedges = %v, want 1", ex.Estimate())
+	}
+	if ex.Name() != "exact" {
+		t.Fatal("name")
+	}
+}
+
+func TestTrainPolicyFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	rng := rand.New(rand.NewSource(2))
+	edges := gen.HolmeKim(400, 4, 0.7, rng)
+	train := stream.LightDeletion(edges, 0.2, rng)
+	p, err := wsd.TrainPolicy(wsd.TrianglePattern, 150, 30, []wsd.Stream{train}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := wsd.NewTriangleCounter(150, wsd.WithPolicy(p), wsd.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := wsd.NewExactCounter(wsd.TrianglePattern)
+	for _, ev := range train {
+		c.Process(ev)
+		truth.Process(ev)
+	}
+	if math.IsNaN(c.Estimate()) {
+		t.Fatal("estimate corrupted")
+	}
+	if truth.Estimate() > 0 && math.Abs(c.Estimate()-truth.Estimate())/truth.Estimate() > 2 {
+		t.Fatalf("trained-policy counter wildly off: %v vs %v", c.Estimate(), truth.Estimate())
+	}
+}
+
+func TestLocalCounterFacade(t *testing.T) {
+	c, err := wsd.NewLocalCounter(wsd.TrianglePattern, 100, wsd.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]wsd.VertexID{{1, 2}, {2, 3}, {1, 3}} {
+		c.Process(wsd.Insert(e[0], e[1]))
+	}
+	if c.Estimate() != 1 {
+		t.Fatalf("global estimate = %v, want 1", c.Estimate())
+	}
+	for _, v := range []wsd.VertexID{1, 2, 3} {
+		if c.Local(v) != 1 {
+			t.Fatalf("local(%d) = %v, want 1", v, c.Local(v))
+		}
+	}
+	top := c.TopK(2)
+	if len(top) != 2 || top[0].Count != 1 {
+		t.Fatalf("TopK = %+v", top)
+	}
+	// Mutually exclusive options are rejected here too.
+	if _, err := wsd.NewLocalCounter(wsd.TrianglePattern, 100,
+		wsd.WithPolicy(&wsd.Policy{W: make([]float64, 6)}),
+		wsd.WithWeightFunc(wsd.UniformWeight())); err == nil {
+		t.Fatal("policy + weight func should be rejected")
+	}
+}
+
+func TestProcessorFacade(t *testing.T) {
+	c, err := wsd.NewTriangleCounter(100, wsd.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := wsd.NewProcessor(c, 16)
+	for _, e := range [][2]wsd.VertexID{{1, 2}, {2, 3}, {1, 3}} {
+		if err := p.Submit(wsd.Insert(e[0], e[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Close(); got != 1 {
+		t.Fatalf("final estimate = %v, want 1", got)
+	}
+	if p.Processed() != 3 {
+		t.Fatalf("processed = %d, want 3", p.Processed())
+	}
+}
