@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test vet fmt check race bench bench-tables
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+check: fmt vet build test
+
+# Concurrency suites under the race detector.
+race:
+	$(GO) test -race ./internal/pipeline/ ./internal/shard/ .
+
+# Ingestion throughput: single-goroutine pipeline vs sharded ensemble.
+bench:
+	$(GO) test -run xxx -bench 'PipelineSingle|Sharded' -benchtime 3x .
+
+# Every paper table/figure at the quick profile (slow).
+bench-tables:
+	$(GO) test -run xxx -bench . -benchtime 1x .

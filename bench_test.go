@@ -9,9 +9,16 @@
 package wsd_test
 
 import (
+	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 
+	wsd "repro"
+
 	"repro/internal/experiment"
+	"repro/internal/gen"
+	"repro/internal/stream"
 )
 
 // tabler lifts any experiment result for uniform logging.
@@ -90,6 +97,76 @@ func BenchmarkFig5DeletionIntensity(b *testing.B) {
 
 // Ablation benches for the design choices DESIGN.md calls out beyond the
 // paper's own Table XIII.
+
+// Ingestion throughput: single-goroutine pipeline.Processor (per-event
+// Submit) versus the sharded ensemble (batched broadcast, split budget).
+// 4-cliques make the per-event enumeration cost superlinear in the reservoir
+// size, which is the regime sharding is built for: K reservoirs of m/K edges
+// do less total completion-search work than one of m, on top of the batched
+// ingestion amortizing the per-event channel and publish overhead.
+
+const (
+	throughputM     = 9216
+	throughputBatch = 512
+)
+
+var throughputStreamOnce = sync.OnceValue(func() stream.Stream {
+	rng := rand.New(rand.NewSource(11))
+	edges := gen.PlantedPartition(12, 50, 0.9, 0.002, rng)
+	return stream.LightDeletion(edges, 0.1, rng)
+})
+
+func BenchmarkPipelineSingle(b *testing.B) {
+	s := throughputStreamOnce()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := wsd.NewCounter(wsd.FourCliquePattern, throughputM, wsd.WithSeed(int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := wsd.NewProcessor(c, 1024)
+		for _, ev := range s {
+			if err := p.Submit(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		p.Close()
+	}
+	b.ReportMetric(float64(len(s))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func benchmarkSharded(b *testing.B, shards int) {
+	s := throughputStreamOnce()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := wsd.NewShardedCounter(wsd.FourCliquePattern, throughputM, shards,
+			wsd.WithSeed(int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for lo := 0; lo < len(s); lo += throughputBatch {
+			hi := lo + throughputBatch
+			if hi > len(s) {
+				hi = len(s)
+			}
+			if err := e.SubmitBatch(s[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		e.Close()
+	}
+	b.ReportMetric(float64(len(s))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkSharded(b *testing.B) {
+	for _, shards := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { benchmarkSharded(b, shards) })
+	}
+}
+
+// BenchmarkThroughputTable renders the same comparison as a wsdbench table
+// (events/s, speedup, ARE side by side).
+func BenchmarkThroughputTable(b *testing.B) { benchArtifact(b, experiment.Throughput) }
 
 func BenchmarkAblationWeightFamilies(b *testing.B) { benchArtifact(b, experiment.WeightFamilies) }
 

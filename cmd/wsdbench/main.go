@@ -111,6 +111,10 @@ var experiments = map[string]runner{
 		combined.Rows = append(combined.Rows, r.Light.Table.Rows...)
 		return &combined, nil
 	},
+	"throughput": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.Throughput(p)
+		return tbl(r, err)
+	},
 	"ablation-weights": func(p experiment.Profile) (*experiment.Table, error) {
 		r, err := experiment.WeightFamilies(p)
 		return tbl(r, err)

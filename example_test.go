@@ -75,6 +75,45 @@ func ExampleWithWeightFunc() {
 	// 1
 }
 
+// A sharded counter runs independently seeded shards concurrently and
+// combines their estimates; SubmitBatch is its amortized ingestion path.
+func ExampleNewShardedCounter() {
+	// 4 shards share the total budget of 4000 edges (1000 each).
+	sc, err := wsd.NewShardedCounter(wsd.TrianglePattern, 4000, 4, wsd.WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
+	batch := []wsd.Event{
+		wsd.Insert(1, 2), wsd.Insert(2, 3), wsd.Insert(1, 3), // triangle {1,2,3}
+		wsd.Insert(3, 4), wsd.Insert(2, 4), // triangle {2,3,4}
+	}
+	if err := sc.SubmitBatch(batch); err != nil {
+		panic(err)
+	}
+	final := sc.Close() // drains, stops the shard workers, combines
+	fmt.Println(final, sc.Shards())
+	// Output:
+	// 2 4
+}
+
+// The processor's batched ingestion amortizes channel and publish overhead;
+// Submit and SubmitBatch can be mixed freely.
+func ExampleProcessor_SubmitBatch() {
+	c, err := wsd.NewTriangleCounter(1000, wsd.WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
+	p := wsd.NewProcessor(c, 64)
+	if err := p.SubmitBatch([]wsd.Event{
+		wsd.Insert(1, 2), wsd.Insert(2, 3), wsd.Insert(1, 3),
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Close())
+	// Output:
+	// 1
+}
+
 // The exact counter is the ground-truth companion for validation at small
 // scale.
 func ExampleNewExactCounter() {

@@ -260,6 +260,17 @@ func (c *Counter) insert(e graph.Edge) {
 	}
 }
 
+// ProcessBatch consumes a slice of events in order. It is semantically
+// identical to calling Process once per event; it exists so ingestion layers
+// (pipeline.Processor, shard.Ensemble) can hand the counter a whole batch and
+// amortize their per-event channel and publication overhead against many
+// Process calls.
+func (c *Counter) ProcessBatch(evs []stream.Event) {
+	for _, ev := range evs {
+		c.Process(ev)
+	}
+}
+
 func (c *Counter) delete(e graph.Edge) {
 	// Eq. (12): subtract the destroyed instances, observed against the
 	// reservoir just before the deletion is applied.

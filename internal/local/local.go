@@ -90,6 +90,11 @@ func (c *Counter) bump(v graph.VertexID, delta float64) {
 // Process consumes one stream event.
 func (c *Counter) Process(ev stream.Event) { c.inner.Process(ev) }
 
+// ProcessBatch consumes a slice of events in order, equivalent to calling
+// Process once per event. It lets batched ingestion layers drive the local
+// counter through the same fast path as the core counter.
+func (c *Counter) ProcessBatch(evs []stream.Event) { c.inner.ProcessBatch(evs) }
+
 // Estimate returns the global pattern count estimate.
 func (c *Counter) Estimate() float64 { return c.inner.Estimate() }
 

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -116,6 +117,124 @@ func TestCloseSemantics(t *testing.T) {
 	}
 	if err := p.Submit(stream.Event{}); err != ErrClosed {
 		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// noBatch hides core.Counter's ProcessBatch so the per-event fallback in the
+// batch drain loop is exercised.
+type noBatch struct{ c *core.Counter }
+
+func (n noBatch) Process(ev stream.Event) { n.c.Process(ev) }
+func (n noBatch) Estimate() float64       { return n.c.Estimate() }
+
+// TestSubmitBatchMatchesSequential: interleaved Submit and SubmitBatch calls
+// produce exactly the sequential result, through both the BatchCounter fast
+// path and the per-event fallback.
+func TestSubmitBatchMatchesSequential(t *testing.T) {
+	s := testEvents(6, 400)
+	seq := newCounter(t, 9)
+	for _, ev := range s {
+		seq.Process(ev)
+	}
+
+	for name, counter := range map[string]Counter{
+		"batch":    newCounter(t, 9),
+		"fallback": noBatch{newCounter(t, 9)},
+	} {
+		p := New(counter, 16)
+		for i := 0; i < len(s); {
+			if i%5 == 0 {
+				if err := p.Submit(s[i]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+				continue
+			}
+			hi := i + 50
+			if hi > len(s) {
+				hi = len(s)
+			}
+			if err := p.SubmitBatch(s[i:hi]); err != nil {
+				t.Fatal(err)
+			}
+			i = hi
+		}
+		if final := p.Close(); final != seq.Estimate() {
+			t.Fatalf("%s: pipeline %v, sequential %v", name, final, seq.Estimate())
+		}
+		if p.Processed() != int64(len(s)) {
+			t.Fatalf("%s: processed %d, want %d", name, p.Processed(), len(s))
+		}
+	}
+}
+
+func TestSubmitBatchEdgeCases(t *testing.T) {
+	p := New(newCounter(t, 2), 4)
+	// Zero-length batches are accepted and ignored while open.
+	if err := p.SubmitBatch(nil); err != nil {
+		t.Fatalf("nil batch = %v, want nil", err)
+	}
+	if err := p.SubmitBatch([]stream.Event{}); err != nil {
+		t.Fatalf("empty batch = %v, want nil", err)
+	}
+	if p.Processed() != 0 {
+		t.Fatalf("processed %d after empty batches, want 0", p.Processed())
+	}
+	p.Close()
+	// After Close every submission path reports ErrClosed, including empty
+	// batches.
+	if err := p.SubmitBatch(testEvents(7, 10)[:3]); err != ErrClosed {
+		t.Fatalf("SubmitBatch after Close = %v, want ErrClosed", err)
+	}
+	if err := p.SubmitBatch(nil); err != ErrClosed {
+		t.Fatalf("empty SubmitBatch after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestConcurrentSubmitClose races producers (both paths) against Close under
+// the race detector: every submission either lands before the close and is
+// counted, or fails with ErrClosed; nothing panics or deadlocks.
+func TestConcurrentSubmitClose(t *testing.T) {
+	s := testEvents(8, 400)
+	p := New(newCounter(t, 11), 8)
+
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for j := off; j < len(s); j += 8 {
+				if err := p.Submit(s[j]); err != nil {
+					if err != ErrClosed {
+						t.Errorf("Submit: %v", err)
+					}
+					return
+				}
+				accepted.Add(1)
+			}
+		}(i)
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for j := off * 40; j+4 <= len(s); j += 160 {
+				if err := p.SubmitBatch(s[j : j+4]); err != nil {
+					if err != ErrClosed {
+						t.Errorf("SubmitBatch: %v", err)
+					}
+					return
+				}
+				accepted.Add(4)
+			}
+		}(i)
+	}
+	// Let some traffic through, then close concurrently with the producers.
+	for p.Processed() == 0 {
+	}
+	p.Close()
+	wg.Wait()
+	if got := p.Processed(); got != accepted.Load() {
+		t.Fatalf("processed %d, accepted %d", got, accepted.Load())
 	}
 }
 

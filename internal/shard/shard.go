@@ -1,0 +1,304 @@
+// Package shard runs K independently seeded copies of a single-pass counter
+// as an ensemble. Every event is routed to every shard, so each shard is a
+// complete, unbiased estimator of the same quantity; the ensemble estimate
+// combines the K shard estimates with a mean (which preserves unbiasedness
+// and divides the estimator variance by K when the shards' randomness is
+// independent) or a median-of-means (which trades a little variance for
+// robustness against the heavy right tail of inverse-probability estimators).
+//
+// Sharding serves two distinct operating points:
+//
+//   - Split budget (K shards of m/K edges each, equal total memory): for
+//     patterns whose per-event enumeration cost grows superlinearly with the
+//     reservoir size (triangles and especially 4-cliques, where completion
+//     search is quadratic in the sampled neighborhood), K small reservoirs do
+//     strictly less total work than one large one — a throughput win even on
+//     a single core, and an embarrassingly parallel one on many.
+//   - Full budget (K shards of m edges each, K times the memory): a pure
+//     variance-reduction ensemble; the mean of K independent estimates has
+//     1/K of the single-counter variance.
+//
+// The ensemble is driven on a worker pool: one goroutine per shard, fed
+// through buffered channels. SubmitBatch broadcasts a batch by reference to
+// all shards (counters only read events), so the per-event ingestion cost is
+// amortized across the batch — the same fast path pipeline.Processor offers,
+// multiplied across shards.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stream"
+)
+
+// Counter is the single-pass estimator a shard drives. It matches the surface
+// of core.Counter, local.Counter, and the sampling baselines.
+type Counter interface {
+	Process(ev stream.Event)
+	Estimate() float64
+}
+
+// BatchCounter is optionally implemented by counters with a batched ingest
+// path; shards use it when available.
+type BatchCounter interface {
+	Counter
+	ProcessBatch(evs []stream.Event)
+}
+
+// ErrClosed is returned by Submit and SubmitBatch after Close.
+var ErrClosed = errors.New("shard: ensemble closed")
+
+// Combiner folds the K shard estimates into the ensemble estimate. It is
+// called with a scratch slice owned by the caller; implementations may
+// reorder it but must not retain it.
+type Combiner func(estimates []float64) float64
+
+// Mean is the default combiner: the arithmetic mean of the shard estimates.
+// It preserves unbiasedness exactly (linearity of expectation).
+func Mean(estimates []float64) float64 {
+	if len(estimates) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range estimates {
+		sum += e
+	}
+	return sum / float64(len(estimates))
+}
+
+// MedianOfMeans returns a combiner that partitions the shard estimates into
+// the given number of contiguous groups, averages within each group, and
+// takes the median of the group means. groups <= 1 degenerates to Mean;
+// groups >= K is the plain median. Median-of-means keeps sub-Gaussian
+// concentration even when the per-shard estimates are heavy-tailed, which
+// inverse-probability estimators are.
+func MedianOfMeans(groups int) Combiner {
+	return func(estimates []float64) float64 {
+		k := len(estimates)
+		if k == 0 {
+			return 0
+		}
+		g := groups
+		if g < 1 {
+			g = 1
+		}
+		if g > k {
+			g = k
+		}
+		if g == 1 {
+			return Mean(estimates)
+		}
+		means := make([]float64, 0, g)
+		for i := 0; i < g; i++ {
+			lo, hi := i*k/g, (i+1)*k/g
+			means = append(means, Mean(estimates[lo:hi]))
+		}
+		sort.Float64s(means)
+		if len(means)%2 == 1 {
+			return means[len(means)/2]
+		}
+		return (means[len(means)/2-1] + means[len(means)/2]) / 2
+	}
+}
+
+// SplitBudget divides a total reservoir budget across shards as evenly as
+// possible: each shard gets total/shards edges and the first total%shards
+// shards get one extra, so the budgets sum to exactly total. Every
+// split-budget ensemble construction (the facade's NewShardedCounter, the
+// throughput experiment) uses this single definition.
+func SplitBudget(total, shards int) []int {
+	if shards < 1 {
+		return nil
+	}
+	out := make([]int, shards)
+	for i := range out {
+		out[i] = total / shards
+		if i < total%shards {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// worker owns one shard: its counter, its feed channel, and its published
+// estimate. The counter is touched only by the worker goroutine.
+type worker struct {
+	counter   Counter
+	batched   BatchCounter // non-nil when counter implements BatchCounter
+	feed      chan []stream.Event
+	estimate  atomic.Uint64 // float64 bits
+	processed atomic.Int64
+	done      chan struct{}
+}
+
+func (w *worker) run() {
+	defer close(w.done)
+	for batch := range w.feed {
+		if w.batched != nil {
+			w.batched.ProcessBatch(batch)
+		} else {
+			for _, ev := range batch {
+				w.counter.Process(ev)
+			}
+		}
+		w.processed.Add(int64(len(batch)))
+		w.estimate.Store(math.Float64bits(w.counter.Estimate()))
+	}
+}
+
+// Ensemble drives K shard counters concurrently and combines their
+// estimates. Construct with New; the zero value is not usable.
+type Ensemble struct {
+	workers []*worker
+	combine Combiner
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Option configures an Ensemble.
+type Option func(*config)
+
+type config struct {
+	buffer  int
+	combine Combiner
+}
+
+// WithBuffer sets each shard's feed-channel buffer, measured in batches
+// (default 4).
+func WithBuffer(n int) Option {
+	return func(c *config) { c.buffer = n }
+}
+
+// WithCombiner replaces the default Mean combiner.
+func WithCombiner(fn Combiner) Option {
+	return func(c *config) { c.combine = fn }
+}
+
+// New starts an ensemble over the given counters, one worker goroutine per
+// counter. The counters must be independently seeded for the ensemble's
+// variance reduction to hold, and must not be touched by the caller
+// afterwards.
+func New(counters []Counter, opts ...Option) (*Ensemble, error) {
+	if len(counters) == 0 {
+		return nil, fmt.Errorf("shard: ensemble needs at least one counter")
+	}
+	cfg := config{buffer: 4, combine: Mean}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.buffer < 1 {
+		cfg.buffer = 1
+	}
+	e := &Ensemble{combine: cfg.combine}
+	for _, c := range counters {
+		if c == nil {
+			return nil, fmt.Errorf("shard: nil counter")
+		}
+		w := &worker{
+			counter: c,
+			feed:    make(chan []stream.Event, cfg.buffer),
+			done:    make(chan struct{}),
+		}
+		if bc, ok := c.(BatchCounter); ok {
+			w.batched = bc
+		}
+		w.estimate.Store(math.Float64bits(c.Estimate()))
+		e.workers = append(e.workers, w)
+	}
+	for _, w := range e.workers {
+		go w.run()
+	}
+	return e, nil
+}
+
+// Shards returns the number of shard counters.
+func (e *Ensemble) Shards() int { return len(e.workers) }
+
+// SubmitBatch broadcasts a batch of events to every shard, blocking while any
+// shard's buffer is full. The ensemble takes ownership of the slice: the
+// caller must not mutate it after a successful SubmitBatch (all shards read
+// the same backing array). It returns ErrClosed after Close. Zero-length
+// batches are accepted and ignored.
+func (e *Ensemble) SubmitBatch(evs []stream.Event) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if len(evs) > 0 {
+		// Holding the lock across the sends keeps SubmitBatch/Close race-free
+		// (Close waits for the lock before closing the feeds) and keeps
+		// batches in the same order on every shard.
+		for _, w := range e.workers {
+			w.feed <- evs
+		}
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// Submit enqueues a single event on every shard. SubmitBatch is the fast
+// path; Submit allocates a one-event batch per call.
+func (e *Ensemble) Submit(ev stream.Event) error {
+	return e.SubmitBatch([]stream.Event{ev})
+}
+
+// Estimate combines the shards' most recently published estimates. Safe for
+// concurrent use; each shard's contribution lags Submit by at most its buffer.
+func (e *Ensemble) Estimate() float64 {
+	xs := make([]float64, len(e.workers))
+	for i, w := range e.workers {
+		xs[i] = math.Float64frombits(w.estimate.Load())
+	}
+	return e.combine(xs)
+}
+
+// Estimates returns each shard's most recently published estimate, in shard
+// order — the spread is an empirical variance check.
+func (e *Ensemble) Estimates() []float64 {
+	xs := make([]float64, len(e.workers))
+	for i, w := range e.workers {
+		xs[i] = math.Float64frombits(w.estimate.Load())
+	}
+	return xs
+}
+
+// Processed returns the number of events applied by every shard (the minimum
+// across shards): events submitted but still in flight on some shard are not
+// counted.
+func (e *Ensemble) Processed() int64 {
+	if len(e.workers) == 0 {
+		return 0
+	}
+	min := e.workers[0].processed.Load()
+	for _, w := range e.workers[1:] {
+		if n := w.processed.Load(); n < min {
+			min = n
+		}
+	}
+	return min
+}
+
+// Close drains all pending batches, stops the workers, and returns the final
+// combined estimate. Subsequent submissions fail with ErrClosed; Close is
+// idempotent.
+func (e *Ensemble) Close() float64 {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		for _, w := range e.workers {
+			close(w.feed)
+		}
+	}
+	e.mu.Unlock()
+	for _, w := range e.workers {
+		<-w.done
+	}
+	return e.Estimate()
+}

@@ -1,0 +1,227 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/pattern"
+	"repro/internal/stream"
+	"repro/internal/weights"
+)
+
+func newCounter(t testing.TB, m int, seed int64) *core.Counter {
+	t.Helper()
+	c, err := core.New(core.Config{M: m, Pattern: pattern.Triangle,
+		Weight: weights.GPSDefault(), Rng: rand.New(rand.NewSource(seed))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testEvents(seed int64, n int) stream.Stream {
+	rng := rand.New(rand.NewSource(seed))
+	edges := gen.HolmeKim(n, 4, 0.7, rng)
+	return stream.LightDeletion(edges, 0.2, rng)
+}
+
+// TestMatchesSequential: the ensemble over K counters must produce exactly
+// the combined estimate of the same K counters run sequentially.
+func TestMatchesSequential(t *testing.T) {
+	s := testEvents(1, 400)
+	const k = 4
+
+	want := make([]float64, k)
+	for i := 0; i < k; i++ {
+		c := newCounter(t, 200, int64(100+i))
+		for _, ev := range s {
+			c.Process(ev)
+		}
+		want[i] = c.Estimate()
+	}
+
+	counters := make([]Counter, k)
+	for i := 0; i < k; i++ {
+		counters[i] = newCounter(t, 200, int64(100+i))
+	}
+	e, err := New(counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mixed single submits and batches exercise both paths.
+	for i := 0; i < len(s); {
+		if i%3 == 0 {
+			if err := e.Submit(s[i]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+			continue
+		}
+		hi := i + 64
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if err := e.SubmitBatch(s[i:hi]); err != nil {
+			t.Fatal(err)
+		}
+		i = hi
+	}
+	final := e.Close()
+	if got := e.Estimates(); len(got) != k {
+		t.Fatalf("Estimates len = %d, want %d", len(got), k)
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shard %d estimate = %v, sequential %v", i, got[i], want[i])
+			}
+		}
+	}
+	if final != Mean(want) {
+		t.Fatalf("ensemble %v, mean of sequential %v", final, Mean(want))
+	}
+	if e.Processed() != int64(len(s)) {
+		t.Fatalf("processed %d, want %d", e.Processed(), len(s))
+	}
+}
+
+func TestCombiners(t *testing.T) {
+	xs := []float64{1, 9, 2, 8, 100}
+	if got := Mean(xs); got != 24 {
+		t.Fatalf("Mean = %v, want 24", got)
+	}
+	// groups >= len: plain median.
+	if got := MedianOfMeans(5)(append([]float64(nil), xs...)); got != 8 {
+		t.Fatalf("median = %v, want 8", got)
+	}
+	// groups=1 degenerates to the mean.
+	if got := MedianOfMeans(1)(append([]float64(nil), xs...)); got != 24 {
+		t.Fatalf("MoM(1) = %v, want 24", got)
+	}
+	// Even group count: mean of the middle two group means.
+	ys := []float64{1, 3, 10, 20}
+	if got := MedianOfMeans(2)(ys); got != (2+15)/2.0 {
+		t.Fatalf("MoM(2) = %v, want 8.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+	if got := MedianOfMeans(3)(nil); got != 0 {
+		t.Fatalf("MoM(nil) = %v, want 0", got)
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	e, err := New([]Counter{newCounter(t, 100, 1), newCounter(t, 100, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testEvents(2, 50)
+	if err := e.SubmitBatch(s[:10]); err != nil {
+		t.Fatal(err)
+	}
+	a := e.Close()
+	b := e.Close() // idempotent
+	if a != b || math.IsNaN(a) {
+		t.Fatalf("Close not idempotent: %v vs %v", a, b)
+	}
+	if err := e.Submit(stream.Event{}); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := e.SubmitBatch(s[:1]); err != ErrClosed {
+		t.Fatalf("SubmitBatch after Close = %v, want ErrClosed", err)
+	}
+	if err := e.SubmitBatch(nil); err != ErrClosed {
+		t.Fatalf("empty SubmitBatch after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestEmptyBatchAndValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("New(nil) should error")
+	}
+	if _, err := New([]Counter{nil}); err == nil {
+		t.Fatal("New with a nil counter should error")
+	}
+	e, err := New([]Counter{newCounter(t, 100, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitBatch(nil); err != nil {
+		t.Fatalf("empty batch = %v, want nil", err)
+	}
+	if err := e.SubmitBatch([]stream.Event{}); err != nil {
+		t.Fatalf("zero-length batch = %v, want nil", err)
+	}
+	if e.Close() != 0 {
+		t.Fatal("estimate of an unfed counter should be 0")
+	}
+}
+
+// TestConcurrentSubmitCloseEstimate exercises the ensemble under the race
+// detector: concurrent batch producers, estimate readers, and a racing Close.
+func TestConcurrentSubmitCloseEstimate(t *testing.T) {
+	s := testEvents(3, 600)
+	counters := make([]Counter, 4)
+	for i := range counters {
+		counters[i] = newCounter(t, 150, int64(i))
+	}
+	e, err := New(counters, WithBuffer(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const producers = 4
+	chunk := (len(s) + producers - 1) / producers
+	for i := 0; i < producers; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > len(s) {
+			hi = len(s)
+		}
+		wg.Add(1)
+		go func(evs stream.Stream) {
+			defer wg.Done()
+			for len(evs) > 0 {
+				n := 32
+				if n > len(evs) {
+					n = len(evs)
+				}
+				// ErrClosed is acceptable: Close races with the producers.
+				if err := e.SubmitBatch(evs[:n]); err != nil {
+					return
+				}
+				evs = evs[n:]
+			}
+		}(s[lo:hi])
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = e.Estimate()
+				_ = e.Processed()
+				_ = e.Estimates()
+			}
+		}
+	}()
+	wg.Wait()
+	e.Close()
+	close(stop)
+	readers.Wait()
+	// Every shard must have applied the same events (all accepted batches).
+	n := e.Processed()
+	for i, w := range e.workers {
+		if got := w.processed.Load(); got != n {
+			t.Fatalf("shard %d processed %d, min %d", i, got, n)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/pipeline"
 	"repro/internal/rl"
+	"repro/internal/shard"
 	"repro/internal/stream"
 	"repro/internal/weights"
 )
@@ -90,11 +91,16 @@ type Counter interface {
 	Name() string
 }
 
-// options collects the functional options for NewCounter.
+// options collects the functional options for the counter constructors.
 type options struct {
 	seed   int64
 	weight WeightFunc
 	policy *Policy
+
+	// Sharded-counter options; ignored by the single-counter constructors.
+	momGroups   int
+	fullBudget  bool
+	shardBuffer int
 }
 
 // Option configures a counter constructor.
@@ -117,13 +123,32 @@ func WithPolicy(p *Policy) Option {
 	return func(o *options) { o.policy = p }
 }
 
-// NewCounter returns a WSD counter for the given pattern with reservoir
-// capacity m. Without options it is WSD-H (the paper's heuristic instance).
-func NewCounter(p Pattern, m int, opts ...Option) (Counter, error) {
-	o := options{seed: 1}
-	for _, opt := range opts {
-		opt(&o)
-	}
+// WithMedianOfMeans makes a sharded counter combine its shard estimates with
+// a median-of-means over the given number of groups instead of the plain
+// mean. groups equal to the shard count is the plain median. Median-of-means
+// is robust to the heavy right tail of inverse-probability estimates; the
+// mean preserves exact unbiasedness. Ignored by non-sharded constructors.
+func WithMedianOfMeans(groups int) Option {
+	return func(o *options) { o.momGroups = groups }
+}
+
+// WithFullBudgetShards gives every shard the full reservoir budget m instead
+// of the default split m/shards. This uses shards times the memory and buys
+// pure variance reduction (the ensemble mean has 1/shards of the
+// single-counter variance). Ignored by non-sharded constructors.
+func WithFullBudgetShards() Option {
+	return func(o *options) { o.fullBudget = true }
+}
+
+// WithShardBuffer sets each shard's feed buffer, in batches (default 4).
+// Ignored by non-sharded constructors.
+func WithShardBuffer(n int) Option {
+	return func(o *options) { o.shardBuffer = n }
+}
+
+// resolveWeight reduces the weight-related options to the effective weight
+// function, defaulting to the paper's WSD-H heuristic.
+func resolveWeight(o *options) (WeightFunc, error) {
 	w := o.weight
 	if o.policy != nil {
 		if w != nil {
@@ -133,6 +158,20 @@ func NewCounter(p Pattern, m int, opts ...Option) (Counter, error) {
 	}
 	if w == nil {
 		w = weights.GPSDefault()
+	}
+	return w, nil
+}
+
+// NewCounter returns a WSD counter for the given pattern with reservoir
+// capacity m. Without options it is WSD-H (the paper's heuristic instance).
+func NewCounter(p Pattern, m int, opts ...Option) (Counter, error) {
+	o := options{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	w, err := resolveWeight(&o)
+	if err != nil {
+		return nil, err
 	}
 	return core.New(core.Config{
 		M:       m,
@@ -210,15 +249,9 @@ func NewLocalCounter(p Pattern, m int, opts ...Option) (*LocalCounter, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	w := o.weight
-	if o.policy != nil {
-		if w != nil {
-			return nil, fmt.Errorf("wsd: WithWeightFunc and WithPolicy are mutually exclusive")
-		}
-		w = o.policy.Func()
-	}
-	if w == nil {
-		w = weights.GPSDefault()
+	w, err := resolveWeight(&o)
+	if err != nil {
+		return nil, err
 	}
 	return local.New(core.Config{
 		M:       m,
@@ -229,11 +262,88 @@ func NewLocalCounter(p Pattern, m int, opts ...Option) (*LocalCounter, error) {
 }
 
 // Processor ingests events from concurrent producers and publishes the
-// running estimate for lock-free readers; see NewProcessor.
+// running estimate for lock-free readers; see NewProcessor. Submit enqueues
+// one event; SubmitBatch is the amortized fast path.
 type Processor = pipeline.Processor
 
 // NewProcessor wraps a counter in a dedicated ingestion goroutine with the
 // given channel buffer. The counter must not be used directly afterwards.
 func NewProcessor(c Counter, buffer int) *Processor {
 	return pipeline.New(c, buffer)
+}
+
+// ShardedCounter is an ensemble of independently seeded WSD counters driven
+// concurrently on a worker pool; see NewShardedCounter. Feed it with Submit
+// or (preferably) SubmitBatch, read Estimate concurrently, and Close it to
+// drain and obtain the final combined estimate.
+type ShardedCounter = shard.Ensemble
+
+// shardSeedStride separates the per-shard RNG seeds; any odd constant far
+// from 1 works (this is the splitmix64 increment, reinterpreted as int64).
+const shardSeedStride = int64(-7046029254386353131)
+
+// NewShardedCounter returns an ensemble of shards independently seeded WSD
+// counters for pattern p, all fed every event, whose estimates are combined
+// into one ensemble estimate (mean by default; see WithMedianOfMeans).
+//
+// By default the reservoir budget m is split across the shards (each shard
+// gets m/shards edges, remainders distributed, so total memory equals a
+// single counter with budget m); WithFullBudgetShards gives every shard the
+// full m instead. Split budget is the throughput operating point: for
+// patterns with superlinear per-event enumeration cost the K small reservoirs
+// do less total work than one large one, and the shards run concurrently.
+// Full budget is the accuracy operating point: the mean of K independent
+// estimates has 1/K of the variance.
+//
+// A custom WithWeightFunc function is shared by every shard and must be safe
+// for concurrent use (the built-in heuristics are). A trained policy is safe:
+// each shard receives its own evaluation closure, since a policy closure's
+// scratch state is single-goroutine.
+func NewShardedCounter(p Pattern, m, shards int, opts ...Option) (*ShardedCounter, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("wsd: shards=%d, need at least 1", shards)
+	}
+	o := options{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	w, err := resolveWeight(&o)
+	if err != nil {
+		return nil, err
+	}
+	budgets := shard.SplitBudget(m, shards)
+	counters := make([]shard.Counter, shards)
+	for i := range counters {
+		budget := m
+		if !o.fullBudget {
+			budget = budgets[i]
+			if budget < p.Size() {
+				return nil, fmt.Errorf("wsd: split budget m/shards=%d/%d is below pattern size |H|=%d; use fewer shards, a larger m, or WithFullBudgetShards", m, shards, p.Size())
+			}
+		}
+		wi := w
+		if o.policy != nil {
+			// Policy closures carry per-call scratch state; give the shard
+			// worker goroutine its own.
+			wi = o.policy.Func()
+		}
+		c, err := core.New(core.Config{
+			M:       budget,
+			Pattern: p,
+			Weight:  wi,
+			Rng:     rand.New(rand.NewSource(o.seed + int64(i)*shardSeedStride)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		counters[i] = c
+	}
+	var sopts []shard.Option
+	if o.momGroups > 0 {
+		sopts = append(sopts, shard.WithCombiner(shard.MedianOfMeans(o.momGroups)))
+	}
+	if o.shardBuffer > 0 {
+		sopts = append(sopts, shard.WithBuffer(o.shardBuffer))
+	}
+	return shard.New(counters, sopts...)
 }

@@ -132,6 +132,48 @@ func TestLocalCounterFacade(t *testing.T) {
 	}
 }
 
+// TestShardedCounterFacade covers the sharded constructor's validation and,
+// under -race, the regression where a trained policy's scratch-carrying
+// closure was shared across shard worker goroutines (each shard must get its
+// own).
+func TestShardedCounterFacade(t *testing.T) {
+	if _, err := wsd.NewShardedCounter(wsd.TrianglePattern, 100, 0); err == nil {
+		t.Fatal("shards=0 should be rejected")
+	}
+	if _, err := wsd.NewShardedCounter(wsd.TrianglePattern, 8, 4); err == nil {
+		t.Fatal("split budget below pattern size should be rejected")
+	}
+	if _, err := wsd.NewShardedCounter(wsd.TrianglePattern, 8, 4, wsd.WithFullBudgetShards()); err != nil {
+		t.Fatalf("full-budget shards with small m: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	edges := gen.HolmeKim(600, 4, 0.6, rng)
+	s := stream.LightDeletion(edges, 0.2, rng)
+	policy := &wsd.Policy{W: []float64{0.1, 0.2, 0.1, 0, 0, 0.3}, B: 1}
+	sc, err := wsd.NewShardedCounter(wsd.TrianglePattern, 800, 4,
+		wsd.WithSeed(5), wsd.WithPolicy(policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < len(s); lo += 128 {
+		hi := lo + 128
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if err := sc.SubmitBatch(s[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final := sc.Close()
+	if math.IsNaN(final) {
+		t.Fatal("combined estimate corrupted")
+	}
+	if sc.Processed() != int64(len(s)) {
+		t.Fatalf("processed %d, want %d", sc.Processed(), len(s))
+	}
+}
+
 func TestProcessorFacade(t *testing.T) {
 	c, err := wsd.NewTriangleCounter(100, wsd.WithSeed(4))
 	if err != nil {
