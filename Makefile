@@ -16,13 +16,19 @@ fmt:
 
 check: fmt vet build test
 
-# Concurrency suites under the race detector.
+# Everything under the race detector (CI runs this; the concurrency-heavy
+# packages are pipeline, shard, and serve).
 race:
-	$(GO) test -race ./internal/pipeline/ ./internal/shard/ .
+	$(GO) test -race ./...
 
 # Ingestion throughput: single-goroutine pipeline vs sharded ensemble.
 bench:
 	$(GO) test -run xxx -bench 'PipelineSingle|Sharded' -benchtime 3x .
+
+# Binary vs text decode throughput on a 1M-event stream (the binary codec's
+# acceptance benchmark: binary must decode at >= 2x the text rate).
+bench-codec:
+	$(GO) test -run xxx -bench Decode -benchtime 3x ./internal/stream/
 
 # Every paper table/figure at the quick profile (slow).
 bench-tables:

@@ -1,0 +1,155 @@
+package wsd_test
+
+import (
+	"math/rand"
+	"testing"
+
+	wsd "repro"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+func checkpointStream(t *testing.T, seed int64, n int) wsd.Stream {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := gen.HolmeKim(n, 4, 0.6, rng)
+	return stream.LightDeletion(edges, 0.25, rng)
+}
+
+// TestFacadeCheckpointBitIdentical: the acceptance criterion at the facade —
+// a counter snapshotted mid-stream and restored produces byte-identical
+// estimates to an uninterrupted run over the same stream.
+func TestFacadeCheckpointBitIdentical(t *testing.T) {
+	s := checkpointStream(t, 11, 500)
+	cut := len(s) / 2
+
+	build := func() wsd.Counter {
+		c, err := wsd.NewTriangleCounter(200, wsd.WithSeed(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	uninterrupted := build()
+	interrupted := build()
+	for _, ev := range s[:cut] {
+		uninterrupted.Process(ev)
+		interrupted.Process(ev)
+	}
+	blob, err := wsd.Checkpoint(interrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := wsd.RestoreCounter(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range s[cut:] {
+		uninterrupted.Process(ev)
+		restored.Process(ev)
+	}
+	if restored.Estimate() != uninterrupted.Estimate() {
+		t.Fatalf("restored %v, uninterrupted %v", restored.Estimate(), uninterrupted.Estimate())
+	}
+}
+
+func TestFacadeLocalCheckpointBitIdentical(t *testing.T) {
+	s := checkpointStream(t, 13, 400)
+	cut := len(s) * 2 / 3
+
+	build := func() *wsd.LocalCounter {
+		c, err := wsd.NewLocalCounter(wsd.TrianglePattern, 150, wsd.WithSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	uninterrupted := build()
+	interrupted := build()
+	for _, ev := range s[:cut] {
+		uninterrupted.Process(ev)
+		interrupted.Process(ev)
+	}
+	blob, err := interrupted.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := wsd.RestoreLocalCounter(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range s[cut:] {
+		uninterrupted.Process(ev)
+		restored.Process(ev)
+	}
+	if restored.Estimate() != uninterrupted.Estimate() {
+		t.Fatalf("restored %v, uninterrupted %v", restored.Estimate(), uninterrupted.Estimate())
+	}
+	for _, vc := range uninterrupted.TopK(10) {
+		if got := restored.Local(vc.Vertex); got != vc.Count {
+			t.Fatalf("vertex %d: restored %v, uninterrupted %v", vc.Vertex, got, vc.Count)
+		}
+	}
+}
+
+func TestFacadeShardedCheckpointBitIdentical(t *testing.T) {
+	s := checkpointStream(t, 17, 600)
+	cut := len(s) / 2
+
+	build := func() *wsd.ShardedCounter {
+		sc, err := wsd.NewShardedCounter(wsd.TrianglePattern, 240, 3, wsd.WithSeed(41))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	feed := func(sc *wsd.ShardedCounter, evs wsd.Stream) {
+		t.Helper()
+		const batch = 50
+		for lo := 0; lo < len(evs); lo += batch {
+			hi := lo + batch
+			if hi > len(evs) {
+				hi = len(evs)
+			}
+			if err := sc.SubmitBatch(evs[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	uninterrupted := build()
+	interrupted := build()
+	feed(uninterrupted, s[:cut])
+	feed(interrupted, s[:cut])
+
+	blob, err := interrupted.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	interrupted.Close()
+	restored, err := wsd.RestoreShardedCounter(blob, wsd.WithSeed(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(uninterrupted, s[cut:])
+	feed(restored, s[cut:])
+	want := uninterrupted.Close()
+	if got := restored.Close(); got != want {
+		t.Fatalf("restored ensemble %v, uninterrupted %v", got, want)
+	}
+}
+
+func TestCheckpointUnsupportedCounter(t *testing.T) {
+	if _, err := wsd.Checkpoint(wsd.NewExactCounter(wsd.TrianglePattern)); err == nil {
+		t.Fatal("exact counter checkpoint should fail")
+	}
+	if _, err := wsd.RestoreCounter([]byte(`garbage`)); err == nil {
+		t.Fatal("garbage restore should fail")
+	}
+	if _, err := wsd.RestoreShardedCounter([]byte(`garbage`)); err == nil {
+		t.Fatal("garbage sharded restore should fail")
+	}
+	if _, err := wsd.RestoreLocalCounter([]byte(`garbage`)); err == nil {
+		t.Fatal("garbage local restore should fail")
+	}
+}

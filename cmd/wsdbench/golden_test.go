@@ -1,0 +1,53 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestTableGolden pins the CLI report format: every experiment id prints an
+// experiment.Table through String(), so its alignment, section, and note
+// rendering are the tool's output contract. The fixture exercises each
+// formatting feature with fixed cells; regenerate deliberately with
+// `go test ./cmd/wsdbench -run TestTableGolden -update` when the format is
+// meant to change.
+func TestTableGolden(t *testing.T) {
+	tbl := &experiment.Table{
+		ID:     "table3",
+		Title:  "Triangle counting under massive deletion (ARE %)",
+		Header: []string{"dataset", "WSD-L", "WSD-H", "GPS-A", "Triest", "ThinkD", "WRS"},
+	}
+	tbl.AddSection("ARE")
+	tbl.AddRow("ff-10k", "1.2%", "1.9%", "4.41%", "12.3%", "9.87%", "7.5%")
+	tbl.AddRow("ba-100k", "0.88%", "1.1%", "2.3%", "8.1%", "6.6%", "5.2%")
+	tbl.AddSection("time")
+	tbl.AddRow("ff-10k", "0.52s", "0.48s", "0.61s", "0.33s", "0.35s", "0.41s")
+	tbl.AddRow("ba-100k", "5.1s", "4.9s", "6.3s", "3.2s", "3.4s", "4.0s")
+	tbl.Notes = append(tbl.Notes,
+		"quick profile: 4 trials",
+		"truth computed once per stream")
+
+	got := tbl.String()
+	golden := filepath.Join("testdata", "table_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("table output drifted from %s (regenerate deliberately with -update)\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}

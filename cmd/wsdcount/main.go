@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "stream file (default stdin); lines '+ u v', '- u v', or 'u v'")
+	in := flag.String("in", "", "stream file (default stdin); text lines '+ u v', '- u v', 'u v', or the wsdgen -format binary format (auto-detected)")
 	pat := flag.String("pattern", "triangle", "pattern: wedge, triangle, 4cycle, 4clique, 5clique")
 	algo := flag.String("algo", "wsd-h", "algorithm: wsd-l, wsd-h, gps, gps-a, triest, thinkd, wrs")
 	m := flag.Int("m", 10000, "storage budget (edges)")
@@ -52,7 +52,7 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	s, err := stream.Read(r)
+	s, err := stream.ReadAuto(r)
 	if err != nil {
 		fatal(err)
 	}

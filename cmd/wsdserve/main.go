@@ -1,0 +1,110 @@
+// Command wsdserve runs the subgraph-count estimator as an HTTP service: a
+// sharded WSD ensemble behind batch ingestion, estimate, and
+// checkpoint/restore endpoints.
+//
+// Usage:
+//
+//	wsdserve -addr :8080 -pattern triangle -m 100000 -shards 4
+//	wsdserve -checkpoint state.json   # load on start if present, save on SIGINT
+//
+// Endpoints:
+//
+//	POST /ingest    stream events, text or binary (auto-detected)
+//	GET  /estimate  running estimate as JSON
+//	GET  /snapshot  full counter state (save it anywhere)
+//	POST /restore   a previously fetched snapshot
+//	GET  /healthz   liveness
+//
+// Feed it with wsdgen, curl, or any client that speaks the stream formats:
+//
+//	wsdgen -model ba -n 100000 -format binary | curl --data-binary @- localhost:8080/ingest
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	wsd "repro"
+
+	"repro/internal/cli"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	pat := flag.String("pattern", "triangle", "pattern: wedge, triangle, 4cycle, 4clique, 5clique")
+	m := flag.Int("m", 100_000, "total reservoir budget (edges)")
+	shards := flag.Int("shards", 4, "ensemble width (counters fed every event)")
+	seed := flag.Int64("seed", 1, "sampler seed")
+	fullBudget := flag.Bool("full-budget", false, "give every shard the full budget m (uses shards x memory, 1/shards variance)")
+	mom := flag.Int("mom", 0, "median-of-means groups for the combined estimate (0 = plain mean)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: restored on start if it exists, written on SIGINT/SIGTERM")
+	flag.Parse()
+
+	k, err := cli.ParsePattern(*pat)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []wsd.Option{wsd.WithSeed(*seed)}
+	if *fullBudget {
+		opts = append(opts, wsd.WithFullBudgetShards())
+	}
+	if *mom > 0 {
+		opts = append(opts, wsd.WithMedianOfMeans(*mom))
+	}
+	srv, err := serve.New(serve.Config{Pattern: k, M: *m, Shards: *shards, Options: opts})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *checkpoint != "" {
+		if blob, err := os.ReadFile(*checkpoint); err == nil {
+			n, err := srv.Restore(blob)
+			if err != nil {
+				fatal(fmt.Errorf("restore %s: %w", *checkpoint, err))
+			}
+			log.Printf("wsdserve: restored %d shards from %s", n, *checkpoint)
+		} else if !os.IsNotExist(err) {
+			fatal(err)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		log.Printf("wsdserve: serving %s with %d shards, m=%d on %s", k, *shards, *m, *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("wsdserve: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if *checkpoint != "" {
+		blob, err := srv.Snapshot()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*checkpoint, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		log.Printf("wsdserve: checkpointed %d bytes to %s", len(blob), *checkpoint)
+	}
+	log.Printf("wsdserve: final estimate %.2f", srv.Close())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wsdserve: %v\n", err)
+	os.Exit(1)
+}

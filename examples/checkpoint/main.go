@@ -2,6 +2,10 @@
 // serialize it, and resume counting in a "new process" — the operational
 // feature a production deployment needs to survive restarts without
 // re-reading the (unreplayable, single-pass) stream.
+//
+// The snapshot captures the reservoir, the tau thresholds, AND the RNG state,
+// so the resumed counter is bit-identical to one that never stopped: the
+// program verifies this by running an uninterrupted twin alongside.
 package main
 
 import (
@@ -9,12 +13,10 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/exact"
+	wsd "repro"
+
 	"repro/internal/gen"
-	"repro/internal/pattern"
 	"repro/internal/stream"
-	"repro/internal/weights"
 )
 
 func main() {
@@ -23,46 +25,50 @@ func main() {
 	events := stream.LightDeletion(edges, 0.2, rng)
 	half := len(events) / 2
 
-	// Phase 1: a counter processes the first half of the stream.
-	c1, err := core.New(core.Config{
-		M: 2000, Pattern: pattern.Triangle,
-		Weight: weights.GPSDefault(), Rng: rand.New(rand.NewSource(1)),
-	})
-	if err != nil {
-		log.Fatal(err)
+	newCounter := func() wsd.Counter {
+		c, err := wsd.NewTriangleCounter(2000, wsd.WithSeed(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
 	}
+
+	// Phase 1: a counter processes the first half of the stream; an
+	// uninterrupted twin will run the whole stream for comparison.
+	c1 := newCounter()
+	twin := newCounter()
 	for _, ev := range events[:half] {
 		c1.Process(ev)
+		twin.Process(ev)
 	}
-	fmt.Printf("phase 1: %d events processed, estimate %.0f, %d edges sampled\n",
-		half, c1.Estimate(), c1.SampleSize())
+	fmt.Printf("phase 1: %d events processed, estimate %.0f\n", half, c1.Estimate())
 
 	// Checkpoint: serialize the full sampler state to bytes (in production,
 	// to disk or an object store).
-	blob, err := c1.Snapshot().Encode()
+	blob, err := wsd.Checkpoint(c1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("checkpoint: %d bytes\n", len(blob))
 
-	// Phase 2 ("after the restart"): decode and resume. The weight function
-	// and a fresh random source are re-supplied — they are code, not state.
-	snap, err := core.DecodeSnapshot(blob)
-	if err != nil {
-		log.Fatal(err)
-	}
-	c2, err := core.Restore(snap, core.Config{
-		Weight: weights.GPSDefault(), Rng: rand.New(rand.NewSource(2)),
-	})
+	// Phase 2 ("after the restart"): restore and resume. Only the weight
+	// function is re-supplied — it is code, not state; the RNG continues
+	// from the checkpointed state.
+	c2, err := wsd.RestoreCounter(blob)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, ev := range events[half:] {
 		c2.Process(ev)
+		twin.Process(ev)
 	}
 
 	// Reference: exact count of the full stream.
-	truth := exact.CountStatic(events.FinalGraph(), pattern.Triangle)
-	fmt.Printf("phase 2: resumed and finished; estimate %.0f, exact %d\n",
-		c2.Estimate(), truth)
+	truth := wsd.NewExactCounter(wsd.TrianglePattern)
+	for _, ev := range events {
+		truth.Process(ev)
+	}
+	fmt.Printf("phase 2: resumed estimate %.0f, uninterrupted twin %.0f, exact %.0f\n",
+		c2.Estimate(), twin.Estimate(), truth.Estimate())
+	fmt.Printf("bit-identical resume: %v\n", c2.Estimate() == twin.Estimate())
 }

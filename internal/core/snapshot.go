@@ -7,12 +7,21 @@ import (
 	"repro/internal/graph"
 	"repro/internal/pattern"
 	"repro/internal/reservoir"
+	"repro/internal/xrand"
 )
 
 // Snapshot is a serializable image of a WSD counter's state: everything
 // needed to resume a long-running stream after a restart except the weight
-// function and the random source, which are code and must be re-supplied at
-// restore time (exactly like the configuration itself).
+// function, which is code and must be re-supplied at restore time (exactly
+// like the configuration itself).
+//
+// When the counter was built over an *xrand.Rand source, the snapshot also
+// carries the RNG state, and a restored counter continues *bit-identically*
+// to the uninterrupted run: same rank draws, same sample trajectory, same
+// estimates. Counters built over other sources (e.g. *math/rand.Rand)
+// snapshot everything but the randomness; restoring them requires a fresh
+// source in the restore Config and resumes an exchangeable — but not
+// identical — trajectory.
 type Snapshot struct {
 	Version     int            `json:"version"`
 	M           int            `json:"m"`
@@ -22,6 +31,7 @@ type Snapshot struct {
 	TauQ        float64        `json:"tau_q"`
 	Estimate    float64        `json:"estimate"`
 	Insertions  int64          `json:"insertions"`
+	RngState    *uint64        `json:"rng_state,omitempty"` // xrand state; nil when the source is not checkpointable
 	Items       []SnapshotItem `json:"items"`
 }
 
@@ -34,10 +44,19 @@ type SnapshotItem struct {
 	Arrival int64          `json:"arrival"`
 }
 
-// snapshotVersion guards the wire format.
-const snapshotVersion = 1
+// snapshotVersion guards the wire format. Version 2 added rng_state; version
+// 1 snapshots (no RNG state) are still accepted by DecodeSnapshot.
+const snapshotVersion = 2
 
-// Snapshot captures the counter's current state.
+// stateful is the optional interface of checkpointable randomness sources
+// (*xrand.Rand). Snapshot captures the state when the counter's source
+// provides it.
+type stateful interface {
+	State() uint64
+}
+
+// Snapshot captures the counter's current state. The counter can keep
+// processing events afterwards; the snapshot is an independent copy.
 func (c *Counter) Snapshot() *Snapshot {
 	s := &Snapshot{
 		Version:     snapshotVersion,
@@ -49,6 +68,10 @@ func (c *Counter) Snapshot() *Snapshot {
 		Estimate:    c.estimate,
 		Insertions:  c.insertions,
 	}
+	if src, ok := c.cfg.Rng.(stateful); ok {
+		state := src.State()
+		s.RngState = &state
+	}
 	for _, it := range c.res.Items() {
 		s.Items = append(s.Items, SnapshotItem{
 			U: it.Edge.U, V: it.Edge.V,
@@ -58,11 +81,12 @@ func (c *Counter) Snapshot() *Snapshot {
 	return s
 }
 
-// MarshalJSON is provided by the plain struct; Encode/Decode helpers keep the
-// call sites symmetric.
-
 // Encode serializes the snapshot to JSON.
 func (s *Snapshot) Encode() ([]byte, error) { return json.Marshal(s) }
+
+// Checkpoint is Snapshot().Encode() in one call: the serialized form ingestion
+// layers (pipeline, shard) store when checkpointing a whole deployment.
+func (c *Counter) Checkpoint() ([]byte, error) { return c.Snapshot().Encode() }
 
 // DecodeSnapshot parses a snapshot produced by Encode.
 func DecodeSnapshot(data []byte) (*Snapshot, error) {
@@ -70,16 +94,20 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return nil, fmt.Errorf("core: decode snapshot: %w", err)
 	}
-	if s.Version != snapshotVersion {
-		return nil, fmt.Errorf("core: snapshot version %d unsupported (want %d)", s.Version, snapshotVersion)
+	if s.Version < 1 || s.Version > snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d unsupported (want 1..%d)", s.Version, snapshotVersion)
 	}
 	return &s, nil
 }
 
 // Restore reconstructs a counter from a snapshot. cfg supplies the
-// non-serializable parts (weight function and random source); its M, Pattern
-// and TemporalAgg must match the snapshot or an error is returned, since a
-// mismatch would silently break the estimator's probability bookkeeping.
+// non-serializable parts: the weight function, and — only for snapshots
+// without RNG state — a random source. When the snapshot carries RNG state
+// (it was taken from a counter driven by *xrand.Rand), the source is revived
+// from that state and cfg.Rng is ignored, so the restored counter continues
+// bit-identically. cfg's M, Pattern and TemporalAgg must match the snapshot
+// (zero values default to it), since a mismatch would silently break the
+// estimator's probability bookkeeping.
 func Restore(s *Snapshot, cfg Config) (*Counter, error) {
 	if cfg.M == 0 {
 		cfg.M = s.M
@@ -89,6 +117,9 @@ func Restore(s *Snapshot, cfg Config) (*Counter, error) {
 	}
 	cfg.Pattern = s.Pattern
 	cfg.TemporalAgg = s.TemporalAgg
+	if s.RngState != nil {
+		cfg.Rng = xrand.FromState(*s.RngState)
+	}
 	c, err := New(cfg)
 	if err != nil {
 		return nil, err

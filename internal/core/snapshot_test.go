@@ -8,7 +8,103 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/stream"
 	"repro/internal/weights"
+	"repro/internal/xrand"
 )
+
+// TestTwinRunsBitIdentical guards the precondition under the checkpoint
+// guarantee: two identically seeded counters over the same stream produce
+// exactly equal estimates. This is what per-event sorted accumulation
+// (sumProds) buys — without it, Go's randomized map iteration order during
+// completion enumeration makes float addition order differ between runs,
+// and estimates wobble in their last ULP.
+func TestTwinRunsBitIdentical(t *testing.T) {
+	// A denser stream than the resume test so that events regularly
+	// complete several instances at once (the wobble needs >= 2 non-unit
+	// contributions in one event).
+	rng := rand.New(rand.NewSource(12))
+	edges := gen.BarabasiAlbert(400, 5, rng)
+	s := stream.LightDeletion(edges, 0.2, rng)
+	build := func() *Counter {
+		c, err := New(Config{M: 90, Pattern: pattern.Triangle,
+			Weight: weights.GPSDefault(), Rng: xrand.New(100)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := build(), build()
+	for i, ev := range s {
+		a.Process(ev)
+		b.Process(ev)
+		if a.Estimate() != b.Estimate() {
+			t.Fatalf("twin estimates diverge after event %d: %v != %v", i, a.Estimate(), b.Estimate())
+		}
+	}
+}
+
+// TestSnapshotBitIdenticalResume is the tentpole property: a counter driven
+// by a checkpointable RNG, snapshotted at an arbitrary point and restored,
+// must produce exactly the estimates, thresholds, and sample the
+// uninterrupted counter produces — no reseeding, no statistical tolerance.
+func TestSnapshotBitIdenticalResume(t *testing.T) {
+	s := testStream(t, 47, 400, 0.3)
+	for _, cut := range []int{0, 1, len(s) / 3, len(s) / 2, len(s) - 1} {
+		build := func() *Counter {
+			c, err := New(Config{M: 70, Pattern: pattern.Triangle,
+				Weight: weights.GPSDefault(), Rng: xrand.New(11)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+		uninterrupted := build()
+		interrupted := build()
+		for _, ev := range s[:cut] {
+			uninterrupted.Process(ev)
+			interrupted.Process(ev)
+		}
+
+		blob, err := interrupted.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := DecodeSnapshot(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.RngState == nil {
+			t.Fatal("xrand-driven counter snapshot lacks RNG state")
+		}
+		// No Rng in the restore config: it must come from the snapshot.
+		restored, err := Restore(snap, Config{Weight: weights.GPSDefault()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range s[cut:] {
+			uninterrupted.Process(ev)
+			restored.Process(ev)
+		}
+		if restored.Estimate() != uninterrupted.Estimate() {
+			t.Fatalf("cut %d: estimates diverge: %v != %v",
+				cut, restored.Estimate(), uninterrupted.Estimate())
+		}
+		if restored.SampleSize() != uninterrupted.SampleSize() {
+			t.Fatalf("cut %d: sample sizes diverge: %d != %d",
+				cut, restored.SampleSize(), uninterrupted.SampleSize())
+		}
+		tp1, tq1 := uninterrupted.Thresholds()
+		tp2, tq2 := restored.Thresholds()
+		if tp1 != tp2 || tq1 != tq2 {
+			t.Fatalf("cut %d: thresholds diverge: (%v,%v) != (%v,%v)", cut, tp2, tq2, tp1, tq1)
+		}
+		for _, it := range uninterrupted.Reservoir().Items() {
+			got, ok := restored.Reservoir().Get(it.Edge)
+			if !ok || got.Rank != it.Rank || got.Weight != it.Weight || got.Arrival != it.Arrival {
+				t.Fatalf("cut %d: reservoir item %v diverges", cut, it.Edge)
+			}
+		}
+	}
+}
 
 // TestSnapshotRoundTrip: snapshot mid-stream, restore, and verify the
 // restored counter produces identical estimates and thresholds when both

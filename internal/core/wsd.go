@@ -6,7 +6,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"repro/internal/graph"
@@ -15,6 +14,14 @@ import (
 	"repro/internal/stream"
 	"repro/internal/weights"
 )
+
+// Rand is the randomness source the counter draws its rank uniforms from.
+// Both *math/rand.Rand and *xrand.Rand satisfy it; use *xrand.Rand when the
+// counter must be checkpointable, since only its state can be captured in a
+// Snapshot (see snapshot.go).
+type Rand interface {
+	Float64() float64
+}
 
 // TemporalAgg selects how the temporal state features v_j (Eq. 20) aggregate
 // arrival indexes across the instances in Hk.
@@ -41,8 +48,10 @@ type Config struct {
 	// TemporalAgg selects the v_j aggregation; the zero value is the paper's
 	// max aggregation.
 	TemporalAgg TemporalAgg
-	// Rng drives the rank randomization. Required.
-	Rng *rand.Rand
+	// Rng drives the rank randomization. Required. Pass an *xrand.Rand to
+	// make the counter fully checkpointable (Snapshot then captures the RNG
+	// state so a restored counter resumes bit-identically).
+	Rng Rand
 	// OnInstance, when non-nil, observes every pattern instance the
 	// estimator counts: sign is +1 for a formation (insertion event) and -1
 	// for a destruction (deletion event); contribution is the
@@ -83,6 +92,13 @@ type Counter struct {
 	count    []int64
 	arrivals []float64
 	vec      []float64
+	// prods collects one event's instance contributions so they can be
+	// added to the estimate in sorted order. Completion enumeration walks
+	// Go maps, whose iteration order is randomized; float addition is not
+	// associative, so accumulating in enumeration order would make the
+	// estimate wobble in its last ULP between otherwise identical runs —
+	// breaking the bit-identical checkpoint/resume guarantee.
+	prods []float64
 
 	// lastState records the most recent MDP state handed to the weight
 	// function; exposed for the RL environment and for policy analysis.
@@ -174,6 +190,7 @@ func (c *Counter) insert(e graph.Edge) {
 		c.count[j] = 0
 	}
 	instances := 0
+	c.prods = c.prods[:0]
 	c.cfg.Pattern.ForEachCompletion(c.res, e.U, e.V, func(others []graph.Edge) bool {
 		prod := 1.0
 		arr := c.arrivals[:0]
@@ -186,7 +203,7 @@ func (c *Counter) insert(e graph.Edge) {
 			prod *= 1 / c.inclusionProb(it)
 			arr = append(arr, float64(it.Arrival))
 		}
-		c.estimate += prod
+		c.prods = append(c.prods, prod)
 		if c.cfg.OnInstance != nil {
 			c.cfg.OnInstance(+1, prod, e, others)
 		}
@@ -208,6 +225,7 @@ func (c *Counter) insert(e graph.Edge) {
 		}
 		return true
 	})
+	c.estimate += c.sumProds()
 	if c.cfg.TemporalAgg == AggAvg {
 		for j := 0; j < h-1; j++ {
 			if c.count[j] > 0 {
@@ -274,6 +292,7 @@ func (c *Counter) ProcessBatch(evs []stream.Event) {
 func (c *Counter) delete(e graph.Edge) {
 	// Eq. (12): subtract the destroyed instances, observed against the
 	// reservoir just before the deletion is applied.
+	c.prods = c.prods[:0]
 	c.cfg.Pattern.ForEachCompletion(c.res, e.U, e.V, func(others []graph.Edge) bool {
 		prod := 1.0
 		for _, oe := range others {
@@ -283,13 +302,30 @@ func (c *Counter) delete(e graph.Edge) {
 			}
 			prod *= 1 / c.inclusionProb(it)
 		}
-		c.estimate -= prod
+		c.prods = append(c.prods, prod)
 		if c.cfg.OnInstance != nil {
 			c.cfg.OnInstance(-1, prod, e, others)
 		}
 		return true
 	})
+	c.estimate -= c.sumProds()
 	// Case 3: drop e from the reservoir if sampled; tau_p and tau_q are
 	// retained.
 	c.res.Remove(e)
+}
+
+// sumProds folds the current event's instance contributions in sorted order,
+// so the total is independent of the (randomized) map iteration order the
+// enumeration visited them in. Without this, float non-associativity makes
+// estimates differ in their last ULP between identical runs, which the
+// bit-identical checkpoint/resume tests would catch as divergence.
+func (c *Counter) sumProds() float64 {
+	if len(c.prods) > 1 {
+		sort.Float64s(c.prods)
+	}
+	sum := 0.0
+	for _, p := range c.prods {
+		sum += p
+	}
+	return sum
 }

@@ -24,6 +24,21 @@ import (
 type Counter struct {
 	inner *core.Counter
 	local map[graph.VertexID]float64
+	// buf collects one event's per-vertex contributions so they can be
+	// applied in canonical (vertex, delta) order after the event. Instance
+	// enumeration visits Go maps in randomized order and float addition is
+	// not associative, so applying contributions as they arrive would make
+	// per-vertex estimates wobble in their last ULP between identical runs
+	// — the same hazard core.Counter.sumProds removes for the global
+	// estimate, and a violation of the bit-identical resume guarantee.
+	buf []pendingDelta
+}
+
+// pendingDelta is one instance contribution to one vertex, awaiting the
+// event's canonical flush.
+type pendingDelta struct {
+	v     graph.VertexID
+	delta float64
 }
 
 // New returns a local counter. The configuration is the core WSD
@@ -52,8 +67,7 @@ func (c *Counter) observe(sign, contribution float64, e graph.Edge, others []gra
 	delta := sign * contribution
 	// Collect the instance's distinct vertices: both endpoints of the event
 	// edge plus every endpoint of the other edges.
-	c.bump(e.U, delta)
-	c.bump(e.V, delta)
+	c.buf = append(c.buf, pendingDelta{e.U, delta}, pendingDelta{e.V, delta})
 	seen := [8]graph.VertexID{e.U, e.V}
 	n := 2
 	for _, oe := range others {
@@ -66,7 +80,7 @@ func (c *Counter) observe(sign, contribution float64, e graph.Edge, others []gra
 				}
 			}
 			if !dup {
-				c.bump(v, delta)
+				c.buf = append(c.buf, pendingDelta{v, delta})
 				if n < len(seen) {
 					seen[n] = v
 					n++
@@ -74,6 +88,25 @@ func (c *Counter) observe(sign, contribution float64, e graph.Edge, others []gra
 			}
 		}
 	}
+}
+
+// flush applies the buffered contributions of one event in canonical order:
+// sorted by vertex, then by delta, so each vertex's sum is independent of
+// the enumeration order the instances were discovered in.
+func (c *Counter) flush() {
+	if len(c.buf) == 0 {
+		return
+	}
+	sort.Slice(c.buf, func(i, j int) bool {
+		if c.buf[i].v != c.buf[j].v {
+			return c.buf[i].v < c.buf[j].v
+		}
+		return c.buf[i].delta < c.buf[j].delta
+	})
+	for _, p := range c.buf {
+		c.bump(p.v, p.delta)
+	}
+	c.buf = c.buf[:0]
 }
 
 func (c *Counter) bump(v graph.VertexID, delta float64) {
@@ -88,12 +121,21 @@ func (c *Counter) bump(v graph.VertexID, delta float64) {
 }
 
 // Process consumes one stream event.
-func (c *Counter) Process(ev stream.Event) { c.inner.Process(ev) }
+func (c *Counter) Process(ev stream.Event) {
+	c.inner.Process(ev)
+	c.flush()
+}
 
 // ProcessBatch consumes a slice of events in order, equivalent to calling
-// Process once per event. It lets batched ingestion layers drive the local
-// counter through the same fast path as the core counter.
-func (c *Counter) ProcessBatch(evs []stream.Event) { c.inner.ProcessBatch(evs) }
+// Process once per event. The per-vertex canonical flush must run per event
+// (flushing once per batch would change float addition order and break the
+// Process/ProcessBatch equivalence), so the loop lives here rather than in
+// the core fast path.
+func (c *Counter) ProcessBatch(evs []stream.Event) {
+	for _, ev := range evs {
+		c.Process(ev)
+	}
+}
 
 // Estimate returns the global pattern count estimate.
 func (c *Counter) Estimate() float64 { return c.inner.Estimate() }

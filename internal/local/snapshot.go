@@ -1,0 +1,83 @@
+package local
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Snapshot is a serializable image of a local counter: the inner WSD
+// counter's snapshot plus the per-vertex estimates. The same bit-identical
+// resume guarantee applies when the inner counter is driven by *xrand.Rand
+// (see core.Snapshot).
+type Snapshot struct {
+	Version int            `json:"version"`
+	Core    *core.Snapshot `json:"core"`
+	Local   []VertexCount  `json:"local"`
+}
+
+// snapshotVersion guards the wire format.
+const snapshotVersion = 1
+
+// Snapshot captures the counter's current state. Local entries are sorted by
+// vertex id so the serialized form is deterministic.
+func (c *Counter) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Version: snapshotVersion,
+		Core:    c.inner.Snapshot(),
+		Local:   make([]VertexCount, 0, len(c.local)),
+	}
+	for v, n := range c.local {
+		s.Local = append(s.Local, VertexCount{Vertex: v, Count: n})
+	}
+	sort.Slice(s.Local, func(i, j int) bool { return s.Local[i].Vertex < s.Local[j].Vertex })
+	return s
+}
+
+// Encode serializes the snapshot to JSON.
+func (s *Snapshot) Encode() ([]byte, error) { return json.Marshal(s) }
+
+// Checkpoint is Snapshot().Encode() in one call.
+func (c *Counter) Checkpoint() ([]byte, error) { return c.Snapshot().Encode() }
+
+// DecodeSnapshot parses a snapshot produced by Encode.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("local: decode snapshot: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("local: snapshot version %d unsupported (want %d)", s.Version, snapshotVersion)
+	}
+	if s.Core == nil {
+		return nil, fmt.Errorf("local: snapshot lacks the core counter state")
+	}
+	return &s, nil
+}
+
+// Restore reconstructs a local counter from a snapshot. cfg plays the same
+// role as in core.Restore (weight function, and a random source only for
+// snapshots without RNG state); its OnInstance hook must be unset, exactly as
+// in New.
+func Restore(s *Snapshot, cfg core.Config) (*Counter, error) {
+	c := &Counter{local: make(map[graph.VertexID]float64, len(s.Local))}
+	for _, vc := range s.Local {
+		if vc.Count == 0 {
+			continue // bump() never leaves zero entries behind
+		}
+		c.local[vc.Vertex] = vc.Count
+	}
+	if cfg.OnInstance != nil {
+		return nil, fmt.Errorf("local: Restore owns the OnInstance hook; found one already set")
+	}
+	cfg.OnInstance = c.observe
+	inner, err := core.Restore(s.Core, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.inner = inner
+	return c, nil
+}

@@ -1,0 +1,126 @@
+package local
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/stream"
+	"repro/internal/weights"
+	"repro/internal/xrand"
+)
+
+// TestLocalSnapshotBitIdenticalResume checks the tentpole property at the
+// local-counting layer: global estimate AND every per-vertex estimate of a
+// restored counter match the uninterrupted run exactly.
+func TestLocalSnapshotBitIdenticalResume(t *testing.T) {
+	edges := gen.BarabasiAlbert(250, 4, rand.New(rand.NewSource(9)))
+	s := stream.LightDeletion(edges, 0.25, rand.New(rand.NewSource(10)))
+
+	build := func() *Counter {
+		c, err := New(core.Config{M: 120, Pattern: pattern.Triangle,
+			Weight: weights.GPSDefault(), Rng: xrand.New(21)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	uninterrupted := build()
+	interrupted := build()
+	cut := len(s) * 2 / 3
+	for _, ev := range s[:cut] {
+		uninterrupted.Process(ev)
+		interrupted.Process(ev)
+	}
+
+	blob, err := interrupted.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(snap, core.Config{Weight: weights.GPSDefault()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range s[cut:] {
+		uninterrupted.Process(ev)
+		restored.Process(ev)
+	}
+
+	if restored.Estimate() != uninterrupted.Estimate() {
+		t.Fatalf("global estimates diverge: %v != %v", restored.Estimate(), uninterrupted.Estimate())
+	}
+	if restored.Vertices() != uninterrupted.Vertices() {
+		t.Fatalf("vertex counts diverge: %d != %d", restored.Vertices(), uninterrupted.Vertices())
+	}
+	for _, vc := range uninterrupted.TopK(uninterrupted.Vertices()) {
+		if got := restored.Local(vc.Vertex); got != vc.Count {
+			t.Fatalf("local estimate for %d diverges: %v != %v", vc.Vertex, got, vc.Count)
+		}
+	}
+}
+
+// TestLocalTwinRunsBitIdentical guards the per-vertex canonical flush: two
+// identically seeded local counters over a dense deletion-heavy stream
+// (events regularly complete several instances sharing vertices) must agree
+// exactly on every local estimate. Without the sorted per-event flush this
+// diverges within a few hundred events.
+func TestLocalTwinRunsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	edges := gen.BarabasiAlbert(400, 5, rng)
+	s := stream.LightDeletion(edges, 0.2, rng)
+	build := func() *Counter {
+		c, err := New(core.Config{M: 90, Pattern: pattern.Triangle,
+			Weight: weights.GPSDefault(), Rng: xrand.New(100)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := build(), build()
+	for i, ev := range s {
+		a.Process(ev)
+		b.Process(ev)
+		if a.Estimate() != b.Estimate() {
+			t.Fatalf("global estimates diverge after event %d", i)
+		}
+	}
+	if a.Vertices() != b.Vertices() {
+		t.Fatalf("vertex counts diverge: %d != %d", a.Vertices(), b.Vertices())
+	}
+	for _, vc := range a.TopK(a.Vertices()) {
+		if got := b.Local(vc.Vertex); got != vc.Count {
+			t.Fatalf("local estimate for %d diverges: %v != %v", vc.Vertex, got, vc.Count)
+		}
+	}
+}
+
+func TestLocalRestoreValidation(t *testing.T) {
+	c, err := New(core.Config{M: 30, Pattern: pattern.Wedge, Rng: xrand.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Process(stream.Event{Op: stream.Insert, Edge: graph.NewEdge(1, 2)})
+	snap := c.Snapshot()
+
+	// Restore owns the OnInstance hook.
+	hooked := core.Config{OnInstance: func(sign, contribution float64, e graph.Edge, others []graph.Edge) {}}
+	if _, err := Restore(snap, hooked); err == nil {
+		t.Error("pre-set OnInstance hook should be rejected")
+	}
+	if _, err := DecodeSnapshot([]byte(`{"version":99}`)); err == nil {
+		t.Error("unknown version should be rejected")
+	}
+	if _, err := DecodeSnapshot([]byte(`{"version":1}`)); err == nil {
+		t.Error("missing core state should be rejected")
+	}
+	if _, err := DecodeSnapshot([]byte(`junk`)); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}

@@ -15,6 +15,7 @@ package pipeline
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -36,16 +37,26 @@ type BatchCounter interface {
 	ProcessBatch(evs []stream.Event)
 }
 
-// ErrClosed is returned by Submit and SubmitBatch after Close.
+// Checkpointable is optionally implemented by counters whose complete state
+// serializes to bytes (core.Counter, local.Counter). Snapshot requires it.
+type Checkpointable interface {
+	Counter
+	Checkpoint() ([]byte, error)
+}
+
+// ErrClosed is returned by Submit, SubmitBatch, Quiesce and Snapshot after
+// Close.
 var ErrClosed = errors.New("pipeline: processor closed")
 
-// envelope is one channel message: either a single event or a batch. Keeping
-// both in one channel preserves total FIFO order between Submit and
-// SubmitBatch calls from the same producer.
+// envelope is one channel message: a single event, a batch, or a quiesce
+// barrier. Keeping all three in one channel preserves total FIFO order, which
+// is what makes the barrier a barrier: when the worker reaches it, every
+// previously enqueued event has been applied.
 type envelope struct {
 	ev     stream.Event
 	batch  []stream.Event
 	single bool
+	sync   chan struct{} // non-nil: barrier; worker closes it and continues
 }
 
 // Processor runs a counter on a dedicated goroutine.
@@ -83,6 +94,10 @@ func New(c Counter, buffer int) *Processor {
 func (p *Processor) run() {
 	defer close(p.done)
 	for env := range p.events {
+		if env.sync != nil {
+			close(env.sync)
+			continue
+		}
 		if env.single {
 			p.counter.Process(env.ev)
 			p.processed.Add(1)
@@ -149,6 +164,49 @@ func (p *Processor) Estimate() float64 {
 
 // Processed returns the number of events applied so far.
 func (p *Processor) Processed() int64 { return p.processed.Load() }
+
+// Quiesce drains every event submitted so far and then calls fn with
+// exclusive access to the counter: no new submissions are accepted while fn
+// runs (submitters block) and the worker goroutine is parked. fn must not
+// retain the counter. Quiesce is how state is read or checkpointed
+// consistently without stopping the processor for good.
+func (p *Processor) Quiesce(fn func(c Counter) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	// The barrier rides the event channel, so FIFO order guarantees all
+	// previously enqueued envelopes are applied before it trips. The
+	// channel-close handoff gives the happens-before edge that makes the
+	// worker's counter mutations visible here; holding mu keeps every
+	// producer out until fn is done.
+	ack := make(chan struct{})
+	p.events <- envelope{sync: ack}
+	<-ack
+	return fn(p.counter)
+}
+
+// Snapshot quiesces the processor and returns the wrapped counter's encoded
+// snapshot. The counter must implement Checkpointable (the WSD counters do);
+// the processor keeps running afterwards. Restore is construction: rebuild
+// the counter from the snapshot (e.g. core.Restore) and wrap it in New.
+func (p *Processor) Snapshot() ([]byte, error) {
+	var out []byte
+	err := p.Quiesce(func(c Counter) error {
+		ck, ok := c.(Checkpointable)
+		if !ok {
+			return fmt.Errorf("pipeline: counter %T does not support checkpointing", c)
+		}
+		b, err := ck.Checkpoint()
+		out = b
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 // Close drains all pending events, stops the worker, and returns the final
 // estimate. Subsequent Submit calls fail with ErrClosed; Close is idempotent.

@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/weights"
+	"repro/internal/xrand"
+)
+
+func newXrandCounter(t *testing.T, seed int64) *core.Counter {
+	t.Helper()
+	c, err := core.New(core.Config{M: 300, Pattern: pattern.Triangle,
+		Weight: weights.GPSDefault(), Rng: xrand.New(seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestProcessorSnapshotBitIdenticalResume: a processor snapshotted mid-stream
+// and rebuilt over the restored counter finishes with exactly the estimate an
+// uninterrupted processor produces.
+func TestProcessorSnapshotBitIdenticalResume(t *testing.T) {
+	s := testEvents(5, 500)
+	cut := len(s) / 2
+
+	uninterrupted := New(newXrandCounter(t, 31), 32)
+	interrupted := New(newXrandCounter(t, 31), 32)
+	for _, ev := range s[:cut] {
+		if err := uninterrupted.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := interrupted.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	blob, err := interrupted.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	interrupted.Close()
+
+	snap, err := core.DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter, err := core.Restore(snap, core.Config{Weight: weights.GPSDefault()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New(counter, 32)
+	for _, ev := range s[cut:] {
+		if err := uninterrupted.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := uninterrupted.Close()
+	got := restored.Close()
+	if got != want {
+		t.Fatalf("restored processor estimate %v, uninterrupted %v", got, want)
+	}
+}
+
+// TestQuiesceDrainsBacklog: quiesce must observe every previously submitted
+// event applied, and reject use after Close.
+func TestQuiesceDrainsBacklog(t *testing.T) {
+	s := testEvents(6, 400)
+	p := New(newXrandCounter(t, 3), 8)
+	if err := p.SubmitBatch(s); err != nil {
+		t.Fatal(err)
+	}
+	var seen float64
+	if err := p.Quiesce(func(c Counter) error {
+		seen = c.Estimate()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Processed() != int64(len(s)) {
+		t.Fatalf("after quiesce, processed %d of %d", p.Processed(), len(s))
+	}
+	if seen != p.Estimate() {
+		t.Fatalf("quiesced estimate %v differs from published %v", seen, p.Estimate())
+	}
+	p.Close()
+	if err := p.Quiesce(func(Counter) error { return nil }); err != ErrClosed {
+		t.Fatalf("quiesce after close: got %v, want ErrClosed", err)
+	}
+	if _, err := p.Snapshot(); err != ErrClosed {
+		t.Fatalf("snapshot after close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestConcurrentSnapshotIngest runs snapshots against concurrent producers
+// and readers under the race detector: snapshots must be internally
+// consistent and never block the pipeline permanently.
+func TestConcurrentSnapshotIngest(t *testing.T) {
+	s := testEvents(7, 800)
+	p := New(newXrandCounter(t, 9), 16)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(s); i += 4 {
+				if err := p.Submit(s[i]); err != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := p.Snapshot(); err != nil && err != ErrClosed {
+					t.Errorf("snapshot: %v", err)
+					return
+				}
+				_ = p.Estimate()
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+}

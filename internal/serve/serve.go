@@ -1,0 +1,264 @@
+// Package serve is the HTTP front end over the sharded counter: the piece
+// that turns the library into a long-running service. It exposes batch
+// ingestion (text or binary stream bodies), the combined estimate, and
+// checkpoint/restore of the full sampler state, so a deployment can survive
+// restarts and be rebalanced without replaying its (single-pass,
+// unreplayable) stream.
+//
+// The handler is plain net/http over the wsd facade's ShardedCounter, which
+// already serializes ingestion per shard and publishes estimates for
+// lock-free readers; the server only adds wire parsing and a swap lock for
+// restore.
+//
+//	POST /ingest    body: stream events, text or binary (sniffed)  -> {"accepted": n}
+//	GET  /estimate                                                  -> {"estimate": ..., "processed": ..., ...}
+//	GET  /snapshot  full ensemble state                             -> application/json blob
+//	POST /restore   body: a /snapshot blob                          -> {"restored": true, "shards": k}
+//	GET  /healthz                                                   -> ok
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	wsd "repro"
+
+	"repro/internal/shard"
+	"repro/internal/stream"
+)
+
+// Config describes the counter the server fronts.
+type Config struct {
+	// Pattern is the subgraph pattern served. Required.
+	Pattern wsd.Pattern
+	// M is the total reservoir budget. Required.
+	M int
+	// Shards is the ensemble width; values < 1 mean 1.
+	Shards int
+	// Options are passed to NewShardedCounter and to RestoreShardedCounter,
+	// so seed, weight function, combiner and budget mode survive /restore.
+	Options []wsd.Option
+	// MaxBodyBytes caps request bodies; 0 means 64 MiB.
+	MaxBodyBytes int64
+}
+
+const defaultMaxBodyBytes = 64 << 20
+
+// Server fronts one sharded counter. Construct with New; the zero value is
+// not usable.
+type Server struct {
+	cfg Config
+
+	// mu guards ens as a pointer: ingest/estimate/snapshot hold the read
+	// lock (the ensemble itself is concurrency-safe), restore swaps the
+	// ensemble under the write lock.
+	mu  sync.RWMutex
+	ens *wsd.ShardedCounter
+}
+
+// New builds the counter and returns a ready server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	ens, err := wsd.NewShardedCounter(cfg.Pattern, cfg.M, cfg.Shards, cfg.Options...)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, ens: ens}, nil
+}
+
+// Close drains and stops the counter, returning the final estimate.
+func (s *Server) Close() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ens.Close()
+}
+
+// Snapshot returns the encoded state of the current ensemble (also served at
+// /snapshot); exposed so a main can checkpoint on shutdown.
+func (s *Server) Snapshot() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ens.Snapshot()
+}
+
+// Restore swaps in an ensemble rebuilt from a snapshot blob (also served at
+// /restore); exposed so a main can reload a checkpoint before listening. The
+// snapshot must describe the same deployment this server was configured for
+// — same pattern, same shard count, and a total budget matching either the
+// split-budget (m) or full-budget (m*shards) mode — otherwise the swap is
+// refused and the running ensemble is untouched. The previous ensemble is
+// closed on success.
+func (s *Server) Restore(blob []byte) (int, error) {
+	restored, err := wsd.RestoreShardedCounterChecked(blob, func(info wsd.ShardedSnapshotInfo) error {
+		if info.Pattern != s.cfg.Pattern {
+			return fmt.Errorf("serve: snapshot counts %s, server is configured for %s", info.Pattern, s.cfg.Pattern)
+		}
+		if info.Shards != s.cfg.Shards {
+			return fmt.Errorf("serve: snapshot holds %d shards, server is configured for %d", info.Shards, s.cfg.Shards)
+		}
+		if info.TotalM != s.cfg.M && info.TotalM != s.cfg.M*s.cfg.Shards {
+			return fmt.Errorf("serve: snapshot total budget %d does not match m=%d (split) or m*shards=%d (full)",
+				info.TotalM, s.cfg.M, s.cfg.M*s.cfg.Shards)
+		}
+		return nil
+	}, s.cfg.Options...)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	old := s.ens
+	s.ens = restored
+	s.mu.Unlock()
+	old.Close()
+	return restored.Shards(), nil
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /estimate", s.handleEstimate)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /restore", s.handleRestore)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// Read the whole body before parsing anything. MaxBytesReader (unlike a
+	// LimitReader) errors on overflow instead of silently truncating, and
+	// reading up front guarantees a truncated body can never be half-parsed
+	// into the counters — a text stream cut mid-line would otherwise yield a
+	// shortened vertex id that parses as a valid (wrong) event.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		if isBodyTooLarge(err) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Binary bodies are submitted frame by frame — the wire format's frames
+	// map 1:1 onto SubmitBatch batches — while text bodies are parsed whole.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	accepted, err := ingest(s.ens, bytes.NewReader(raw))
+	if err != nil {
+		if errors.Is(err, shard.ErrClosed) {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{"accepted": accepted})
+}
+
+// isBodyTooLarge matches http.MaxBytesReader's overflow error.
+func isBodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}
+
+// ingest parses and submits one request body, returning the event count.
+// The whole body is decoded before the first submit, so a parse error
+// anywhere (a corrupt trailing frame, a malformed line) rejects the request
+// without having applied a prefix of it — clients can safely retry a 400
+// without double-counting. Binary frames are still submitted batch by batch,
+// preserving the wire format's 1:1 frame-to-SubmitBatch mapping.
+func ingest(ens *wsd.ShardedCounter, body io.Reader) (int, error) {
+	br, isBinary := stream.SniffBinary(body)
+	var batches [][]stream.Event
+	total := 0
+	if isBinary {
+		reader, err := stream.NewBinaryReader(br)
+		if err != nil {
+			return 0, err
+		}
+		for {
+			batch, err := reader.ReadBatch()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return 0, err
+			}
+			batches = append(batches, batch)
+			total += len(batch)
+		}
+	} else {
+		evs, err := stream.Read(br)
+		if err != nil {
+			return 0, err
+		}
+		if len(evs) > 0 {
+			batches = append(batches, evs)
+			total = len(evs)
+		}
+	}
+	for _, batch := range batches {
+		if err := ens.SubmitBatch(batch); err != nil {
+			// Only Close can fail a submit; the service is shutting down.
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, map[string]any{
+		"estimate":  s.ens.Estimate(),
+		"shards":    s.ens.Estimates(),
+		"processed": s.ens.Processed(),
+		"pattern":   s.cfg.Pattern.String(),
+		"m":         s.cfg.M,
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	blob, err := s.Snapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(blob)
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		if isBodyTooLarge(err) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	shards, err := s.Restore(blob)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{"restored": true, "shards": shards})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

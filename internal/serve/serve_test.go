@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	wsd "repro"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(Config{Pattern: wsd.TrianglePattern, M: 600, Shards: 3,
+		Options: []wsd.Option{wsd.WithSeed(9)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+func testStream(t *testing.T, seed int64, n int) stream.Stream {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := gen.HolmeKim(n, 4, 0.6, rng)
+	return stream.LightDeletion(edges, 0.2, rng)
+}
+
+func post(t *testing.T, url string, body []byte) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d: %s", url, resp.StatusCode, raw)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("POST %s: bad JSON %q: %v", url, raw, err)
+	}
+	return out
+}
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, raw)
+	}
+	return raw
+}
+
+// TestIngestBothFormatsMatchDirectRun: events POSTed in either wire format
+// must produce exactly the estimate a directly driven sharded counter with
+// the same configuration produces.
+func TestIngestBothFormatsMatchDirectRun(t *testing.T) {
+	s := testStream(t, 4, 400)
+
+	direct, err := wsd.NewShardedCounter(wsd.TrianglePattern, 600, 3, wsd.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.SubmitBatch(s); err != nil {
+		t.Fatal(err)
+	}
+	want := direct.Close()
+
+	for _, format := range []string{"text", "binary"} {
+		var body bytes.Buffer
+		var err error
+		if format == "binary" {
+			err = stream.WriteBinary(&body, s)
+		} else {
+			err = stream.Write(&body, s)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, ts := testServer(t)
+		out := post(t, ts.URL+"/ingest", body.Bytes())
+		if int(out["accepted"].(float64)) != len(s) {
+			t.Fatalf("%s: accepted %v of %d events", format, out["accepted"], len(s))
+		}
+		// Snapshot quiesces the ensemble, so the estimate read afterwards
+		// reflects every ingested event.
+		if _, err := srv.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+		var est struct {
+			Estimate  float64   `json:"estimate"`
+			Shards    []float64 `json:"shards"`
+			Processed int64     `json:"processed"`
+		}
+		if err := json.Unmarshal(get(t, ts.URL+"/estimate"), &est); err != nil {
+			t.Fatal(err)
+		}
+		if est.Processed != int64(len(s)) {
+			t.Fatalf("%s: processed %d of %d", format, est.Processed, len(s))
+		}
+		if est.Estimate != want {
+			t.Fatalf("%s: served estimate %v, direct run %v", format, est.Estimate, want)
+		}
+		if len(est.Shards) != 3 {
+			t.Fatalf("%s: %d shard estimates", format, len(est.Shards))
+		}
+	}
+}
+
+// TestSnapshotRestoreAcrossServers is the service-level tentpole check: a
+// server snapshotted mid-stream, its snapshot restored into a brand-new
+// server, and the remainder ingested there must end bit-identical to a
+// server that saw the whole stream.
+func TestSnapshotRestoreAcrossServers(t *testing.T) {
+	s := testStream(t, 7, 500)
+	cut := len(s) / 2
+	encode := func(evs stream.Stream) []byte {
+		var buf bytes.Buffer
+		if err := stream.WriteBinary(&buf, evs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	_, uninterrupted := testServer(t)
+	post(t, uninterrupted.URL+"/ingest", encode(s))
+
+	_, interrupted := testServer(t)
+	post(t, interrupted.URL+"/ingest", encode(s[:cut]))
+	blob := get(t, interrupted.URL+"/snapshot")
+
+	_, fresh := testServer(t)
+	out := post(t, fresh.URL+"/restore", blob)
+	if out["restored"] != true || int(out["shards"].(float64)) != 3 {
+		t.Fatalf("restore reply: %v", out)
+	}
+	post(t, fresh.URL+"/ingest", encode(s[cut:]))
+
+	read := func(ts *httptest.Server) float64 {
+		get(t, ts.URL+"/snapshot") // quiesce so the estimate is final
+		var est struct {
+			Estimate float64 `json:"estimate"`
+		}
+		if err := json.Unmarshal(get(t, ts.URL+"/estimate"), &est); err != nil {
+			t.Fatal(err)
+		}
+		return est.Estimate
+	}
+	if got, want := read(fresh), read(uninterrupted); got != want {
+		t.Fatalf("restored server estimate %v, uninterrupted %v", got, want)
+	}
+}
+
+// TestRestoreRejectsMismatchedSnapshot: a snapshot from a differently
+// configured deployment must not silently change what the service computes.
+func TestRestoreRejectsMismatchedSnapshot(t *testing.T) {
+	donor, err := New(Config{Pattern: wsd.WedgePattern, M: 100, Shards: 2,
+		Options: []wsd.Option{wsd.WithSeed(3)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer donor.Close()
+	blob, err := donor.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := testServer(t) // triangle, m=600, 3 shards
+	resp, err := http.Post(ts.URL+"/restore", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched restore: status %d, body %s", resp.StatusCode, body)
+	}
+	// The running ensemble must be untouched: ingestion still works.
+	var buf bytes.Buffer
+	if err := stream.Write(&buf, testStream(t, 2, 50)); err != nil {
+		t.Fatal(err)
+	}
+	post(t, ts.URL+"/ingest", buf.Bytes())
+}
+
+// TestIngestBodyTooLarge: an oversized body must be refused with 413, never
+// silently truncated into a partial ingest.
+func TestIngestBodyTooLarge(t *testing.T) {
+	srv, err := New(Config{Pattern: wsd.TrianglePattern, M: 100, Shards: 1,
+		MaxBodyBytes: 512, Options: []wsd.Option{wsd.WithSeed(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	var big bytes.Buffer
+	if err := stream.Write(&big, testStream(t, 8, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if big.Len() <= 512 {
+		t.Fatalf("test body too small: %d bytes", big.Len())
+	}
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain", &big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest: status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := testServer(t)
+	for name, req := range map[string]func() (*http.Response, error){
+		"bad text ingest": func() (*http.Response, error) {
+			return http.Post(ts.URL+"/ingest", "text/plain", bytes.NewBufferString("not numbers\n"))
+		},
+		"truncated binary ingest": func() (*http.Response, error) {
+			return http.Post(ts.URL+"/ingest", "application/octet-stream", bytes.NewBufferString("WSDB"))
+		},
+		"garbage restore": func() (*http.Response, error) {
+			return http.Post(ts.URL+"/restore", "application/json", bytes.NewBufferString("{"))
+		},
+		"estimate wrong method": func() (*http.Response, error) {
+			return http.Post(ts.URL+"/estimate", "text/plain", nil)
+		},
+	} {
+		resp, err := req()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode < 400 {
+			t.Errorf("%s: status %d, want an error", name, resp.StatusCode)
+		}
+	}
+	if got := string(get(t, ts.URL+"/healthz")); got != "ok\n" {
+		t.Errorf("healthz: %q", got)
+	}
+}
+
+// TestConcurrentIngestEstimate exercises the wsdserve satellite under the
+// race detector: parallel /ingest, /estimate, and /snapshot traffic.
+func TestConcurrentIngestEstimate(t *testing.T) {
+	s := testStream(t, 11, 600)
+	_, ts := testServer(t)
+
+	chunks := make([][]byte, 0, 8)
+	per := (len(s) + 7) / 8
+	for lo := 0; lo < len(s); lo += per {
+		hi := lo + per
+		if hi > len(s) {
+			hi = len(s)
+		}
+		var buf bytes.Buffer
+		if err := stream.WriteBinary(&buf, s[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		chunks = append(chunks, buf.Bytes())
+	}
+
+	// t.Fatal must stay on the test goroutine; workers report via t.Error.
+	do := func(method, url string, body []byte) {
+		var resp *http.Response
+		var err error
+		if method == http.MethodPost {
+			resp, err = http.Post(url, "application/octet-stream", bytes.NewReader(body))
+		} else {
+			resp, err = http.Get(url)
+		}
+		if err != nil {
+			t.Errorf("%s %s: %v", method, url, err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s %s: status %d", method, url, resp.StatusCode)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, chunk := range chunks {
+		wg.Add(1)
+		go func(chunk []byte) {
+			defer wg.Done()
+			do(http.MethodPost, ts.URL+"/ingest", chunk)
+		}(chunk)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				do(http.MethodGet, ts.URL+"/estimate", nil)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			do(http.MethodGet, ts.URL+"/snapshot", nil)
+		}
+	}()
+	wg.Wait()
+
+	var est struct {
+		Processed int64 `json:"processed"`
+	}
+	get(t, ts.URL+"/snapshot")
+	if err := json.Unmarshal(get(t, ts.URL+"/estimate"), &est); err != nil {
+		t.Fatal(err)
+	}
+	if est.Processed != int64(len(s)) {
+		t.Fatalf("processed %d of %d events", est.Processed, len(s))
+	}
+}

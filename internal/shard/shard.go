@@ -26,6 +26,7 @@
 package shard
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -50,7 +51,16 @@ type BatchCounter interface {
 	ProcessBatch(evs []stream.Event)
 }
 
-// ErrClosed is returned by Submit and SubmitBatch after Close.
+// Checkpointable is optionally implemented by counters whose complete state
+// serializes to bytes (core.Counter, local.Counter). Ensemble.Snapshot
+// requires every shard counter to implement it.
+type Checkpointable interface {
+	Counter
+	Checkpoint() ([]byte, error)
+}
+
+// ErrClosed is returned by Submit, SubmitBatch, Quiesce and Snapshot after
+// Close.
 var ErrClosed = errors.New("shard: ensemble closed")
 
 // Combiner folds the K shard estimates into the ensemble estimate. It is
@@ -125,12 +135,22 @@ func SplitBudget(total, shards int) []int {
 	return out
 }
 
+// envelope is one feed message: a batch of events, or a quiesce barrier when
+// sync is non-nil. FIFO order on the feed is what makes the barrier a
+// barrier: when the worker reaches it, every previously enqueued batch has
+// been applied.
+type envelope struct {
+	batch []stream.Event
+	sync  chan struct{} // non-nil: barrier; worker closes it and continues
+}
+
 // worker owns one shard: its counter, its feed channel, and its published
-// estimate. The counter is touched only by the worker goroutine.
+// estimate. The counter is touched only by the worker goroutine — except
+// inside a Quiesce barrier, where the worker is provably parked.
 type worker struct {
 	counter   Counter
 	batched   BatchCounter // non-nil when counter implements BatchCounter
-	feed      chan []stream.Event
+	feed      chan envelope
 	estimate  atomic.Uint64 // float64 bits
 	processed atomic.Int64
 	done      chan struct{}
@@ -138,7 +158,12 @@ type worker struct {
 
 func (w *worker) run() {
 	defer close(w.done)
-	for batch := range w.feed {
+	for env := range w.feed {
+		if env.sync != nil {
+			close(env.sync)
+			continue
+		}
+		batch := env.batch
 		if w.batched != nil {
 			w.batched.ProcessBatch(batch)
 		} else {
@@ -202,7 +227,7 @@ func New(counters []Counter, opts ...Option) (*Ensemble, error) {
 		}
 		w := &worker{
 			counter: c,
-			feed:    make(chan []stream.Event, cfg.buffer),
+			feed:    make(chan envelope, cfg.buffer),
 			done:    make(chan struct{}),
 		}
 		if bc, ok := c.(BatchCounter); ok {
@@ -236,7 +261,7 @@ func (e *Ensemble) SubmitBatch(evs []stream.Event) error {
 		// (Close waits for the lock before closing the feeds) and keeps
 		// batches in the same order on every shard.
 		for _, w := range e.workers {
-			w.feed <- evs
+			w.feed <- envelope{batch: evs}
 		}
 	}
 	e.mu.Unlock()
@@ -283,6 +308,112 @@ func (e *Ensemble) Processed() int64 {
 		}
 	}
 	return min
+}
+
+// Quiesce drains every batch submitted so far on every shard and then calls
+// fn once per shard with exclusive access to its counter: no new submissions
+// are accepted while the callbacks run (submitters block on the ensemble
+// lock) and every worker goroutine is parked at its barrier. fn must not
+// retain the counters. The barriers are broadcast before any is awaited, so
+// the shards drain concurrently.
+func (e *Ensemble) Quiesce(fn func(i int, c Counter) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	acks := make([]chan struct{}, len(e.workers))
+	for i, w := range e.workers {
+		acks[i] = make(chan struct{})
+		w.feed <- envelope{sync: acks[i]}
+	}
+	for _, ack := range acks {
+		<-ack
+	}
+	// Every worker has applied its whole backlog and is parked reading an
+	// empty feed; the channel-close handoff makes their counter mutations
+	// visible here, and holding mu keeps producers out until fn returns.
+	for i, w := range e.workers {
+		if err := fn(i, w.counter); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnsembleSnapshot is the serialized form of a whole ensemble: one encoded
+// counter snapshot per shard, in shard order. The combiner, budgets and
+// weight functions are configuration, not state — they are re-supplied at
+// Restore time just as in core.Restore.
+type EnsembleSnapshot struct {
+	Version int               `json:"version"`
+	Shards  []json.RawMessage `json:"shards"`
+}
+
+// ensembleSnapshotVersion guards the wire format.
+const ensembleSnapshotVersion = 1
+
+// Snapshot quiesces the ensemble and returns its serialized state. Every
+// shard counter must implement Checkpointable (the WSD counters do); the
+// ensemble keeps running afterwards.
+func (e *Ensemble) Snapshot() ([]byte, error) {
+	snap := EnsembleSnapshot{
+		Version: ensembleSnapshotVersion,
+		Shards:  make([]json.RawMessage, len(e.workers)),
+	}
+	err := e.Quiesce(func(i int, c Counter) error {
+		ck, ok := c.(Checkpointable)
+		if !ok {
+			return fmt.Errorf("shard: counter %d (%T) does not support checkpointing", i, c)
+		}
+		b, err := ck.Checkpoint()
+		if err != nil {
+			return fmt.Errorf("shard: checkpoint counter %d: %w", i, err)
+		}
+		snap.Shards[i] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(snap)
+}
+
+// DecodeEnsembleSnapshot parses and validates a Snapshot blob without
+// rebuilding counters, so callers can inspect (or reject) a snapshot before
+// committing to a restore.
+func DecodeEnsembleSnapshot(data []byte) (*EnsembleSnapshot, error) {
+	var snap EnsembleSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("shard: decode ensemble snapshot: %w", err)
+	}
+	if snap.Version != ensembleSnapshotVersion {
+		return nil, fmt.Errorf("shard: ensemble snapshot version %d unsupported (want %d)", snap.Version, ensembleSnapshotVersion)
+	}
+	if len(snap.Shards) == 0 {
+		return nil, fmt.Errorf("shard: ensemble snapshot holds no shards")
+	}
+	return &snap, nil
+}
+
+// Restore reconstructs an ensemble from a Snapshot blob. build reconstructs
+// shard i's counter from its encoded snapshot (e.g. core.DecodeSnapshot +
+// core.Restore with the deployment's weight function); the options play the
+// same role as in New. The restored ensemble is started and ready to ingest.
+func Restore(data []byte, build func(i int, shard []byte) (Counter, error), opts ...Option) (*Ensemble, error) {
+	snap, err := DecodeEnsembleSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	counters := make([]Counter, len(snap.Shards))
+	for i, raw := range snap.Shards {
+		c, err := build(i, raw)
+		if err != nil {
+			return nil, fmt.Errorf("shard: restore counter %d: %w", i, err)
+		}
+		counters[i] = c
+	}
+	return New(counters, opts...)
 }
 
 // Close drains all pending batches, stops the workers, and returns the final

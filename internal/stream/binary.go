@@ -1,0 +1,256 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// Binary stream format. The text format (Write/Read) is the interchange
+// format; this is the fast path for replay and for the wire: a fixed header
+// followed by length-prefixed frames of varint-encoded events, so a reader
+// can pull one batch at a time straight into SubmitBatch without ever
+// materializing the whole stream.
+//
+//	header:  "WSDB" version(1 byte)
+//	frame:   uvarint(payloadBytes) payload
+//	payload: uvarint(eventCount) event*
+//	event:   uvarint(u<<1 | op) uvarint(v)
+//
+// Vertex IDs are 32-bit; the op bit rides the low bit of u so the common
+// insert event costs nothing extra. Frames are self-delimiting, which makes
+// the format streamable and lets a corrupt tail be detected without trusting
+// anything beyond the current frame.
+
+// binaryMagic identifies a binary stream file; it is also what ReadAuto
+// sniffs. No valid text stream starts with these bytes.
+var binaryMagic = [4]byte{'W', 'S', 'D', 'B'}
+
+// binaryVersion guards the frame encoding.
+const binaryVersion = 1
+
+const (
+	// DefaultFrameEvents is the batch size WriteBinary cuts frames at: large
+	// enough to amortize the length prefix and per-frame call overhead,
+	// small enough that a streaming consumer gets work promptly.
+	DefaultFrameEvents = 4096
+	// maxFrameBytes bounds a frame's declared payload so a corrupt or
+	// hostile length prefix cannot force a huge allocation. 16 MiB is ~1.6M
+	// worst-case events, far above DefaultFrameEvents frames.
+	maxFrameBytes = 16 << 20
+	// maxFrameEvents is the largest batch WriteBatch packs into one frame;
+	// bigger batches are split. At the 10-byte worst case per event
+	// (two maximal 32-bit varints) this stays under maxFrameBytes, so a
+	// written frame is always readable.
+	maxFrameEvents = 1 << 20
+)
+
+// BinaryWriter writes a binary event stream frame by frame.
+type BinaryWriter struct {
+	w   *bufio.Writer
+	buf []byte // scratch for one frame payload
+}
+
+// NewBinaryWriter writes the header and returns a writer. Call Flush when
+// done.
+func NewBinaryWriter(w io.Writer) (*BinaryWriter, error) {
+	bw := &BinaryWriter{w: bufio.NewWriter(w)}
+	if _, err := bw.w.Write(binaryMagic[:]); err != nil {
+		return nil, fmt.Errorf("stream: write binary header: %w", err)
+	}
+	if err := bw.w.WriteByte(binaryVersion); err != nil {
+		return nil, fmt.Errorf("stream: write binary header: %w", err)
+	}
+	return bw, nil
+}
+
+// WriteBatch appends a frame holding the given events; batches above
+// maxFrameEvents are split across frames so no written frame can exceed the
+// reader's size bound. Empty batches are ignored (a zero-event frame is
+// legal to read but never written).
+func (bw *BinaryWriter) WriteBatch(evs []Event) error {
+	for len(evs) > maxFrameEvents {
+		if err := bw.writeFrame(evs[:maxFrameEvents]); err != nil {
+			return err
+		}
+		evs = evs[maxFrameEvents:]
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	return bw.writeFrame(evs)
+}
+
+func (bw *BinaryWriter) writeFrame(evs []Event) error {
+	bw.buf = bw.buf[:0]
+	bw.buf = binary.AppendUvarint(bw.buf, uint64(len(evs)))
+	for _, ev := range evs {
+		op := uint64(0)
+		if ev.Op == Delete {
+			op = 1
+		}
+		bw.buf = binary.AppendUvarint(bw.buf, uint64(ev.Edge.U)<<1|op)
+		bw.buf = binary.AppendUvarint(bw.buf, uint64(ev.Edge.V))
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(bw.buf)))
+	if _, err := bw.w.Write(lenBuf[:n]); err != nil {
+		return fmt.Errorf("stream: write frame: %w", err)
+	}
+	if _, err := bw.w.Write(bw.buf); err != nil {
+		return fmt.Errorf("stream: write frame: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered frames to the underlying writer.
+func (bw *BinaryWriter) Flush() error {
+	if err := bw.w.Flush(); err != nil {
+		return fmt.Errorf("stream: flush: %w", err)
+	}
+	return nil
+}
+
+// BinaryReader reads a binary event stream frame by frame.
+type BinaryReader struct {
+	r   *bufio.Reader
+	buf []byte // reused frame payload buffer
+}
+
+// NewBinaryReader validates the header and returns a reader.
+func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
+	br := &BinaryReader{r: bufio.NewReader(r)}
+	var header [5]byte
+	if _, err := io.ReadFull(br.r, header[:]); err != nil {
+		return nil, fmt.Errorf("stream: read binary header: %w", err)
+	}
+	if !bytes.Equal(header[:4], binaryMagic[:]) {
+		return nil, fmt.Errorf("stream: bad binary magic %q", header[:4])
+	}
+	if header[4] != binaryVersion {
+		return nil, fmt.Errorf("stream: binary version %d unsupported (want %d)", header[4], binaryVersion)
+	}
+	return br, nil
+}
+
+// ReadBatch returns the next frame's events, or io.EOF after the last
+// complete frame. The returned slice is freshly allocated per call — safe to
+// hand to SubmitBatch, which takes ownership.
+func (br *BinaryReader) ReadBatch() ([]Event, error) {
+	payloadLen, err := binary.ReadUvarint(br.r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF // clean end between frames
+		}
+		return nil, fmt.Errorf("stream: read frame length: %w", err)
+	}
+	if payloadLen > maxFrameBytes {
+		return nil, fmt.Errorf("stream: frame of %d bytes exceeds the %d-byte limit", payloadLen, maxFrameBytes)
+	}
+	if uint64(cap(br.buf)) < payloadLen {
+		br.buf = make([]byte, payloadLen)
+	}
+	payload := br.buf[:payloadLen]
+	if _, err := io.ReadFull(br.r, payload); err != nil {
+		return nil, fmt.Errorf("stream: read frame payload: %w", err)
+	}
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("stream: corrupt frame: bad event count")
+	}
+	payload = payload[n:]
+	// Each event is at least two bytes, so a count above payload/2 is
+	// corrupt; checking before allocating keeps hostile counts cheap.
+	if count > uint64(len(payload))/2 {
+		return nil, fmt.Errorf("stream: corrupt frame: %d events in %d payload bytes", count, len(payload))
+	}
+	evs := make([]Event, 0, count)
+	for i := uint64(0); i < count; i++ {
+		opU, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, fmt.Errorf("stream: corrupt frame: truncated event %d", i)
+		}
+		payload = payload[n:]
+		v, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, fmt.Errorf("stream: corrupt frame: truncated event %d", i)
+		}
+		payload = payload[n:]
+		u := opU >> 1
+		if u > uint64(^graph.VertexID(0)) || v > uint64(^graph.VertexID(0)) {
+			return nil, fmt.Errorf("stream: corrupt frame: vertex id overflows 32 bits in event %d", i)
+		}
+		op := Insert
+		if opU&1 == 1 {
+			op = Delete
+		}
+		evs = append(evs, Event{Op: op, Edge: graph.NewEdge(graph.VertexID(u), graph.VertexID(v))})
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("stream: corrupt frame: %d trailing bytes", len(payload))
+	}
+	return evs, nil
+}
+
+// WriteBinary serializes the stream in the binary format, cutting frames of
+// DefaultFrameEvents events.
+func WriteBinary(w io.Writer, s Stream) error {
+	bw, err := NewBinaryWriter(w)
+	if err != nil {
+		return err
+	}
+	for lo := 0; lo < len(s); lo += DefaultFrameEvents {
+		hi := lo + DefaultFrameEvents
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if err := bw.WriteBatch(s[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a whole binary stream produced by WriteBinary (or any
+// sequence of BinaryWriter batches).
+func ReadBinary(r io.Reader) (Stream, error) {
+	br, err := NewBinaryReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out Stream
+	for {
+		batch, err := br.ReadBatch()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, batch...)
+	}
+}
+
+// SniffBinary peeks at r and reports whether it starts a binary stream. The
+// returned reader replays the peeked bytes, so it hands the complete stream
+// to whichever decoder the caller picks.
+func SniffBinary(r io.Reader) (io.Reader, bool) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binaryMagic))
+	return br, err == nil && bytes.Equal(head, binaryMagic[:])
+}
+
+// ReadAuto parses a stream in either format, sniffing the binary magic. Text
+// streams (including plain edge lists) fall through to Read, so every tool
+// that loads streams accepts both transparently.
+func ReadAuto(r io.Reader) (Stream, error) {
+	br, isBinary := SniffBinary(r)
+	if isBinary {
+		return ReadBinary(br)
+	}
+	return Read(br)
+}

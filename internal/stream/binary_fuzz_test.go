@@ -1,0 +1,89 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzReadBinary throws arbitrary bytes at the binary decoder: it must never
+// panic or over-allocate, and whatever it accepts must survive a
+// WriteBinary/ReadBinary round trip unchanged — the same contract the text
+// parser's FuzzRead enforces.
+func FuzzReadBinary(f *testing.F) {
+	seeds := []Stream{
+		nil,
+		{{Op: Insert, Edge: graph.NewEdge(1, 2)}},
+		{{Op: Insert, Edge: graph.NewEdge(0, ^graph.VertexID(0))}, {Op: Delete, Edge: graph.NewEdge(7, 9)}},
+		syntheticStream(1, 300),
+	}
+	for _, s := range seeds {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, s); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("WSDB"))             // truncated header
+	f.Add([]byte("WSDB\x01\x03\x02")) // frame length without payload
+	f.Add([]byte("+ 1 2\n"))          // text format is not binary
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		s, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, s); err != nil {
+			t.Fatalf("WriteBinary of accepted stream failed: %v", err)
+		}
+		again, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted stream failed: %v", err)
+		}
+		if len(again) != len(s) {
+			t.Fatalf("round trip length %d, want %d", len(again), len(s))
+		}
+		for i := range s {
+			if s[i] != again[i] {
+				t.Fatalf("event %d: %v != %v", i, s[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzBinaryEncodeDecode drives the encoder from fuzzed event data: any
+// stream assembled from the raw bytes must round-trip exactly.
+func FuzzBinaryEncodeDecode(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var s Stream
+		for i := 0; i+8 < len(raw); i += 9 {
+			u := graph.VertexID(raw[i]) | graph.VertexID(raw[i+1])<<8 | graph.VertexID(raw[i+2])<<16 | graph.VertexID(raw[i+3])<<24
+			v := graph.VertexID(raw[i+4]) | graph.VertexID(raw[i+5])<<8 | graph.VertexID(raw[i+6])<<16 | graph.VertexID(raw[i+7])<<24
+			op := Insert
+			if raw[i+8]&1 == 1 {
+				op = Delete
+			}
+			s = append(s, Event{Op: op, Edge: graph.NewEdge(u, v)})
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, s); err != nil {
+			t.Fatalf("WriteBinary: %v", err)
+		}
+		again, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("ReadBinary: %v", err)
+		}
+		if len(again) != len(s) {
+			t.Fatalf("round trip length %d, want %d", len(again), len(s))
+		}
+		for i := range s {
+			if s[i] != again[i] {
+				t.Fatalf("event %d: %v != %v", i, s[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// syntheticStream builds a deterministic mixed insert/delete stream of n
+// events without pulling in the generator package.
+func syntheticStream(seed int64, n int) Stream {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(Stream, 0, n)
+	live := make([]graph.Edge, 0, n)
+	for len(out) < n {
+		if len(live) > 0 && rng.Float64() < 0.2 {
+			i := rng.Intn(len(live))
+			out = append(out, Event{Op: Delete, Edge: live[i]})
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		e := graph.NewEdge(graph.VertexID(rng.Intn(1<<20)), graph.VertexID(rng.Intn(1<<20)))
+		if e.IsLoop() {
+			continue
+		}
+		out = append(out, Event{Op: Insert, Edge: e})
+		live = append(live, e)
+	}
+	return out
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, DefaultFrameEvents, DefaultFrameEvents + 1, 3*DefaultFrameEvents + 17} {
+		s := syntheticStream(int64(n)+1, n)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, s); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != len(s) {
+			t.Fatalf("n=%d: round trip length %d", n, len(got))
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				t.Fatalf("n=%d: event %d: %v != %v", n, i, got[i], s[i])
+			}
+		}
+	}
+}
+
+func TestBinaryExtremeVertexIDs(t *testing.T) {
+	s := Stream{
+		{Op: Insert, Edge: graph.NewEdge(0, 1)},
+		{Op: Insert, Edge: graph.NewEdge(0, ^graph.VertexID(0))},
+		{Op: Delete, Edge: graph.NewEdge(^graph.VertexID(0)-1, ^graph.VertexID(0))},
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s {
+		if got[i] != s[i] {
+			t.Fatalf("event %d: %v != %v", i, got[i], s[i])
+		}
+	}
+}
+
+func TestBinaryStreamingBatches(t *testing.T) {
+	var buf bytes.Buffer
+	bw, err := NewBinaryWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := syntheticStream(5, 1000)
+	for lo := 0; lo < len(s); lo += 33 {
+		hi := lo + 33
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if err := bw.WriteBatch(s[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.WriteBatch(nil); err != nil { // empty batches are no-ops
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	br, err := NewBinaryReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Stream
+	for {
+		batch, err := br.ReadBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) == 0 || len(batch) > 33 {
+			t.Fatalf("unexpected batch size %d", len(batch))
+		}
+		got = append(got, batch...)
+	}
+	if len(got) != len(s) {
+		t.Fatalf("streamed %d events, want %d", len(got), len(s))
+	}
+}
+
+// TestWriteBatchSplitsOversizedBatches: a single WriteBatch above the
+// per-frame event cap must still produce a stream every reader accepts.
+func TestWriteBatchSplitsOversizedBatches(t *testing.T) {
+	n := maxFrameEvents + 5
+	s := make(Stream, n)
+	for i := range s {
+		s[i] = Event{Op: Insert, Edge: graph.NewEdge(graph.VertexID(i), graph.VertexID(i+1))}
+	}
+	var buf bytes.Buffer
+	bw, err := NewBinaryWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteBatch(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBinaryReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, frames := 0, 0
+	for {
+		batch, err := br.ReadBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(batch)
+		frames++
+	}
+	if total != n {
+		t.Fatalf("read %d of %d events", total, n)
+	}
+	if frames != 2 {
+		t.Fatalf("oversized batch split into %d frames, want 2", frames)
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	good := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, syntheticStream(9, 50)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     good[:3],
+		"bad magic":        append([]byte("XXXX"), good[4:]...),
+		"bad version":      append(append([]byte{}, good[:4]...), append([]byte{99}, good[5:]...)...),
+		"truncated frame":  good[:len(good)-3],
+		"oversized length": append(append([]byte{}, good[:5]...), 0xFF, 0xFF, 0xFF, 0xFF, 0x7F),
+		"hostile count":    append(append([]byte{}, good[:5]...), 3, 0xFF, 0xFF, 0x7F),
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+func TestReadAutoSniffsBothFormats(t *testing.T) {
+	s := syntheticStream(3, 400)
+
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&txt, s); err != nil {
+		t.Fatal(err)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"binary": &bin, "text": &txt} {
+		got, err := ReadAuto(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(s) {
+			t.Fatalf("%s: %d events, want %d", name, len(got), len(s))
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				t.Fatalf("%s: event %d: %v != %v", name, i, got[i], s[i])
+			}
+		}
+	}
+	// A stream too short for the magic must still parse as text.
+	short, err := ReadAuto(bytes.NewBufferString("1 2"))
+	if err != nil || len(short) != 1 {
+		t.Fatalf("short text stream: %v, %d events", err, len(short))
+	}
+}

@@ -1,0 +1,73 @@
+// Package xrand provides the checkpointable random number generator the
+// samplers draw their rank uniforms from. The generator is splitmix64
+// (Steele, Lea & Flood 2014): one uint64 of state, a handful of arithmetic
+// instructions per draw, and full-period 2^64 output. The single-word state is
+// the point — a counter snapshot can embed it, and a restored counter then
+// continues the exact uniform sequence the interrupted run would have drawn,
+// making snapshot→restore→resume bit-identical to never having stopped.
+//
+// *Rand also implements math/rand.Source64, so code that needs the richer
+// math/rand API (Intn, Shuffle, Perm, ...) can wrap it: rand.New(xr). Note
+// that math/rand.Rand buffers state of its own for some methods (Read), so
+// only the bare *Rand is checkpointable.
+package xrand
+
+// Rand is a splitmix64 generator. The zero value is a valid generator seeded
+// with 0; construct with New or FromState for clarity.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Distinct seeds yield independent-
+// looking sequences; splitmix64's output function scrambles even consecutive
+// seeds thoroughly. One caveat: seeds that differ by a multiple of the state
+// increment 0x9E3779B97F4A7C15 produce the SAME sequence merely shifted —
+// use NewSequence to derive families of generators from one base seed.
+func New(seed int64) *Rand { return &Rand{state: uint64(seed)} }
+
+// NewSequence returns the i-th member of a family of decorrelated generators
+// derived from one base seed (shard ensembles use one per shard). Both seed
+// and index pass through the output scrambler before combining, so no
+// arithmetic relation between members survives — in particular, members are
+// not shifted copies of each other, which naive `seed + i*stride` seeding
+// produces whenever the stride hits a multiple of the state increment.
+func NewSequence(seed, i int64) *Rand {
+	return &Rand{state: mix(uint64(seed)) ^ mix(uint64(i)^0x6A09E667F3BCC909)}
+}
+
+// FromState reconstructs a generator from a State() value. The returned
+// generator continues the original sequence exactly.
+func FromState(state uint64) *Rand { return &Rand{state: state} }
+
+// State returns the complete generator state. Store it in a checkpoint and
+// revive with FromState.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState overwrites the generator state with a State() value.
+func (r *Rand) SetState(state uint64) { r.state = state }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	return mix(r.state)
+}
+
+// mix is splitmix64's output scrambler: a bijection on uint64 with strong
+// avalanche, shared by the draw path and NewSequence's seed derivation.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits, the same
+// construction math/rand uses.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Int63 implements math/rand.Source.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Seed implements math/rand.Source.
+func (r *Rand) Seed(seed int64) { r.state = uint64(seed) }

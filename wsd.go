@@ -24,7 +24,6 @@ package wsd
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/exact"
@@ -36,6 +35,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/stream"
 	"repro/internal/weights"
+	"repro/internal/xrand"
 )
 
 // Re-exported fundamental types.
@@ -177,7 +177,7 @@ func NewCounter(p Pattern, m int, opts ...Option) (Counter, error) {
 		M:       m,
 		Pattern: p,
 		Weight:  w,
-		Rng:     rand.New(rand.NewSource(o.seed)),
+		Rng:     xrand.New(o.seed),
 	})
 }
 
@@ -257,7 +257,7 @@ func NewLocalCounter(p Pattern, m int, opts ...Option) (*LocalCounter, error) {
 		M:       m,
 		Pattern: p,
 		Weight:  w,
-		Rng:     rand.New(rand.NewSource(o.seed)),
+		Rng:     xrand.New(o.seed),
 	})
 }
 
@@ -277,10 +277,6 @@ func NewProcessor(c Counter, buffer int) *Processor {
 // or (preferably) SubmitBatch, read Estimate concurrently, and Close it to
 // drain and obtain the final combined estimate.
 type ShardedCounter = shard.Ensemble
-
-// shardSeedStride separates the per-shard RNG seeds; any odd constant far
-// from 1 works (this is the splitmix64 increment, reinterpreted as int64).
-const shardSeedStride = int64(-7046029254386353131)
 
 // NewShardedCounter returns an ensemble of shards independently seeded WSD
 // counters for pattern p, all fed every event, whose estimates are combined
@@ -331,13 +327,19 @@ func NewShardedCounter(p Pattern, m, shards int, opts ...Option) (*ShardedCounte
 			M:       budget,
 			Pattern: p,
 			Weight:  wi,
-			Rng:     rand.New(rand.NewSource(o.seed + int64(i)*shardSeedStride)),
+			Rng:     xrand.NewSequence(o.seed, int64(i)),
 		})
 		if err != nil {
 			return nil, err
 		}
 		counters[i] = c
 	}
+	return shard.New(counters, shardOptions(&o)...)
+}
+
+// shardOptions reduces the sharding-related options to shard.Options, shared
+// by NewShardedCounter and RestoreShardedCounter.
+func shardOptions(o *options) []shard.Option {
 	var sopts []shard.Option
 	if o.momGroups > 0 {
 		sopts = append(sopts, shard.WithCombiner(shard.MedianOfMeans(o.momGroups)))
@@ -345,5 +347,155 @@ func NewShardedCounter(p Pattern, m, shards int, opts ...Option) (*ShardedCounte
 	if o.shardBuffer > 0 {
 		sopts = append(sopts, shard.WithBuffer(o.shardBuffer))
 	}
-	return shard.New(counters, sopts...)
+	return sopts
+}
+
+// Checkpointable is implemented by counters whose complete state — reservoir,
+// thresholds, temporal bookkeeping, and RNG state — serializes to bytes. The
+// counters returned by NewCounter and NewLocalCounter implement it, and so do
+// Processor (Snapshot) and ShardedCounter (Snapshot) at the ingestion layer.
+// A counter restored from a checkpoint continues bit-identically to the
+// uninterrupted run: same sample trajectory, same estimates.
+type Checkpointable interface {
+	Checkpoint() ([]byte, error)
+}
+
+// Checkpoint serializes a counter's complete state. It fails for counters
+// that do not support checkpointing (e.g. the exact oracle).
+func Checkpoint(c Counter) ([]byte, error) {
+	ck, ok := c.(Checkpointable)
+	if !ok {
+		return nil, fmt.Errorf("wsd: %s counter does not support checkpointing", c.Name())
+	}
+	return ck.Checkpoint()
+}
+
+// RestoreCounter revives a counter from a Checkpoint blob produced by a
+// NewCounter counter. The weight function is code, not state, so the same
+// weight options used at construction time must be passed again; the RNG
+// state comes from the checkpoint, making the restored counter's future
+// trajectory bit-identical to the uninterrupted one.
+func RestoreCounter(data []byte, opts ...Option) (Counter, error) {
+	o := options{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	w, err := resolveWeight(&o)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := core.DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	return core.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed)})
+}
+
+// RestoreLocalCounter revives a local counter from a Checkpoint blob produced
+// by a NewLocalCounter counter, per-vertex estimates included.
+func RestoreLocalCounter(data []byte, opts ...Option) (*LocalCounter, error) {
+	o := options{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	w, err := resolveWeight(&o)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := local.DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	return local.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed)})
+}
+
+// ShardedSnapshotInfo summarizes a ShardedCounter snapshot blob without
+// restoring it: what pattern it counts, how many shards it holds, and the
+// total reservoir budget across shards. Deployments use it to refuse a
+// snapshot that does not match their configuration before swapping it in.
+type ShardedSnapshotInfo struct {
+	Pattern Pattern
+	Shards  int
+	TotalM  int // sum of per-shard budgets (equals m in split-budget mode, m*Shards in full-budget mode)
+}
+
+// decodeShardedSnapshot decodes an ensemble blob into per-shard core
+// snapshots plus the summary info, shared by InspectShardedSnapshot and the
+// restore path so validation never forces a second full decode.
+func decodeShardedSnapshot(data []byte) ([]*core.Snapshot, ShardedSnapshotInfo, error) {
+	snap, err := shard.DecodeEnsembleSnapshot(data)
+	if err != nil {
+		return nil, ShardedSnapshotInfo{}, err
+	}
+	cores := make([]*core.Snapshot, len(snap.Shards))
+	info := ShardedSnapshotInfo{Shards: len(snap.Shards)}
+	for i, raw := range snap.Shards {
+		cs, err := core.DecodeSnapshot(raw)
+		if err != nil {
+			return nil, ShardedSnapshotInfo{}, fmt.Errorf("wsd: shard %d: %w", i, err)
+		}
+		if i == 0 {
+			info.Pattern = cs.Pattern
+		} else if cs.Pattern != info.Pattern {
+			return nil, ShardedSnapshotInfo{}, fmt.Errorf("wsd: snapshot mixes patterns (%s and %s)", info.Pattern, cs.Pattern)
+		}
+		info.TotalM += cs.M
+		cores[i] = cs
+	}
+	return cores, info, nil
+}
+
+// InspectShardedSnapshot decodes the header and per-shard metadata of a
+// ShardedCounter.Snapshot blob.
+func InspectShardedSnapshot(data []byte) (ShardedSnapshotInfo, error) {
+	_, info, err := decodeShardedSnapshot(data)
+	return info, err
+}
+
+// RestoreShardedCounter revives a sharded counter from a blob produced by
+// ShardedCounter.Snapshot. Reservoir budgets, pattern, and per-shard RNG
+// states come from the snapshot; the weight function and combiner are code
+// and are re-supplied through the options, which must match the original
+// construction for the ensemble to continue bit-identically.
+func RestoreShardedCounter(data []byte, opts ...Option) (*ShardedCounter, error) {
+	return RestoreShardedCounterChecked(data, nil, opts...)
+}
+
+// RestoreShardedCounterChecked is RestoreShardedCounter with a validation
+// hook: check (if non-nil) sees the snapshot's summary before any counter is
+// built and can veto the restore — how a deployment refuses a snapshot that
+// does not match its configuration, with a single decode of the blob.
+func RestoreShardedCounterChecked(data []byte, check func(ShardedSnapshotInfo) error, opts ...Option) (*ShardedCounter, error) {
+	o := options{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	w, err := resolveWeight(&o)
+	if err != nil {
+		return nil, err
+	}
+	cores, info, err := decodeShardedSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if check != nil {
+		if err := check(info); err != nil {
+			return nil, err
+		}
+	}
+	counters := make([]shard.Counter, len(cores))
+	for i, snap := range cores {
+		wi := w
+		if o.policy != nil {
+			// As in NewShardedCounter: policy closures carry per-call scratch
+			// state; give each shard worker its own.
+			wi = o.policy.Func()
+		}
+		c, err := core.Restore(snap, core.Config{Weight: wi, Rng: xrand.NewSequence(o.seed, int64(i))})
+		if err != nil {
+			return nil, fmt.Errorf("wsd: restore shard %d: %w", i, err)
+		}
+		counters[i] = c
+	}
+	return shard.New(counters, shardOptions(&o)...)
 }
