@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check race bench bench-tables
+.PHONY: build test vet fmt check race bench bench-tables bench-suite bench-compare
 
 build:
 	$(GO) build ./...
@@ -33,3 +33,15 @@ bench-codec:
 # Every paper table/figure at the quick profile (slow).
 bench-tables:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# The ingest regression suite: record a machine-readable perf report.
+bench-suite:
+	$(GO) run ./cmd/wsdbench -exp suite -json > BENCH_$$(date +%F).json
+	@echo "wrote BENCH_$$(date +%F).json"
+
+# Gate the current tree against the committed baseline (exit 1 on >10%
+# regression; allocs/event is machine-independent, events/s is not — loosen
+# -tolerance when comparing across machines).
+bench-compare:
+	$(GO) run ./cmd/wsdbench -exp suite -json > /tmp/bench_current.json
+	$(GO) run ./cmd/wsdbench -compare BENCH_baseline.json /tmp/bench_current.json

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/benchsuite"
+)
+
+func writeReport(t *testing.T, dir, name string, eventsPerSec, allocsPerEvent float64) string {
+	t.Helper()
+	rep := &benchsuite.Report{
+		SchemaVersion: benchsuite.SchemaVersion,
+		Suite:         benchsuite.SuiteName,
+		Seed:          1,
+		Trials:        1,
+		Results: []benchsuite.Result{{
+			Workload:       "pipeline/dense-community",
+			EventsPerSec:   eventsPerSec,
+			AllocsPerEvent: allocsPerEvent,
+			MREVsExact:     0.05,
+		}},
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareExitCodes pins the CLI gate contract: a synthetic >10%
+// throughput regression (and separately an allocation regression) exits
+// non-zero, an unchanged report exits zero, and a loosened tolerance lets a
+// drop through. CI's regression gate is exactly this code path.
+func TestCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", 100_000, 1.0)
+
+	if code := runCompare(base, writeReport(t, dir, "same.json", 100_000, 1.0), benchsuite.Tolerances{}); code != 0 {
+		t.Fatalf("identical reports exit %d, want 0", code)
+	}
+	if code := runCompare(base, writeReport(t, dir, "slow.json", 88_000, 1.0), benchsuite.Tolerances{}); code != 1 {
+		t.Fatalf("12%% throughput regression exits %d, want 1", code)
+	}
+	if code := runCompare(base, writeReport(t, dir, "leaky.json", 100_000, 5.0), benchsuite.Tolerances{}); code != 1 {
+		t.Fatalf("5x allocation regression exits %d, want 1", code)
+	}
+	loose := benchsuite.Tolerances{Throughput: 0.5}
+	if code := runCompare(base, filepath.Join(dir, "slow.json"), loose); code != 0 {
+		t.Fatalf("12%% drop at 50%% tolerance exits %d, want 0", code)
+	}
+}

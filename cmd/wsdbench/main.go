@@ -1,10 +1,15 @@
-// Command wsdbench regenerates the paper's tables and figures.
+// Command wsdbench regenerates the paper's tables and figures and runs the
+// performance regression suite.
 //
 // Usage:
 //
 //	wsdbench -exp table3              # one experiment, quick profile
 //	wsdbench -exp all -full           # full suite at paper-like trial counts
 //	wsdbench -list                    # list experiment ids
+//	wsdbench -exp suite -json > BENCH_$(date +%F).json
+//	                                  # machine-readable perf report
+//	wsdbench -compare old.json new.json
+//	                                  # exit 1 on >10% perf regression
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchsuite"
 	"repro/internal/experiment"
 )
 
@@ -127,6 +133,69 @@ var experiments = map[string]runner{
 		r, err := experiment.DDPGAblation(p)
 		return tbl(r, err)
 	},
+	"suite": func(p experiment.Profile) (*experiment.Table, error) {
+		rep, err := benchsuite.Run(suiteConfig(p))
+		if err != nil {
+			return nil, err
+		}
+		return suiteTable(rep), nil
+	},
+}
+
+// suiteConfig maps the experiment profile onto the benchmark suite: the seed
+// carries over, and the trial count is capped at 5 — perf trials average
+// clock noise, not sampling variance, so paper-scale repetition buys nothing.
+func suiteConfig(p experiment.Profile) benchsuite.Config {
+	trials := p.Trials
+	if trials > 5 {
+		trials = 5
+	}
+	return benchsuite.Config{Seed: p.Seed, Trials: trials}
+}
+
+// suiteTable renders a perf report as a wsdbench table, the human view of
+// the JSON artifact.
+func suiteTable(rep *benchsuite.Report) *experiment.Table {
+	t := &experiment.Table{
+		ID:     "suite",
+		Title:  "Ingest benchmark suite (fixed seeds; see -json for the machine-readable report)",
+		Header: []string{"workload", "events", "events/s", "ns/event", "allocs/event", "MRE"},
+		Notes: []string{
+			fmt.Sprintf("seed %d, %d trial(s), %s %s/%s, %d CPUs", rep.Seed, rep.Trials, rep.GoVersion, rep.GOOS, rep.GOARCH, rep.CPUs),
+			"record: wsdbench -exp suite -json > BENCH_<date>.json; gate: wsdbench -compare old.json new.json",
+		},
+	}
+	for _, r := range rep.Results {
+		t.AddRow(r.Workload, fmt.Sprintf("%d", r.Events), fmt.Sprintf("%.0f", r.EventsPerSec),
+			fmt.Sprintf("%.0f", r.NsPerEvent), fmt.Sprintf("%.3f", r.AllocsPerEvent),
+			fmt.Sprintf("%.2f%%", r.MREVsExact*100))
+	}
+	return t
+}
+
+// runCompare implements -compare: load two reports, diff, print, and exit
+// non-zero on regression.
+func runCompare(oldPath, newPath string, tol benchsuite.Tolerances) int {
+	load := func(path string) *benchsuite.Report {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsdbench: %v\n", err)
+			os.Exit(2)
+		}
+		rep, err := benchsuite.DecodeReport(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsdbench: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		return rep
+	}
+	base, next := load(oldPath), load(newPath)
+	regs := benchsuite.Compare(base, next, tol)
+	fmt.Printf("comparing %s (base) vs %s\n%s", oldPath, newPath, benchsuite.FormatComparison(base, next, regs))
+	if len(regs) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // tbl lifts any result carrying a Table field.
@@ -152,15 +221,24 @@ func main() {
 	trials := flag.Int("trials", 0, "override the number of sampling trials")
 	seed := flag.Int64("seed", 0, "override the base seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonOut := flag.Bool("json", false, "with -exp suite: emit the machine-readable JSON report on stdout")
+	compare := flag.Bool("compare", false, "compare two suite reports: wsdbench -compare old.json new.json; exits 1 on regression")
+	tolTime := flag.Float64("tolerance", 0, "with -compare: allowed relative events/s drop (default 0.10)")
+	tolAllocs := flag.Float64("alloc-tolerance", 0, "with -compare: allowed relative allocs/event rise (default 0.10)")
+	tolMRE := flag.Float64("mre-tolerance", 0, "with -compare: allowed relative MRE rise (default 0.50)")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(ids(), "\n"))
 		return
 	}
-	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "usage: wsdbench -exp <id>|all [-full] [-trials N] [-seed S]; -list shows ids")
-		os.Exit(2)
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: wsdbench -compare [-tolerance X] [-alloc-tolerance Y] [-mre-tolerance Z] old.json new.json")
+			os.Exit(2)
+		}
+		tol := benchsuite.Tolerances{Throughput: *tolTime, Allocs: *tolAllocs, MRE: *tolMRE}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), tol))
 	}
 	prof := experiment.Quick()
 	if *full {
@@ -171,6 +249,28 @@ func main() {
 	}
 	if *seed != 0 {
 		prof.Seed = *seed
+	}
+	if *jsonOut {
+		if *exp != "suite" {
+			fmt.Fprintln(os.Stderr, "wsdbench: -json requires -exp suite")
+			os.Exit(2)
+		}
+		rep, err := benchsuite.Run(suiteConfig(prof))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsdbench: suite: %v\n", err)
+			os.Exit(1)
+		}
+		out, err := rep.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsdbench: suite: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: wsdbench -exp <id>|all [-full] [-trials N] [-seed S] [-json]; -list shows ids; -compare diffs suite reports")
+		os.Exit(2)
 	}
 
 	var selected []string

@@ -1,0 +1,346 @@
+// Package benchsuite is the repository's performance regression subsystem: a
+// fixed set of named, seeded ingest workloads measured end to end —
+// events/sec, ns/event, allocs/event, bytes/event, and the mean relative
+// error against the exact count — emitted as a schema-versioned,
+// machine-readable JSON report that a comparator can diff against a committed
+// baseline and fail CI on regression.
+//
+// The suite crosses three stream shapes with four ingest paths:
+//
+//	streams: dense-community (4-clique counting on planted communities, the
+//	         quadratic-enumeration regime), wedge-heavy (hub-dominated
+//	         Barabasi-Albert graph, cheap pattern at high instance counts),
+//	         deletion-churn (mass-deletion events, the fully dynamic stress)
+//	ingest:  core (bare counter, batched calls), pipeline (one worker
+//	         goroutine behind a channel), shard4 (4-shard split-budget
+//	         ensemble, refcounted broadcast), binary-decode (wire-format
+//	         frames decoded into pooled batches feeding a pipeline)
+//
+// Everything is seeded: the streams, the samplers, and the trial protocol,
+// so two runs on the same machine measure the same computation and the only
+// noise is the clock. Run `wsdbench -exp suite -json > BENCH_$(date +%F).json`
+// to record a report and `wsdbench -compare old.json new.json` to gate on it.
+package benchsuite
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+	"repro/internal/pipeline"
+	"repro/internal/shard"
+	"repro/internal/stream"
+	"repro/internal/weights"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes a suite run.
+type Config struct {
+	// Seed anchors every stream and sampler. The default 0 means 1.
+	Seed int64
+	// Trials is the number of measured repetitions averaged per workload
+	// (default 3). Estimator seeds vary per trial; streams are fixed.
+	Trials int
+	// Only, when non-empty, restricts the run to workloads whose name
+	// contains any of the given substrings.
+	Only []string
+}
+
+// batchSize is the submit granularity of every batched ingest path, matching
+// the binary codec's natural frame-to-batch mapping at wire defaults.
+const batchSize = 512
+
+// streamSpec is one benchmark stream: a generator, the pattern counted on
+// it, and the reservoir budget.
+type streamSpec struct {
+	name  string
+	kind  pattern.Kind
+	m     int
+	build func(seed int64) stream.Stream
+}
+
+// streams returns the suite's stream shapes. Sizes are chosen so the whole
+// suite runs in tens of seconds while each cell still processes enough
+// events for stable per-event figures.
+func streams() []streamSpec {
+	return []streamSpec{
+		{
+			// The regime the sharded refactor targets: 4-clique completion
+			// search is quadratic in the sampled neighborhood, and the
+			// planted communities keep neighborhoods dense.
+			name: "dense-community", kind: pattern.FourClique, m: 9216,
+			build: func(seed int64) stream.Stream {
+				rng := rand.New(rand.NewSource(seed))
+				edges := gen.PlantedPartition(12, 50, 0.9, 0.002, rng)
+				return stream.LightDeletion(edges, 0.1, rng)
+			},
+		},
+		{
+			// Hub-dominated graph: wedge counting is linear per event but
+			// instance counts explode at the hubs, stressing the estimator
+			// accumulation rather than the enumeration.
+			name: "wedge-heavy", kind: pattern.Wedge, m: 4096,
+			build: func(seed int64) stream.Stream {
+				rng := rand.New(rand.NewSource(seed))
+				edges := gen.BarabasiAlbert(3000, 8, rng)
+				return stream.LightDeletion(edges, 0.05, rng)
+			},
+		},
+		{
+			// Mass-deletion churn: triangles over an Erdos-Renyi graph with
+			// six mass-deletion events, exercising the deletion estimator
+			// and the reservoir's removal path.
+			name: "deletion-churn", kind: pattern.Triangle, m: 4096,
+			build: func(seed int64) stream.Stream {
+				rng := rand.New(rand.NewSource(seed))
+				edges := gen.ErdosRenyi(2000, 24000, rng)
+				return stream.MassiveDeletionEvents(edges, 6, 0.5, 0.25, rng)
+			},
+		},
+	}
+}
+
+// ingestSpec is one ingest path: a function that builds the counting stack,
+// feeds it the whole stream in batches, and returns the final estimate.
+type ingestSpec struct {
+	name string
+	run  func(sp streamSpec, s stream.Stream, encoded []byte, seed int64) (float64, error)
+}
+
+func newCoreCounter(sp streamSpec, m int, seed int64) (*core.Counter, error) {
+	return core.New(core.Config{
+		M:            m,
+		Pattern:      sp.kind,
+		Weight:       weights.GPSDefault(),
+		Rng:          xrand.New(seed),
+		SkipTemporal: true,
+	})
+}
+
+func ingests() []ingestSpec {
+	return []ingestSpec{
+		{
+			// The bare single-threaded counter: the floor every layered path
+			// is measured against.
+			name: "core",
+			run: func(sp streamSpec, s stream.Stream, _ []byte, seed int64) (float64, error) {
+				c, err := newCoreCounter(sp, sp.m, seed)
+				if err != nil {
+					return 0, err
+				}
+				for lo := 0; lo < len(s); lo += batchSize {
+					c.ProcessBatch(s[lo:min(lo+batchSize, len(s))])
+				}
+				return c.Estimate(), nil
+			},
+		},
+		{
+			// One worker goroutine behind a channel, batched submits.
+			name: "pipeline",
+			run: func(sp streamSpec, s stream.Stream, _ []byte, seed int64) (float64, error) {
+				c, err := newCoreCounter(sp, sp.m, seed)
+				if err != nil {
+					return 0, err
+				}
+				p := pipeline.New(c, 64)
+				for lo := 0; lo < len(s); lo += batchSize {
+					if err := p.SubmitBatch(s[lo:min(lo+batchSize, len(s))]); err != nil {
+						return 0, err
+					}
+				}
+				return p.Close(), nil
+			},
+		},
+		{
+			// Four split-budget shards fed by the refcounted broadcast.
+			name: "shard4",
+			run: func(sp streamSpec, s stream.Stream, _ []byte, seed int64) (float64, error) {
+				budgets := shard.SplitBudget(sp.m, 4)
+				counters := make([]shard.Counter, 4)
+				for i := range counters {
+					c, err := newCoreCounter(sp, budgets[i], seed+int64(i))
+					if err != nil {
+						return 0, err
+					}
+					counters[i] = c
+				}
+				e, err := shard.New(counters)
+				if err != nil {
+					return 0, err
+				}
+				var pool stream.BatchPool
+				for lo := 0; lo < len(s); lo += batchSize {
+					b := pool.Get()
+					b.Events = append(b.Events, s[lo:min(lo+batchSize, len(s))]...)
+					if err := e.SubmitPooled(b); err != nil {
+						return 0, err
+					}
+				}
+				return e.Close(), nil
+			},
+		},
+		{
+			// The wire path: binary frames decoded into pooled batches
+			// feeding a pipeline — what a socket ingester pays end to end.
+			name: "binary-decode",
+			run: func(sp streamSpec, s stream.Stream, encoded []byte, seed int64) (float64, error) {
+				c, err := newCoreCounter(sp, sp.m, seed)
+				if err != nil {
+					return 0, err
+				}
+				p := pipeline.New(c, 64)
+				br, err := stream.NewBinaryReader(bytes.NewReader(encoded))
+				if err != nil {
+					return 0, err
+				}
+				var pool stream.BatchPool
+				for {
+					b := pool.Get()
+					b.Events, err = br.ReadBatchAppend(b.Events)
+					if err == io.EOF {
+						b.Release()
+						break
+					}
+					if err != nil {
+						return 0, err
+					}
+					if err := p.SubmitPooled(b); err != nil {
+						return 0, err
+					}
+				}
+				return p.Close(), nil
+			},
+		},
+	}
+}
+
+// Run executes the suite and returns the report.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Trials < 1 {
+		cfg.Trials = 3
+	}
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		Suite:         SuiteName,
+		Seed:          cfg.Seed,
+		Trials:        cfg.Trials,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+	}
+	for _, sp := range streams() {
+		s := sp.build(cfg.Seed)
+		if len(s) == 0 {
+			return nil, fmt.Errorf("benchsuite: stream %s is empty", sp.name)
+		}
+		truth := exactCount(s, sp.kind)
+		var buf bytes.Buffer
+		if err := stream.WriteBinary(&buf, s); err != nil {
+			return nil, fmt.Errorf("benchsuite: encode %s: %w", sp.name, err)
+		}
+		encoded := buf.Bytes()
+		for _, ing := range ingests() {
+			name := ing.name + "/" + sp.name
+			if !selected(name, cfg.Only) {
+				continue
+			}
+			res, err := measure(name, sp, ing, s, encoded, truth, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("benchsuite: %s: %w", name, err)
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("benchsuite: no workload matches %v", cfg.Only)
+	}
+	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Workload < rep.Results[j].Workload })
+	return rep, nil
+}
+
+// measure runs one workload cell: Trials timed repetitions with fresh,
+// per-trial-seeded counters over the fixed stream.
+func measure(name string, sp streamSpec, ing ingestSpec, s stream.Stream, encoded []byte, truth float64, cfg Config) (Result, error) {
+	var (
+		secs   float64
+		allocs uint64
+		bytes  uint64
+		mre    float64
+	)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		seed := cfg.Seed + int64(trial)*1_000_003
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		est, err := ing.run(sp, s, encoded, seed)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return Result{}, err
+		}
+		secs += elapsed.Seconds()
+		allocs += after.Mallocs - before.Mallocs
+		bytes += after.TotalAlloc - before.TotalAlloc
+		mre += metrics.RelErr(est, truth)
+	}
+	total := float64(len(s)) * float64(cfg.Trials)
+	return Result{
+		Workload:       name,
+		Stream:         sp.name,
+		Ingest:         ing.name,
+		Pattern:        sp.kind.String(),
+		Events:         len(s),
+		EventsPerSec:   total / secs,
+		NsPerEvent:     secs * 1e9 / total,
+		AllocsPerEvent: float64(allocs) / total,
+		BytesPerEvent:  float64(bytes) / total,
+		MREVsExact:     mre / float64(cfg.Trials),
+		Exact:          truth,
+	}, nil
+}
+
+var exactCache = map[string]float64{}
+
+// exactCount replays the stream through the exact counter; cached per
+// (stream content is determined by suite seed + name, so the key is the
+// first/last events and length — cheap and collision-safe within a process).
+func exactCount(s stream.Stream, k pattern.Kind) float64 {
+	key := fmt.Sprintf("%v/%d/%v/%v", k, len(s), s[0], s[len(s)-1])
+	if v, ok := exactCache[key]; ok {
+		return v
+	}
+	ex := exact.New(k)
+	for _, ev := range s {
+		ex.Apply(ev)
+	}
+	v := float64(ex.Count(k))
+	exactCache[key] = v
+	return v
+}
+
+func selected(name string, only []string) bool {
+	if len(only) == 0 {
+		return true
+	}
+	for _, o := range only {
+		if o != "" && strings.Contains(name, o) {
+			return true
+		}
+	}
+	return false
+}

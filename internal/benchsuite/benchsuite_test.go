@@ -1,0 +1,157 @@
+package benchsuite
+
+import "testing"
+
+// syntheticReport builds a minimal valid report for comparator tests.
+func syntheticReport(workloads map[string]Result) *Report {
+	rep := &Report{SchemaVersion: SchemaVersion, Suite: SuiteName, Seed: 1, Trials: 1}
+	for name, r := range workloads {
+		r.Workload = name
+		rep.Results = append(rep.Results, r)
+	}
+	return rep
+}
+
+func TestCompareFlagsThroughputRegression(t *testing.T) {
+	base := syntheticReport(map[string]Result{
+		"pipeline/dense-community": {EventsPerSec: 100_000, AllocsPerEvent: 0.5, MREVsExact: 0.05},
+	})
+
+	// Exactly at the 10% boundary: not a regression (strictly more than 10%
+	// worse trips the gate).
+	okRep := syntheticReport(map[string]Result{
+		"pipeline/dense-community": {EventsPerSec: 90_000, AllocsPerEvent: 0.5, MREVsExact: 0.05},
+	})
+	if regs := Compare(base, okRep, Tolerances{}); len(regs) != 0 {
+		t.Fatalf("10%% drop within tolerance flagged: %v", regs)
+	}
+
+	// A synthetic 11% throughput drop must be flagged.
+	badRep := syntheticReport(map[string]Result{
+		"pipeline/dense-community": {EventsPerSec: 89_000, AllocsPerEvent: 0.5, MREVsExact: 0.05},
+	})
+	regs := Compare(base, badRep, Tolerances{})
+	if len(regs) != 1 || regs[0].Metric != "events_per_sec" {
+		t.Fatalf("expected one events_per_sec regression, got %v", regs)
+	}
+	if regs[0].Change > -0.10 {
+		t.Fatalf("regression change = %v, want <= -0.10", regs[0].Change)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base := syntheticReport(map[string]Result{
+		"core/wedge-heavy": {EventsPerSec: 100, AllocsPerEvent: 2.0, MREVsExact: 0.05},
+	})
+	bad := syntheticReport(map[string]Result{
+		"core/wedge-heavy": {EventsPerSec: 100, AllocsPerEvent: 2.6, MREVsExact: 0.05},
+	})
+	regs := Compare(base, bad, Tolerances{})
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_event" {
+		t.Fatalf("expected one allocs_per_event regression, got %v", regs)
+	}
+	// Near-zero baselines get the absolute floor: 0 -> 0.2 is noise, not a
+	// regression.
+	zeroBase := syntheticReport(map[string]Result{
+		"core/wedge-heavy": {EventsPerSec: 100, AllocsPerEvent: 0, MREVsExact: 0.05},
+	})
+	noisy := syntheticReport(map[string]Result{
+		"core/wedge-heavy": {EventsPerSec: 100, AllocsPerEvent: 0.2, MREVsExact: 0.05},
+	})
+	if regs := Compare(zeroBase, noisy, Tolerances{}); len(regs) != 0 {
+		t.Fatalf("sub-floor alloc rise flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsMissingWorkload(t *testing.T) {
+	base := syntheticReport(map[string]Result{
+		"core/wedge-heavy":         {EventsPerSec: 100},
+		"pipeline/dense-community": {EventsPerSec: 100},
+	})
+	next := syntheticReport(map[string]Result{
+		"core/wedge-heavy": {EventsPerSec: 100},
+		"core/extra":       {EventsPerSec: 1}, // additions are fine
+	})
+	regs := Compare(base, next, Tolerances{})
+	if len(regs) != 1 || regs[0].Metric != "missing" || regs[0].Workload != "pipeline/dense-community" {
+		t.Fatalf("expected one missing-workload regression, got %v", regs)
+	}
+}
+
+func TestCompareMRETripwire(t *testing.T) {
+	base := syntheticReport(map[string]Result{
+		"core/wedge-heavy": {EventsPerSec: 100, MREVsExact: 0.05},
+	})
+	bad := syntheticReport(map[string]Result{
+		"core/wedge-heavy": {EventsPerSec: 100, MREVsExact: 0.30},
+	})
+	regs := Compare(base, bad, Tolerances{})
+	if len(regs) != 1 || regs[0].Metric != "mre_vs_exact" {
+		t.Fatalf("expected one mre_vs_exact regression, got %v", regs)
+	}
+}
+
+func TestReportRoundTripAndValidation(t *testing.T) {
+	rep := syntheticReport(map[string]Result{"core/wedge-heavy": {EventsPerSec: 42, Events: 7}})
+	rep.GoVersion, rep.GOOS, rep.GOARCH, rep.CPUs = "go1.24", "linux", "amd64", 8
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Results[0].EventsPerSec != 42 || got.Results[0].Events != 7 || got.CPUs != 8 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+
+	if _, err := DecodeReport([]byte(`{"suite":"wsd-ingest","schema_version":999,"results":[{}]}`)); err == nil {
+		t.Fatal("future schema version accepted")
+	}
+	if _, err := DecodeReport([]byte(`{"suite":"other","schema_version":1,"results":[{}]}`)); err == nil {
+		t.Fatal("foreign suite accepted")
+	}
+	if _, err := DecodeReport([]byte(`{"suite":"wsd-ingest","schema_version":1}`)); err == nil {
+		t.Fatal("empty report accepted")
+	}
+	if _, err := DecodeReport([]byte(`not json`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+// TestRunSmoke runs one real workload cell end to end and sanity-checks the
+// measurement fields; a same-seed rerun must produce the identical estimate
+// path (MRE equal), which is what makes reports comparable across commits.
+func TestRunSmoke(t *testing.T) {
+	cfg := Config{Seed: 1, Trials: 1, Only: []string{"core/wedge-heavy"}}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("want exactly the selected workload, got %d results", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Workload != "core/wedge-heavy" || r.Ingest != "core" || r.Stream != "wedge-heavy" {
+		t.Fatalf("workload naming broken: %+v", r)
+	}
+	if r.Events <= 0 || r.EventsPerSec <= 0 || r.NsPerEvent <= 0 || r.Exact <= 0 {
+		t.Fatalf("implausible measurement: %+v", r)
+	}
+	if r.MREVsExact < 0 || r.MREVsExact > 1 {
+		t.Fatalf("MRE out of range: %v", r.MREVsExact)
+	}
+	rep2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Results[0].MREVsExact != r.MREVsExact {
+		t.Fatalf("same seed produced different estimates: MRE %v vs %v",
+			rep2.Results[0].MREVsExact, r.MREVsExact)
+	}
+
+	if _, err := Run(Config{Seed: 1, Trials: 1, Only: []string{"no-such-workload"}}); err == nil {
+		t.Fatal("unknown workload filter accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/stream"
+	"repro/internal/weights"
+	"repro/internal/xrand"
+)
+
+// steadyBlock builds a self-contained event block over a fixed vertex
+// universe: every inserted edge is deleted again within the block (with a
+// lag, so the graph carries live structure), leaving the graph empty at the
+// end. Replaying the block is the steady-state ingest shape: same vertices,
+// same adjacency footprint, continuous reservoir churn.
+func steadyBlock(n, vertices int) []stream.Event {
+	const lag = 48
+	evs := make([]stream.Event, 0, 2*n)
+	edges := make([]graph.Edge, 0, n)
+	u, v := 0, 1
+	for len(edges) < n {
+		e := graph.NewEdge(graph.VertexID(u), graph.VertexID(v))
+		edges = append(edges, e)
+		evs = append(evs, stream.Event{Op: stream.Insert, Edge: e})
+		if len(edges) > lag {
+			evs = append(evs, stream.Event{Op: stream.Delete, Edge: edges[len(edges)-1-lag]})
+		}
+		v++
+		if v >= vertices {
+			u++
+			v = u + 1
+			if u >= vertices-1 {
+				u, v = 0, 1
+			}
+		}
+	}
+	for i := len(edges) - lag; i < len(edges); i++ {
+		if i >= 0 {
+			evs = append(evs, stream.Event{Op: stream.Delete, Edge: edges[i]})
+		}
+	}
+	return evs
+}
+
+// TestProcessBatchAllocs pins the core ingest path's steady-state allocation
+// rate: after warm-up (scratch grown, adjacency capacity established, item
+// freelist primed) a full insert+delete churn block must average well under
+// one allocation per hundred events. This is the guard that keeps the
+// zero-allocation work from silently regressing — a stray closure or a
+// dropped buffer reuse in the hot path shows up here as a hard failure.
+func TestProcessBatchAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind pattern.Kind
+	}{
+		{"triangle", pattern.Triangle},
+		{"4-clique", pattern.FourClique},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := New(Config{
+				M:            256,
+				Pattern:      tc.kind,
+				Weight:       weights.GPSDefault(),
+				Rng:          xrand.New(5),
+				SkipTemporal: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			block := steadyBlock(1024, 40)
+			// Warm: grow every scratch buffer and prime the freelist.
+			for i := 0; i < 3; i++ {
+				c.ProcessBatch(block)
+			}
+			avg := testing.AllocsPerRun(5, func() {
+				c.ProcessBatch(block)
+			})
+			perEvent := avg / float64(len(block))
+			t.Logf("%s: %.4f allocs/event (%.1f per block of %d)", tc.name, perEvent, avg, len(block))
+			if perEvent > 0.01 {
+				t.Errorf("core ingest allocates %.4f/event, budget 0.01 — the zero-alloc path regressed", perEvent)
+			}
+		})
+	}
+}
+
+// TestProcessBatchAllocsFullState pins the non-SkipTemporal path too: the
+// temporal feature extraction must stay allocation-free (reused arrival
+// scratch, in-place sort).
+func TestProcessBatchAllocsFullState(t *testing.T) {
+	c, err := New(Config{
+		M:       256,
+		Pattern: pattern.Triangle,
+		Weight:  weights.GPSDefault(),
+		Rng:     xrand.New(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := steadyBlock(1024, 40)
+	for i := 0; i < 3; i++ {
+		c.ProcessBatch(block)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		c.ProcessBatch(block)
+	})
+	if perEvent := avg / float64(len(block)); perEvent > 0.01 {
+		t.Errorf("full-state ingest allocates %.4f/event, budget 0.01", perEvent)
+	}
+}

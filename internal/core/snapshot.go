@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/pattern"
-	"repro/internal/reservoir"
 	"repro/internal/xrand"
 )
 
@@ -88,7 +87,9 @@ func (s *Snapshot) Encode() ([]byte, error) { return json.Marshal(s) }
 // layers (pipeline, shard) store when checkpointing a whole deployment.
 func (c *Counter) Checkpoint() ([]byte, error) { return c.Snapshot().Encode() }
 
-// DecodeSnapshot parses a snapshot produced by Encode.
+// DecodeSnapshot parses a snapshot produced by Encode and validates its
+// internal consistency, so a decoded snapshot is always restorable (up to
+// configuration mismatches checked by Restore).
 func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	var s Snapshot
 	if err := json.Unmarshal(data, &s); err != nil {
@@ -97,7 +98,36 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if s.Version < 1 || s.Version > snapshotVersion {
 		return nil, fmt.Errorf("core: snapshot version %d unsupported (want 1..%d)", s.Version, snapshotVersion)
 	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	return &s, nil
+}
+
+// Validate checks the snapshot's internal consistency: a known pattern, a
+// budget the estimator accepts, and an item set that fits it. Hand-built or
+// corrupted snapshots fail here with an error instead of panicking deeper in
+// the sampler, which is what lets a serving deployment reject a bad /restore
+// body safely.
+func (s *Snapshot) Validate() error {
+	if !s.Pattern.Valid() {
+		return fmt.Errorf("core: snapshot names unknown pattern %d", int(s.Pattern))
+	}
+	if s.M < s.Pattern.Size() {
+		return fmt.Errorf("core: snapshot M=%d is below pattern size |H|=%d", s.M, s.Pattern.Size())
+	}
+	if len(s.Items) > s.M {
+		return fmt.Errorf("core: snapshot holds %d items, above M=%d", len(s.Items), s.M)
+	}
+	seen := make(map[graph.Edge]bool, len(s.Items))
+	for _, it := range s.Items {
+		e := graph.NewEdge(it.U, it.V)
+		if e.IsLoop() || seen[e] {
+			return fmt.Errorf("core: snapshot contains invalid or duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+	return nil
 }
 
 // Restore reconstructs a counter from a snapshot. cfg supplies the
@@ -109,6 +139,9 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 // (zero values default to it), since a mismatch would silently break the
 // estimator's probability bookkeeping.
 func Restore(s *Snapshot, cfg Config) (*Counter, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.M == 0 {
 		cfg.M = s.M
 	}
@@ -124,21 +157,12 @@ func Restore(s *Snapshot, cfg Config) (*Counter, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(s.Items) > s.M {
-		return nil, fmt.Errorf("core: snapshot holds %d items, above M=%d", len(s.Items), s.M)
-	}
 	c.tauP = s.TauP
 	c.tauQ = s.TauQ
 	c.estimate = s.Estimate
 	c.insertions = s.Insertions
-	seen := make(map[graph.Edge]bool, len(s.Items))
 	for _, it := range s.Items {
-		e := graph.NewEdge(it.U, it.V)
-		if e.IsLoop() || seen[e] {
-			return nil, fmt.Errorf("core: snapshot contains invalid or duplicate edge %v", e)
-		}
-		seen[e] = true
-		c.res.Push(&reservoir.Item{Edge: e, Weight: it.Weight, Rank: it.Rank, Arrival: it.Arrival})
+		c.res.PushValue(graph.NewEdge(it.U, it.V), it.Weight, it.Rank, it.Arrival)
 	}
 	return c, nil
 }

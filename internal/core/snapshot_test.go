@@ -149,9 +149,10 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("thresholds differ: (%v,%v) vs (%v,%v)", tp1, tq1, tp2, tq2)
 	}
 
-	// Continue both with the same rng seed: identical trajectories.
-	origCont := build(7)
-	*origCont = *orig
+	// Continue both with the same rng seed: identical trajectories. The
+	// original is continued in place (a Counter must not be shallow-copied:
+	// it holds internal callbacks bound to its own address).
+	origCont := orig
 	origCont.cfg.Rng = rand.New(rand.NewSource(7))
 	restored.cfg.Rng = rand.New(rand.NewSource(7))
 	for _, ev := range s[half:] {

@@ -52,6 +52,15 @@ type Config struct {
 	// make the counter fully checkpointable (Snapshot then captures the RNG
 	// state so a restored counter resumes bit-identically).
 	Rng Rand
+	// SkipTemporal, when set, skips computing the temporal state features
+	// v_1..v_|H| (Eq. 20): LastState().Temporal stays all-zero. The
+	// topological features (Instances, DegU, DegV, Now) are unaffected, so
+	// every built-in heuristic weight — which reads only those — produces
+	// identical weights, identical sampling decisions, and identical
+	// estimates, while the per-instance arrival collection and sort drop out
+	// of the hot path. Leave unset for WSD-L: the learned policy consumes the
+	// temporal features.
+	SkipTemporal bool
 	// OnInstance, when non-nil, observes every pattern instance the
 	// estimator counts: sign is +1 for a formation (insertion event) and -1
 	// for a destruction (deletion event); contribution is the
@@ -77,7 +86,9 @@ func (c *Config) validate() error {
 // stream one event at a time and maintains an unbiased estimate of the
 // pattern count |J(t)|.
 //
-// Counter is not safe for concurrent use; run one per goroutine.
+// Counter is not safe for concurrent use; run one per goroutine. A Counter
+// must not be copied after New: it holds internal callbacks bound to its own
+// address.
 type Counter struct {
 	cfg Config
 
@@ -93,12 +104,22 @@ type Counter struct {
 	arrivals []float64
 	vec      []float64
 	// prods collects one event's instance contributions so they can be
-	// added to the estimate in sorted order. Completion enumeration walks
-	// Go maps, whose iteration order is randomized; float addition is not
-	// associative, so accumulating in enumeration order would make the
-	// estimate wobble in its last ULP between otherwise identical runs —
-	// breaking the bit-identical checkpoint/resume guarantee.
+	// added to the estimate in sorted order: float addition is not
+	// associative, so accumulating in enumeration order would tie the
+	// estimate's last ULP to the enumeration order, breaking the
+	// bit-identical checkpoint/resume guarantee if the order ever changes.
 	prods []float64
+
+	// comp is the completion enumerator, with its scratch and iteration
+	// closures allocated once; insertVisit/deleteVisit are the prebuilt
+	// per-instance callbacks, reading the current event from curEdge and
+	// instances. Building them once keeps the per-event path allocation-free
+	// (a closure literal inside insert would escape on every event).
+	comp        *pattern.Completer
+	insertVisit func(others []graph.Edge, payloads []any) bool
+	deleteVisit func(others []graph.Edge, payloads []any) bool
+	curEdge     graph.Edge
+	instances   int
 
 	// lastState records the most recent MDP state handed to the weight
 	// function; exposed for the RL environment and for policy analysis.
@@ -114,13 +135,17 @@ func New(cfg Config) (*Counter, error) {
 		cfg.Weight = weights.Uniform()
 	}
 	h := cfg.Pattern.Size()
-	return &Counter{
+	c := &Counter{
 		cfg:      cfg,
 		res:      reservoir.New(cfg.M),
 		temporal: make([]float64, h),
 		count:    make([]int64, h),
 		arrivals: make([]float64, 0, h),
-	}, nil
+		comp:     pattern.NewCompleter(cfg.Pattern),
+	}
+	c.insertVisit = c.observeInsert
+	c.deleteVisit = c.observeDelete
+	return c, nil
 }
 
 // Name identifies the algorithm for reports.
@@ -145,19 +170,6 @@ func (c *Counter) LastState() weights.State { return c.lastState }
 // weight-relationship experiment). Callers must not mutate it.
 func (c *Counter) Reservoir() *reservoir.Reservoir { return c.res }
 
-// inclusionProb returns P[e in R(t)] = P[r(e) > tau_q] = min(1, w/tau_q)
-// for the rank function r = w/u, u ~ U(0,1] (Lemma 1).
-func (c *Counter) inclusionProb(it *reservoir.Item) float64 {
-	if c.tauQ <= 0 {
-		return 1
-	}
-	p := it.Weight / c.tauQ
-	if p > 1 {
-		return 1
-	}
-	return p
-}
-
 // Process consumes one stream event, first updating the estimate per
 // Algorithm 2 and then the sample per Algorithm 1. Infeasible events are
 // ignored defensively.
@@ -171,6 +183,87 @@ func (c *Counter) Process(ev stream.Event) {
 	case stream.Delete:
 		c.delete(ev.Edge)
 	}
+}
+
+// payloadItem resolves an enumeration payload to its reservoir item. The
+// counter enumerates against its own reservoir (an ItemView), so the payload
+// is always the item; the lookup fallback only serves exotic payload-less
+// views and keeps the old missing-edge panic for them.
+func (c *Counter) payloadItem(p any, oe graph.Edge) *reservoir.Item {
+	if it, ok := p.(*reservoir.Item); ok {
+		return it
+	}
+	it, ok := c.res.Get(oe)
+	if !ok {
+		// Enumeration only yields reservoir edges; absence is a bug.
+		panic(fmt.Sprintf("core: enumerated edge %v missing from reservoir", oe))
+	}
+	return it
+}
+
+// observeInsert is the per-instance callback of the insertion estimator
+// (Algorithm 2 lines 4-7): accumulate the product of inverse inclusion
+// probabilities (Eq. 11) and the temporal state features for this instance.
+func (c *Counter) observeInsert(others []graph.Edge, payloads []any) bool {
+	// The inverse inclusion probability of a sampled edge is
+	// 1/min(1, w/tau_q) = max(1, tau_q/w) (Lemma 1) — one division per edge.
+	prod := 1.0
+	tq := c.tauQ
+	if c.cfg.SkipTemporal {
+		for i, p := range payloads {
+			it := c.payloadItem(p, others[i])
+			if x := tq / it.Weight; x > 1 {
+				prod *= x
+			}
+		}
+	} else {
+		arr := c.arrivals[:0]
+		for i, p := range payloads {
+			it := c.payloadItem(p, others[i])
+			if x := tq / it.Weight; x > 1 {
+				prod *= x
+			}
+			arr = append(arr, float64(it.Arrival))
+		}
+		// Temporal features: sort the other edges by arrival (positions
+		// 1..|H|-1); position |H| is the new edge itself at t_k.
+		sort.Float64s(arr)
+		for j, a := range arr {
+			switch c.cfg.TemporalAgg {
+			case AggMax:
+				if a > c.temporal[j] {
+					c.temporal[j] = a
+				}
+			case AggAvg:
+				c.temporal[j] += a
+			}
+			c.count[j]++
+		}
+	}
+	c.prods = append(c.prods, prod)
+	if c.cfg.OnInstance != nil {
+		c.cfg.OnInstance(+1, prod, c.curEdge, others)
+	}
+	c.instances++
+	return true
+}
+
+// observeDelete is the per-instance callback of the deletion estimator
+// (Eq. 12): the destroyed instance's contribution, no state extraction.
+func (c *Counter) observeDelete(others []graph.Edge, payloads []any) bool {
+	prod := 1.0
+	tq := c.tauQ
+	for i, p := range payloads {
+		it := c.payloadItem(p, others[i])
+		if x := tq / it.Weight; x > 1 {
+			prod *= x
+		}
+	}
+	c.prods = append(c.prods, prod)
+	if c.cfg.OnInstance != nil {
+		c.cfg.OnInstance(-1, prod, c.curEdge, others)
+	}
+	return true
 }
 
 func (c *Counter) insert(e graph.Edge) {
@@ -189,54 +282,25 @@ func (c *Counter) insert(e graph.Edge) {
 		c.temporal[j] = 0
 		c.count[j] = 0
 	}
-	instances := 0
+	c.instances = 0
 	c.prods = c.prods[:0]
-	c.cfg.Pattern.ForEachCompletion(c.res, e.U, e.V, func(others []graph.Edge) bool {
-		prod := 1.0
-		arr := c.arrivals[:0]
-		for _, oe := range others {
-			it, ok := c.res.Get(oe)
-			if !ok {
-				// Enumeration only yields reservoir edges; absence is a bug.
-				panic(fmt.Sprintf("core: enumerated edge %v missing from reservoir", oe))
-			}
-			prod *= 1 / c.inclusionProb(it)
-			arr = append(arr, float64(it.Arrival))
-		}
-		c.prods = append(c.prods, prod)
-		if c.cfg.OnInstance != nil {
-			c.cfg.OnInstance(+1, prod, e, others)
-		}
-		instances++
-
-		// Temporal features: sort the other edges by arrival (positions
-		// 1..|H|-1); position |H| is the new edge itself at t_k.
-		sort.Float64s(arr)
-		for j, a := range arr {
-			switch c.cfg.TemporalAgg {
-			case AggMax:
-				if a > c.temporal[j] {
-					c.temporal[j] = a
-				}
-			case AggAvg:
-				c.temporal[j] += a
-			}
-			c.count[j]++
-		}
-		return true
-	})
+	c.curEdge = e
+	c.comp.ForEach(c.res, e.U, e.V, c.insertVisit)
+	instances := c.instances
 	c.estimate += c.sumProds()
-	if c.cfg.TemporalAgg == AggAvg {
-		for j := 0; j < h-1; j++ {
-			if c.count[j] > 0 {
-				c.temporal[j] /= float64(c.count[j])
+	if !c.cfg.SkipTemporal {
+		if c.cfg.TemporalAgg == AggAvg {
+			for j := 0; j < h-1; j++ {
+				if c.count[j] > 0 {
+					c.temporal[j] /= float64(c.count[j])
+				}
 			}
 		}
-	}
-	if instances > 0 {
-		c.temporal[h-1] = float64(tk)
-	} else {
-		c.temporal[h-1] = 0
+		if instances > 0 {
+			c.temporal[h-1] = float64(tk)
+		} else {
+			c.temporal[h-1] = 0
+		}
 	}
 
 	c.lastState = weights.State{
@@ -256,7 +320,7 @@ func (c *Counter) insert(e graph.Edge) {
 		// Case 1: non-full reservoir; tau_p and tau_q are retained.
 		if rank > c.tauP {
 			// Case 1.1.
-			c.res.Push(&reservoir.Item{Edge: e, Weight: w, Rank: rank, Arrival: tk})
+			c.res.PushValue(e, w, rank, tk)
 		}
 		// Case 1.2: discard.
 		return
@@ -268,7 +332,7 @@ func (c *Counter) insert(e graph.Edge) {
 	case rank > c.tauP:
 		// Case 2.1: evict the minimum, include e, and raise tau_q to tau_p.
 		c.res.PopMin()
-		c.res.Push(&reservoir.Item{Edge: e, Weight: w, Rank: rank, Arrival: tk})
+		c.res.PushValue(e, w, rank, tk)
 		c.tauQ = c.tauP
 	case rank > c.tauQ:
 		// Case 2.2: discard e but remember its rank as the new tau_q.
@@ -293,21 +357,8 @@ func (c *Counter) delete(e graph.Edge) {
 	// Eq. (12): subtract the destroyed instances, observed against the
 	// reservoir just before the deletion is applied.
 	c.prods = c.prods[:0]
-	c.cfg.Pattern.ForEachCompletion(c.res, e.U, e.V, func(others []graph.Edge) bool {
-		prod := 1.0
-		for _, oe := range others {
-			it, ok := c.res.Get(oe)
-			if !ok {
-				panic(fmt.Sprintf("core: enumerated edge %v missing from reservoir", oe))
-			}
-			prod *= 1 / c.inclusionProb(it)
-		}
-		c.prods = append(c.prods, prod)
-		if c.cfg.OnInstance != nil {
-			c.cfg.OnInstance(-1, prod, e, others)
-		}
-		return true
-	})
+	c.curEdge = e
+	c.comp.ForEach(c.res, e.U, e.V, c.deleteVisit)
 	c.estimate -= c.sumProds()
 	// Case 3: drop e from the reservoir if sampled; tau_p and tau_q are
 	// retained.

@@ -61,7 +61,8 @@ func Throughput(p Profile) (*ThroughputResult, error) {
 	}
 	newCounter := func(m int, seed int64) (*core.Counter, error) {
 		return core.New(core.Config{M: m, Pattern: pattern.FourClique,
-			Weight: weights.GPSDefault(), Rng: rand.New(rand.NewSource(seed))})
+			Weight: weights.GPSDefault(), Rng: rand.New(rand.NewSource(seed)),
+			SkipTemporal: true})
 	}
 
 	type row struct {

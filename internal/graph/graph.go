@@ -133,6 +133,19 @@ func (a *AdjSet) ForEachNeighbor(u VertexID, fn func(v VertexID) bool) {
 	}
 }
 
+// ProbeEdge implements pattern.ItemView with nil payloads: AdjSet edges carry
+// no per-edge state, so enumeration against it resolves payloads to nil.
+func (a *AdjSet) ProbeEdge(u, v VertexID) (any, bool) { return nil, a.HasEdge(u, v) }
+
+// ForEachNeighborItem implements pattern.ItemView with nil payloads.
+func (a *AdjSet) ForEachNeighborItem(u VertexID, fn func(v VertexID, payload any) bool) {
+	for v := range a.adj[u] {
+		if !fn(v, nil) {
+			return
+		}
+	}
+}
+
 // Neighbors returns the neighbors of u as a freshly allocated slice, sorted
 // ascending for determinism. Intended for tests and small-scale inspection;
 // hot paths should use ForEachNeighbor.

@@ -1,0 +1,299 @@
+package pattern
+
+import "repro/internal/graph"
+
+// ItemView extends View for graphs whose edges carry an opaque per-edge
+// payload (the sampled reservoir's *reservoir.Item). Enumeration running
+// against an ItemView hands each instance's payloads to the callback alongside
+// its edges, so estimators can read per-edge state (weights, arrival indexes)
+// without a second hash lookup per edge — the dominant cost of the completion
+// hot path for dense patterns.
+//
+// Payloads must be pointer-shaped (a pointer or nil): storing one in an `any`
+// must not allocate, or the zero-allocation ingest guarantees break.
+type ItemView interface {
+	View
+	// ProbeEdge is HasEdge returning the edge's payload as well.
+	ProbeEdge(u, v graph.VertexID) (payload any, ok bool)
+	// ForEachNeighborItem calls fn for each neighbor v of u with the payload
+	// of edge {u, v}, until fn returns false.
+	ForEachNeighborItem(u graph.VertexID, fn func(v graph.VertexID, payload any) bool)
+}
+
+// Completer enumerates pattern completions with reusable scratch: the
+// neighbor buffers, the instance slices, and every internal iteration closure
+// are allocated once at construction and reused across calls, making ForEach
+// allocation-free on the per-event hot path. Each single-pass counter owns one
+// Completer (they are cheap); a Completer is not safe for concurrent use and
+// not reentrant — the callback must not call back into the same Completer.
+type Completer struct {
+	kind Kind
+
+	// Instance scratch handed to the callback, reused across instances.
+	others   []graph.Edge
+	payloads []any
+
+	// Common-neighborhood scratch for the clique patterns: common[i] is a
+	// common neighbor w of the event edge's endpoints, payA[i]/payB[i] the
+	// payloads of (a, w) and (b, w).
+	common []graph.VertexID
+	payA   []any
+	payB   []any
+
+	// Per-call state read by the prebound closures.
+	view   ItemView
+	a, b   graph.VertexID
+	hi     graph.VertexID // probe side while collecting common neighbors
+	hiIsB  bool           // whether hi == b (payload ordering)
+	apex   graph.VertexID // wedge: endpoint whose neighborhood is iterated
+	x      graph.VertexID // 4-cycle: first path vertex
+	payAX  any            // 4-cycle: payload of (a, x)
+	fn     func(others []graph.Edge, payloads []any) bool
+	stop   bool
+	adapt  plainAdapter // wraps non-ItemView views
+	shared func(v graph.VertexID, payload any) bool
+	inner  func(v graph.VertexID, payload any) bool
+}
+
+// NewCompleter returns a reusable enumerator for pattern k.
+func NewCompleter(k Kind) *Completer {
+	h := k.Size()
+	c := &Completer{
+		kind:     k,
+		others:   make([]graph.Edge, h-1),
+		payloads: make([]any, h-1),
+	}
+	c.adapt.init()
+	// shared serves the single-level iterations: common-neighbor collection
+	// for the clique patterns, apex iteration for wedges, and the outer path
+	// iteration for 4-cycles. inner is the 4-cycle's second level.
+	c.shared = func(v graph.VertexID, payload any) bool {
+		switch c.kind {
+		case Wedge:
+			return c.visitWedge(v, payload)
+		case FourCycle:
+			return c.visitCycleOuter(v, payload)
+		default:
+			return c.collectCommon(v, payload)
+		}
+	}
+	c.inner = func(v graph.VertexID, payload any) bool {
+		return c.visitCycleInner(v, payload)
+	}
+	return c
+}
+
+// Kind returns the pattern this completer enumerates.
+func (c *Completer) Kind() Kind { return c.kind }
+
+// ForEach enumerates the instances of the completer's pattern that edge
+// {a, b} completes against v, exactly as Kind.ForEachCompletion, with one
+// addition: when v implements ItemView, payloads[i] is the payload of
+// others[i]; otherwise every payload is nil. Both slices are reused across
+// invocations — fn must not retain them.
+func (c *Completer) ForEach(v View, a, b graph.VertexID, fn func(others []graph.Edge, payloads []any) bool) {
+	iv, ok := v.(ItemView)
+	if !ok {
+		c.adapt.View = v
+		iv = &c.adapt
+	}
+	c.view, c.a, c.b, c.fn, c.stop = iv, a, b, fn, false
+	switch c.kind {
+	case Wedge:
+		c.apex = a
+		iv.ForEachNeighborItem(a, c.shared)
+		if !c.stop {
+			c.apex = b
+			iv.ForEachNeighborItem(b, c.shared)
+		}
+	case FourCycle:
+		iv.ForEachNeighborItem(a, c.shared)
+	case Triangle, FourClique, FiveClique:
+		c.collectAndEmit(iv, a, b)
+	default:
+		panic("pattern: unknown kind")
+	}
+	// Drop references so retained Completers don't pin the view or callback.
+	c.view, c.fn = nil, nil
+	c.adapt.View = nil
+}
+
+// Count returns the number of instances completed by {a, b}, allocation-free.
+func (c *Completer) Count(v View, a, b graph.VertexID) int {
+	n := 0
+	c.ForEach(v, a, b, func([]graph.Edge, []any) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// emit hands the current instance scratch to the callback.
+func (c *Completer) emit(n int) bool {
+	if !c.fn(c.others[:n], c.payloads[:n]) {
+		c.stop = true
+		return false
+	}
+	return true
+}
+
+func (c *Completer) visitWedge(x graph.VertexID, payload any) bool {
+	// The wedge completed through apex's neighbor x; the opposite endpoint is
+	// excluded (that would be the event edge itself).
+	if (c.apex == c.a && x == c.b) || (c.apex == c.b && x == c.a) {
+		return true
+	}
+	c.others[0] = graph.NewEdge(c.apex, x)
+	c.payloads[0] = payload
+	return c.emit(1)
+}
+
+func (c *Completer) visitCycleOuter(x graph.VertexID, payload any) bool {
+	if x == c.b {
+		return true
+	}
+	c.x, c.payAX = x, payload
+	c.view.ForEachNeighborItem(x, c.inner)
+	return !c.stop
+}
+
+func (c *Completer) visitCycleInner(y graph.VertexID, payload any) bool {
+	// A 4-cycle completed by (a, b) is a path a - x - y - b of length 3: the
+	// other edges are (a, x), (x, y), (y, b).
+	if y == c.a || y == c.b || y == c.x {
+		return true
+	}
+	pyb, ok := c.view.ProbeEdge(y, c.b)
+	if !ok {
+		return true
+	}
+	c.others[0], c.payloads[0] = graph.NewEdge(c.a, c.x), c.payAX
+	c.others[1], c.payloads[1] = graph.NewEdge(c.x, y), payload
+	c.others[2], c.payloads[2] = graph.NewEdge(y, c.b), pyb
+	return c.emit(3)
+}
+
+// collectCommon gathers the common neighbors of the event edge, recording the
+// payloads of both connecting edges: the iterated side's payload arrives as
+// the argument, the probed side's from ProbeEdge.
+func (c *Completer) collectCommon(w graph.VertexID, payload any) bool {
+	if w == c.a || w == c.b {
+		return true
+	}
+	p, ok := c.view.ProbeEdge(c.hi, w)
+	if !ok {
+		return true
+	}
+	c.common = append(c.common, w)
+	if c.hiIsB {
+		c.payA = append(c.payA, payload)
+		c.payB = append(c.payB, p)
+	} else {
+		c.payA = append(c.payA, p)
+		c.payB = append(c.payB, payload)
+	}
+	return true
+}
+
+// collectAndEmit runs the clique patterns: collect the common neighborhood of
+// {a, b} (iterating the smaller side, probing the larger), then emit each
+// adjacent single/pair/triple as a triangle/4-clique/5-clique instance.
+// Collection runs to completion even when fn stops early; the clique callers
+// (estimators, counting) never stop early, so the waste is theoretical.
+func (c *Completer) collectAndEmit(iv ItemView, a, b graph.VertexID) {
+	lo, hi := a, b
+	if iv.Degree(lo) > iv.Degree(hi) {
+		lo, hi = hi, lo
+	}
+	c.common = c.common[:0]
+	c.payA = c.payA[:0]
+	c.payB = c.payB[:0]
+	c.hi, c.hiIsB = hi, hi == b
+	iv.ForEachNeighborItem(lo, c.shared)
+
+	switch c.kind {
+	case Triangle:
+		for i, w := range c.common {
+			c.others[0], c.payloads[0] = graph.NewEdge(a, w), c.payA[i]
+			c.others[1], c.payloads[1] = graph.NewEdge(b, w), c.payB[i]
+			if !c.emit(2) {
+				return
+			}
+		}
+	case FourClique:
+		for i := 0; i < len(c.common); i++ {
+			for j := i + 1; j < len(c.common); j++ {
+				w, x := c.common[i], c.common[j]
+				pwx, ok := iv.ProbeEdge(w, x)
+				if !ok {
+					continue
+				}
+				c.others[0], c.payloads[0] = graph.NewEdge(a, w), c.payA[i]
+				c.others[1], c.payloads[1] = graph.NewEdge(b, w), c.payB[i]
+				c.others[2], c.payloads[2] = graph.NewEdge(a, x), c.payA[j]
+				c.others[3], c.payloads[3] = graph.NewEdge(b, x), c.payB[j]
+				c.others[4], c.payloads[4] = graph.NewEdge(w, x), pwx
+				if !c.emit(5) {
+					return
+				}
+			}
+		}
+	case FiveClique:
+		for i := 0; i < len(c.common); i++ {
+			for j := i + 1; j < len(c.common); j++ {
+				pij, ok := iv.ProbeEdge(c.common[i], c.common[j])
+				if !ok {
+					continue
+				}
+				for k := j + 1; k < len(c.common); k++ {
+					w, x, y := c.common[i], c.common[j], c.common[k]
+					pik, ok := iv.ProbeEdge(w, y)
+					if !ok {
+						continue
+					}
+					pjk, ok := iv.ProbeEdge(x, y)
+					if !ok {
+						continue
+					}
+					c.others[0], c.payloads[0] = graph.NewEdge(a, w), c.payA[i]
+					c.others[1], c.payloads[1] = graph.NewEdge(b, w), c.payB[i]
+					c.others[2], c.payloads[2] = graph.NewEdge(a, x), c.payA[j]
+					c.others[3], c.payloads[3] = graph.NewEdge(b, x), c.payB[j]
+					c.others[4], c.payloads[4] = graph.NewEdge(a, y), c.payA[k]
+					c.others[5], c.payloads[5] = graph.NewEdge(b, y), c.payB[k]
+					c.others[6], c.payloads[6] = graph.NewEdge(w, x), pij
+					c.others[7], c.payloads[7] = graph.NewEdge(w, y), pik
+					c.others[8], c.payloads[8] = graph.NewEdge(x, y), pjk
+					if !c.emit(9) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// plainAdapter lifts a plain View to ItemView with nil payloads, so the
+// enumerators are written once against ItemView. The neighbor closure is
+// prebound; the current callback is saved and restored around each iteration
+// so nested iterations (the 4-cycle) do not clobber each other.
+type plainAdapter struct {
+	View
+	fn    func(v graph.VertexID, payload any) bool
+	visit func(v graph.VertexID) bool
+}
+
+func (p *plainAdapter) init() {
+	p.visit = func(v graph.VertexID) bool { return p.fn(v, nil) }
+}
+
+func (p *plainAdapter) ProbeEdge(u, v graph.VertexID) (any, bool) {
+	return nil, p.HasEdge(u, v)
+}
+
+func (p *plainAdapter) ForEachNeighborItem(u graph.VertexID, fn func(v graph.VertexID, payload any) bool) {
+	prev := p.fn
+	p.fn = fn
+	p.View.ForEachNeighbor(u, p.visit)
+	p.fn = prev
+}

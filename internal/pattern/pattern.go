@@ -5,7 +5,11 @@
 // Algorithm 2).
 package pattern
 
-import "repro/internal/graph"
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
 
 // View is the read-only graph interface enumeration runs against. Both the
 // exact dynamic graph (*graph.AdjSet) and every sampler's reservoir implement
@@ -76,6 +80,11 @@ func (k Kind) String() string {
 // Kinds lists all supported patterns in increasing size order.
 func Kinds() []Kind { return []Kind{Wedge, Triangle, FourCycle, FourClique, FiveClique} }
 
+// Valid reports whether k names a supported pattern. Deserialized kinds must
+// be checked before calling Size or the enumeration entry points, which
+// panic on unknown kinds.
+func (k Kind) Valid() bool { return k >= Wedge && k <= FiveClique }
+
 // ForEachCompletion enumerates the instances of pattern k that the edge
 // {u, v} completes against view: for each instance, fn receives the other
 // Size()-1 edges (every edge except {u, v} itself), all of which are present
@@ -88,186 +97,37 @@ func Kinds() []Kind { return []Kind{Wedge, Triangle, FourCycle, FourClique, Five
 // serves both insertion events (edge not yet sampled) and deletion events
 // (edge possibly still sampled), matching the X and Y estimators of
 // Eqs. (11)-(12).
+//
+// This is the convenience entry point; it borrows a pooled Completer per
+// call. Per-event hot paths should own a Completer and use its ForEach, which
+// also delivers per-edge payloads for ItemView views.
 func (k Kind) ForEachCompletion(v View, a, b graph.VertexID, fn func(others []graph.Edge) bool) {
-	switch k {
-	case Wedge:
-		forEachWedge(v, a, b, fn)
-	case Triangle:
-		forEachTriangle(v, a, b, fn)
-	case FourClique:
-		forEachFourClique(v, a, b, fn)
-	case FourCycle:
-		forEachFourCycle(v, a, b, fn)
-	case FiveClique:
-		forEachFiveClique(v, a, b, fn)
-	default:
-		panic("pattern: unknown kind")
-	}
+	c := borrowCompleter(k)
+	c.ForEach(v, a, b, func(others []graph.Edge, _ []any) bool { return fn(others) })
+	returnCompleter(c)
 }
 
 // CountCompletions returns the number of instances completed by {a, b},
 // i.e. |H(e)| in the paper's weight heuristic and |Hk| in the RL state.
 func (k Kind) CountCompletions(v View, a, b graph.VertexID) int {
-	n := 0
-	k.ForEachCompletion(v, a, b, func([]graph.Edge) bool {
-		n++
-		return true
-	})
+	c := borrowCompleter(k)
+	n := c.Count(v, a, b)
+	returnCompleter(c)
 	return n
 }
 
-func forEachWedge(v View, a, b graph.VertexID, fn func([]graph.Edge) bool) {
-	var others [1]graph.Edge
-	stop := false
-	v.ForEachNeighbor(a, func(x graph.VertexID) bool {
-		if x == b {
-			return true
-		}
-		others[0] = graph.NewEdge(a, x)
-		if !fn(others[:]) {
-			stop = true
-			return false
-		}
-		return true
-	})
-	if stop {
-		return
+// completerPools recycles Completers for the convenience entry points, one
+// pool per pattern kind, so callers that have not adopted a per-counter
+// Completer still avoid rebuilding the enumeration scratch on every call.
+var completerPools [FiveClique + 1]sync.Pool
+
+func borrowCompleter(k Kind) *Completer {
+	if c, ok := completerPools[k].Get().(*Completer); ok {
+		return c
 	}
-	v.ForEachNeighbor(b, func(y graph.VertexID) bool {
-		if y == a {
-			return true
-		}
-		others[0] = graph.NewEdge(b, y)
-		return fn(others[:])
-	})
+	return NewCompleter(k)
 }
 
-func forEachTriangle(v View, a, b graph.VertexID, fn func([]graph.Edge) bool) {
-	var others [2]graph.Edge
-	// Iterate the smaller neighborhood, probing the other side.
-	lo, hi := a, b
-	if v.Degree(lo) > v.Degree(hi) {
-		lo, hi = hi, lo
-	}
-	v.ForEachNeighbor(lo, func(w graph.VertexID) bool {
-		if w == a || w == b {
-			return true
-		}
-		if !v.HasEdge(hi, w) {
-			return true
-		}
-		others[0] = graph.NewEdge(a, w)
-		others[1] = graph.NewEdge(b, w)
-		return fn(others[:])
-	})
-}
-
-func forEachFourCycle(v View, a, b graph.VertexID, fn func([]graph.Edge) bool) {
-	// A 4-cycle completed by (a, b) is a path a - x - y - b of length 3: the
-	// other edges are (a, x), (x, y), (y, b).
-	var others [3]graph.Edge
-	stop := false
-	v.ForEachNeighbor(a, func(x graph.VertexID) bool {
-		if x == b {
-			return true
-		}
-		v.ForEachNeighbor(x, func(y graph.VertexID) bool {
-			if y == a || y == b || y == x {
-				return true
-			}
-			if !v.HasEdge(y, b) {
-				return true
-			}
-			others[0] = graph.NewEdge(a, x)
-			others[1] = graph.NewEdge(x, y)
-			others[2] = graph.NewEdge(y, b)
-			if !fn(others[:]) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		return !stop
-	})
-}
-
-func forEachFourClique(v View, a, b graph.VertexID, fn func([]graph.Edge) bool) {
-	// Collect common neighbors of a and b, then emit each adjacent pair.
-	var common []graph.VertexID
-	lo, hi := a, b
-	if v.Degree(lo) > v.Degree(hi) {
-		lo, hi = hi, lo
-	}
-	v.ForEachNeighbor(lo, func(w graph.VertexID) bool {
-		if w == a || w == b {
-			return true
-		}
-		if v.HasEdge(hi, w) {
-			common = append(common, w)
-		}
-		return true
-	})
-	var others [5]graph.Edge
-	for i := 0; i < len(common); i++ {
-		for j := i + 1; j < len(common); j++ {
-			w, x := common[i], common[j]
-			if !v.HasEdge(w, x) {
-				continue
-			}
-			others[0] = graph.NewEdge(a, w)
-			others[1] = graph.NewEdge(b, w)
-			others[2] = graph.NewEdge(a, x)
-			others[3] = graph.NewEdge(b, x)
-			others[4] = graph.NewEdge(w, x)
-			if !fn(others[:]) {
-				return
-			}
-		}
-	}
-}
-
-func forEachFiveClique(v View, a, b graph.VertexID, fn func([]graph.Edge) bool) {
-	// A 5-clique completed by (a, b) is a triple {w, x, y} of pairwise
-	// adjacent common neighbors of a and b; the other 9 edges connect a and b
-	// to the triple and the triple internally.
-	var common []graph.VertexID
-	lo, hi := a, b
-	if v.Degree(lo) > v.Degree(hi) {
-		lo, hi = hi, lo
-	}
-	v.ForEachNeighbor(lo, func(w graph.VertexID) bool {
-		if w == a || w == b {
-			return true
-		}
-		if v.HasEdge(hi, w) {
-			common = append(common, w)
-		}
-		return true
-	})
-	var others [9]graph.Edge
-	for i := 0; i < len(common); i++ {
-		for j := i + 1; j < len(common); j++ {
-			if !v.HasEdge(common[i], common[j]) {
-				continue
-			}
-			for k := j + 1; k < len(common); k++ {
-				w, x, y := common[i], common[j], common[k]
-				if !v.HasEdge(w, y) || !v.HasEdge(x, y) {
-					continue
-				}
-				others[0] = graph.NewEdge(a, w)
-				others[1] = graph.NewEdge(b, w)
-				others[2] = graph.NewEdge(a, x)
-				others[3] = graph.NewEdge(b, x)
-				others[4] = graph.NewEdge(a, y)
-				others[5] = graph.NewEdge(b, y)
-				others[6] = graph.NewEdge(w, x)
-				others[7] = graph.NewEdge(w, y)
-				others[8] = graph.NewEdge(x, y)
-				if !fn(others[:]) {
-					return
-				}
-			}
-		}
-	}
+func returnCompleter(c *Completer) {
+	completerPools[c.kind].Put(c)
 }

@@ -1,0 +1,95 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/stream"
+	"repro/internal/weights"
+	"repro/internal/xrand"
+)
+
+// allocBlock is a self-contained insert+delete churn block (the graph is
+// empty again at the end), replayable as a steady-state ingest unit.
+func allocBlock(n int) []stream.Event {
+	evs := make([]stream.Event, 0, 2*n)
+	for i := 0; i < n; i++ {
+		e := graph.NewEdge(graph.VertexID(i%37), graph.VertexID(i%37+1+i%11))
+		evs = append(evs, stream.Event{Op: stream.Insert, Edge: e})
+		evs = append(evs, stream.Event{Op: stream.Delete, Edge: e})
+	}
+	return evs
+}
+
+func newAllocCounter(tb testing.TB) *core.Counter {
+	tb.Helper()
+	c, err := core.New(core.Config{
+		M:            128,
+		Pattern:      pattern.Triangle,
+		Weight:       weights.GPSDefault(),
+		Rng:          xrand.New(7),
+		SkipTemporal: true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+var drain = func(Counter) error { return nil }
+
+// TestSubmitBatchAllocs pins the whole pipeline ingest path — submit,
+// channel transfer, worker apply, estimate publication — at effectively zero
+// steady-state allocations per event. The trailing Quiesce both drains the
+// worker (so its allocations land inside the measurement) and costs one
+// barrier allocation, which the budget absorbs.
+func TestSubmitBatchAllocs(t *testing.T) {
+	p := New(newAllocCounter(t), 8)
+	defer p.Close()
+	block := allocBlock(1024)
+	warmAndMeasure(t, "pipeline SubmitBatch", len(block), func() {
+		if err := p.SubmitBatch(block); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Quiesce(drain); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSubmitPooledAllocs pins the pooled producer path: Get, fill, submit.
+// The pool must hand back the same buffer every cycle once the worker
+// releases it.
+func TestSubmitPooledAllocs(t *testing.T) {
+	p := New(newAllocCounter(t), 8)
+	defer p.Close()
+	block := allocBlock(1024)
+	var pool stream.BatchPool
+	warmAndMeasure(t, "pipeline SubmitPooled", len(block), func() {
+		b := pool.Get()
+		b.Events = append(b.Events, block...)
+		if err := p.SubmitPooled(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Quiesce(drain); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// warmAndMeasure runs f a few times to grow every buffer, then pins its
+// steady-state allocation rate per event.
+func warmAndMeasure(t *testing.T, name string, events int, f func()) {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		f()
+	}
+	avg := testing.AllocsPerRun(5, f)
+	perEvent := avg / float64(events)
+	t.Logf("%s: %.4f allocs/event (%.1f per block of %d)", name, perEvent, avg, events)
+	if perEvent > 0.02 {
+		t.Errorf("%s allocates %.4f/event, budget 0.02 — the zero-alloc path regressed", name, perEvent)
+	}
+}

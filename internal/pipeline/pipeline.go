@@ -48,13 +48,14 @@ type Checkpointable interface {
 // Close.
 var ErrClosed = errors.New("pipeline: processor closed")
 
-// envelope is one channel message: a single event, a batch, or a quiesce
-// barrier. Keeping all three in one channel preserves total FIFO order, which
-// is what makes the barrier a barrier: when the worker reaches it, every
-// previously enqueued event has been applied.
+// envelope is one channel message: a single event, a batch (plain or
+// pooled), or a quiesce barrier. Keeping all of them in one channel preserves
+// total FIFO order, which is what makes the barrier a barrier: when the
+// worker reaches it, every previously enqueued event has been applied.
 type envelope struct {
 	ev     stream.Event
 	batch  []stream.Event
+	pooled *stream.Batch // non-nil: batch aliases pooled.Events; release after applying
 	single bool
 	sync   chan struct{} // non-nil: barrier; worker closes it and continues
 }
@@ -110,6 +111,9 @@ func (p *Processor) run() {
 				}
 			}
 			p.processed.Add(int64(len(env.batch)))
+			if env.pooled != nil {
+				env.pooled.Release()
+			}
 		}
 		// One publication per envelope: batches amortize the atomic store.
 		p.estimate.Store(math.Float64bits(p.counter.Estimate()))
@@ -139,6 +143,24 @@ func (p *Processor) SubmitBatch(evs []stream.Event) error {
 		return nil
 	}
 	return p.send(envelope{batch: evs})
+}
+
+// SubmitPooled enqueues a pooled batch, blocking while the buffer is full.
+// The processor takes ownership of the batch's reference in every case: after
+// the events are applied it is released back to its pool, and on error
+// (ErrClosed) it is released immediately, so the producer loop is simply
+// Get-fill-SubmitPooled with no cleanup path. Empty batches are released and
+// ignored.
+func (p *Processor) SubmitPooled(b *stream.Batch) error {
+	if len(b.Events) == 0 {
+		b.Release()
+		return p.SubmitBatch(nil)
+	}
+	err := p.send(envelope{batch: b.Events, pooled: b})
+	if err != nil {
+		b.Release()
+	}
+	return err
 }
 
 func (p *Processor) send(env envelope) error {

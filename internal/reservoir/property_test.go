@@ -1,0 +1,217 @@
+package reservoir
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// checkInvariants verifies every structural invariant of the reservoir after
+// an operation:
+//
+//   - min-heap order on ranks, with every item's heapIdx matching its slot
+//   - the edge index and the heap hold exactly the same items
+//   - the adjacency lists mirror the edge set: each item appears in both
+//     endpoints' lists at its recorded indexes, entries point back at their
+//     items, and no list holds anything else
+//   - size never exceeds capacity
+func checkInvariants(t *testing.T, r *Reservoir) {
+	t.Helper()
+	if r.Len() > r.Cap() {
+		t.Fatalf("len %d exceeds capacity %d", r.Len(), r.Cap())
+	}
+	for i, it := range r.heap {
+		if it.heapIdx != i {
+			t.Fatalf("heap[%d].heapIdx = %d", i, it.heapIdx)
+		}
+		if parent := (i - 1) / 2; i > 0 && r.heap[parent].Rank > it.Rank {
+			t.Fatalf("heap order violated at %d: parent rank %v > %v", i, r.heap[parent].Rank, it.Rank)
+		}
+		got, ok := r.byEdge[it.Edge]
+		if !ok || got != it {
+			t.Fatalf("heap item %v not indexed by edge", it.Edge)
+		}
+	}
+	if len(r.byEdge) != len(r.heap) {
+		t.Fatalf("edge index holds %d items, heap %d", len(r.byEdge), len(r.heap))
+	}
+	entries := 0
+	for u, list := range r.adj {
+		if len(list) == 0 {
+			t.Fatalf("vertex %d kept with empty adjacency", u)
+		}
+		entries += len(list)
+		for i, e := range list {
+			if e.it == nil {
+				t.Fatalf("adj[%d][%d] has nil item", u, i)
+			}
+			if got := r.byEdge[graph.NewEdge(u, e.v)]; got != e.it {
+				t.Fatalf("adj[%d][%d] points at wrong item for edge {%d,%d}", u, i, u, e.v)
+			}
+			idx := e.it.adjIdxU
+			if e.it.Edge.V == u {
+				idx = e.it.adjIdxV
+			}
+			if idx != i {
+				t.Fatalf("item %v records index %d in adj[%d], found at %d", e.it.Edge, idx, u, i)
+			}
+		}
+	}
+	if entries != 2*len(r.heap) {
+		t.Fatalf("adjacency holds %d entries for %d items", entries, len(r.heap))
+	}
+	// Degree agrees with the adjacency it reports.
+	for u, list := range r.adj {
+		if r.Degree(u) != len(list) {
+			t.Fatalf("Degree(%d) = %d, adjacency has %d", u, r.Degree(u), len(list))
+		}
+	}
+}
+
+// TestPropertyRandomOps drives the reservoir through random
+// insert/delete/evict/threshold sequences — the exact op mix the WSD and GPS
+// samplers generate — checking every invariant after every operation and
+// cross-checking membership and min-rank against a naive model.
+func TestPropertyRandomOps(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7, 42} {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		const cap = 48
+		r := New(cap)
+		model := map[graph.Edge]float64{} // edge -> rank
+
+		randomEdge := func() graph.Edge {
+			for {
+				e := graph.NewEdge(graph.VertexID(rng.Intn(24)), graph.VertexID(rng.Intn(24)))
+				if !e.IsLoop() {
+					return e
+				}
+			}
+		}
+		modelMin := func() (graph.Edge, float64, bool) {
+			var (
+				minE  graph.Edge
+				minR  float64
+				found bool
+			)
+			for e, rank := range model {
+				if !found || rank < minR {
+					minE, minR, found = e, rank, true
+				}
+			}
+			return minE, minR, found
+		}
+
+		for op := 0; op < 4000; op++ {
+			switch k := rng.Intn(10); {
+			case k < 5: // insert a new edge if there is room
+				e := randomEdge()
+				if _, ok := model[e]; ok || r.Full() {
+					break
+				}
+				rank := rng.Float64() * 1000
+				if k < 3 {
+					r.PushValue(e, 1, rank, int64(op))
+				} else {
+					r.Push(&Item{Edge: e, Weight: 1, Rank: rank, Arrival: int64(op)})
+				}
+				model[e] = rank
+			case k < 8: // delete (sometimes an absent edge: must be a no-op)
+				e := randomEdge()
+				_, inModel := model[e]
+				removed := r.Remove(e)
+				if inModel != (removed != nil) {
+					t.Fatalf("seed %d op %d: Remove(%v) = %v, model has %v", seed, op, e, removed, inModel)
+				}
+				delete(model, e)
+			default: // evict the minimum (threshold maintenance)
+				_, wantRank, want := modelMin()
+				got := r.PopMin()
+				if want != (got != nil) {
+					t.Fatalf("seed %d op %d: PopMin = %v, model non-empty %v", seed, op, got, want)
+				}
+				if got != nil {
+					if got.Rank != wantRank {
+						t.Fatalf("seed %d op %d: PopMin rank %v, model min %v", seed, op, got.Rank, wantRank)
+					}
+					delete(model, got.Edge)
+				}
+			}
+			checkInvariants(t, r)
+
+			// Membership and min agree with the model.
+			if r.Len() != len(model) {
+				t.Fatalf("seed %d op %d: len %d, model %d", seed, op, r.Len(), len(model))
+			}
+			if min := r.Min(); min != nil {
+				if _, ok := model[min.Edge]; !ok {
+					t.Fatalf("seed %d op %d: Min edge %v not in model", seed, op, min.Edge)
+				}
+				_, wantRank, _ := modelMin()
+				if min.Rank != wantRank {
+					t.Fatalf("seed %d op %d: Min rank %v, model min %v", seed, op, min.Rank, wantRank)
+				}
+			}
+		}
+
+		// Drain completely: every item must come out in nondecreasing rank
+		// order with invariants held throughout.
+		prev := -1.0
+		for r.Len() > 0 {
+			it := r.PopMin()
+			if it.Rank < prev {
+				t.Fatalf("seed %d: drain out of order: %v after %v", seed, it.Rank, prev)
+			}
+			prev = it.Rank
+			checkInvariants(t, r)
+		}
+	}
+}
+
+// TestPropertyViewConsistency checks that the pattern.View surface (HasEdge,
+// Degree, ForEachNeighbor) and the ItemView payloads stay consistent with the
+// stored items under churn.
+func TestPropertyViewConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := New(32)
+	live := map[graph.Edge]bool{}
+	for op := 0; op < 2000; op++ {
+		e := graph.NewEdge(graph.VertexID(rng.Intn(12)), graph.VertexID(rng.Intn(12))+1)
+		if e.IsLoop() {
+			continue
+		}
+		if live[e] {
+			r.Remove(e)
+			delete(live, e)
+		} else if !r.Full() {
+			r.PushValue(e, 1, rng.Float64(), int64(op))
+			live[e] = true
+		}
+		for le := range live {
+			if !r.HasEdge(le.U, le.V) {
+				t.Fatalf("op %d: live edge %v not visible", op, le)
+			}
+			p, ok := r.ProbeEdge(le.U, le.V)
+			if !ok || p.(*Item).Edge != le {
+				t.Fatalf("op %d: ProbeEdge(%v) payload mismatch", op, le)
+			}
+		}
+		// Every neighbor enumeration yields exactly the live incident edges,
+		// payloads included.
+		seen := 0
+		for u := graph.VertexID(0); u <= 12; u++ {
+			r.ForEachNeighborItem(u, func(v graph.VertexID, payload any) bool {
+				it := payload.(*Item)
+				if it.Edge != graph.NewEdge(u, v) || !live[it.Edge] {
+					t.Fatalf("op %d: enumeration yielded stale edge %v", op, it.Edge)
+				}
+				seen++
+				return true
+			})
+		}
+		if seen != 2*len(live) {
+			t.Fatalf("op %d: enumerated %d half-edges, want %d", op, seen, 2*len(live))
+		}
+	}
+}

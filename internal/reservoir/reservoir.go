@@ -23,6 +23,9 @@ type Item struct {
 	Deleted bool  // GPS-A "DEL" tag; WSD never sets it
 
 	heapIdx int
+	// adjIdxU and adjIdxV locate this item's entry in the adjacency list of
+	// Edge.U and Edge.V respectively, for O(1) swap-removal.
+	adjIdxU, adjIdxV int
 }
 
 // Reservoir is a bounded min-priority queue of Items keyed by Rank with edge
@@ -35,7 +38,29 @@ type Reservoir struct {
 	capacity int
 	heap     []*Item
 	byEdge   map[graph.Edge]*Item
-	adj      map[graph.VertexID]map[graph.VertexID]*Item
+	// adj maps each live vertex to its incident items as a slice: neighbor
+	// enumeration — the innermost loop of every completion search — walks a
+	// contiguous slice instead of iterating a hash map, and each entry carries
+	// the *Item so enumeration yields per-edge state without extra lookups.
+	// Removal is O(1) by swap-remove via the indexes stored on the Item.
+	adj map[graph.VertexID][]adjEntry
+	// free recycles removed Item allocations for PushValue, keeping the
+	// steady-state sampler loop allocation-free. Bounded by the capacity so
+	// even a mass deletion followed by a refill — the deletion-churn shape —
+	// recycles every item, while idle memory stays within one reservoir's
+	// worth of items.
+	free []*Item
+	// freeAdj recycles the backing arrays of emptied adjacency lists: under
+	// churn, vertices constantly drop to degree zero and come back, and
+	// reallocating their lists each time would dominate steady-state
+	// allocations. Bounded like free.
+	freeAdj [][]adjEntry
+}
+
+// adjEntry is one incident edge in a vertex's adjacency list.
+type adjEntry struct {
+	v  graph.VertexID
+	it *Item
 }
 
 // New returns an empty reservoir with the given capacity M. It panics if
@@ -48,7 +73,7 @@ func New(capacity int) *Reservoir {
 		capacity: capacity,
 		heap:     make([]*Item, 0, capacity),
 		byEdge:   make(map[graph.Edge]*Item, capacity),
-		adj:      make(map[graph.VertexID]map[graph.VertexID]*Item),
+		adj:      make(map[graph.VertexID][]adjEntry),
 	}
 }
 
@@ -91,8 +116,26 @@ func (r *Reservoir) Push(it *Item) {
 	r.siftUp(it.heapIdx)
 }
 
+// PushValue inserts a new item built from the given fields, reusing an
+// allocation recycled by a previous removal when one is available — the
+// allocation-free fast path for the samplers' evict-then-insert loop. The
+// same panics as Push apply.
+func (r *Reservoir) PushValue(e graph.Edge, weight, rank float64, arrival int64) *Item {
+	var it *Item
+	if n := len(r.free); n > 0 {
+		it = r.free[n-1]
+		r.free = r.free[:n-1]
+		*it = Item{Edge: e, Weight: weight, Rank: rank, Arrival: arrival}
+	} else {
+		it = &Item{Edge: e, Weight: weight, Rank: rank, Arrival: arrival}
+	}
+	r.Push(it)
+	return it
+}
+
 // PopMin removes and returns the minimum-rank item. It returns nil if the
-// reservoir is empty.
+// reservoir is empty. The returned item is only valid until the next
+// PushValue, which may recycle its allocation.
 func (r *Reservoir) PopMin() *Item {
 	if len(r.heap) == 0 {
 		return nil
@@ -100,7 +143,9 @@ func (r *Reservoir) PopMin() *Item {
 	return r.removeAt(0)
 }
 
-// Remove deletes the item for edge e, returning it, or nil if absent.
+// Remove deletes the item for edge e, returning it, or nil if absent. The
+// returned item is only valid until the next PushValue, which may recycle its
+// allocation.
 func (r *Reservoir) Remove(e graph.Edge) *Item {
 	it, ok := r.byEdge[e]
 	if !ok {
@@ -122,29 +167,60 @@ func (r *Reservoir) removeAt(i int) *Item {
 	}
 	delete(r.byEdge, it.Edge)
 	r.unlinkAdj(it)
+	if len(r.free) < r.capacity {
+		r.free = append(r.free, it)
+	}
 	return it
 }
 
 func (r *Reservoir) linkAdj(it *Item) {
-	for _, pair := range [2][2]graph.VertexID{{it.Edge.U, it.Edge.V}, {it.Edge.V, it.Edge.U}} {
-		u, v := pair[0], pair[1]
-		m := r.adj[u]
-		if m == nil {
-			m = make(map[graph.VertexID]*Item)
-			r.adj[u] = m
-		}
-		m[v] = it
+	it.adjIdxU = len(r.adj[it.Edge.U])
+	r.adj[it.Edge.U] = append(r.listFor(it.Edge.U), adjEntry{v: it.Edge.V, it: it})
+	it.adjIdxV = len(r.adj[it.Edge.V])
+	r.adj[it.Edge.V] = append(r.listFor(it.Edge.V), adjEntry{v: it.Edge.U, it: it})
+}
+
+// listFor returns u's adjacency list, seeding a fresh vertex with a recycled
+// backing array when one is available.
+func (r *Reservoir) listFor(u graph.VertexID) []adjEntry {
+	if list, ok := r.adj[u]; ok {
+		return list
 	}
+	if n := len(r.freeAdj); n > 0 {
+		list := r.freeAdj[n-1]
+		r.freeAdj = r.freeAdj[:n-1]
+		return list
+	}
+	return nil
 }
 
 func (r *Reservoir) unlinkAdj(it *Item) {
-	for _, pair := range [2][2]graph.VertexID{{it.Edge.U, it.Edge.V}, {it.Edge.V, it.Edge.U}} {
-		u, v := pair[0], pair[1]
-		m := r.adj[u]
-		delete(m, v)
-		if len(m) == 0 {
-			delete(r.adj, u)
+	r.unlinkAt(it.Edge.U, it.adjIdxU)
+	r.unlinkAt(it.Edge.V, it.adjIdxV)
+}
+
+// unlinkAt swap-removes entry i from u's adjacency list, fixing the moved
+// entry's back-index on its item.
+func (r *Reservoir) unlinkAt(u graph.VertexID, i int) {
+	list := r.adj[u]
+	last := len(list) - 1
+	if i != last {
+		moved := list[last]
+		list[i] = moved
+		if moved.it.Edge.U == u {
+			moved.it.adjIdxU = i
+		} else {
+			moved.it.adjIdxV = i
 		}
+	}
+	list = list[:last]
+	if len(list) == 0 {
+		if cap(list) > 0 && len(r.freeAdj) < r.capacity {
+			r.freeAdj = append(r.freeAdj, list)
+		}
+		delete(r.adj, u)
+	} else {
+		r.adj[u] = list
 	}
 }
 
@@ -197,10 +273,31 @@ func (r *Reservoir) HasEdge(u, v graph.VertexID) bool {
 // Degree implements pattern.View over all stored items.
 func (r *Reservoir) Degree(u graph.VertexID) int { return len(r.adj[u]) }
 
-// ForEachNeighbor implements pattern.View over all stored items.
+// ForEachNeighbor implements pattern.View over all stored items. Iteration
+// order is the adjacency list's insertion order; fn must not mutate the
+// reservoir.
 func (r *Reservoir) ForEachNeighbor(u graph.VertexID, fn func(v graph.VertexID) bool) {
-	for v := range r.adj[u] {
-		if !fn(v) {
+	for _, e := range r.adj[u] {
+		if !fn(e.v) {
+			return
+		}
+	}
+}
+
+// ProbeEdge implements pattern.ItemView: HasEdge returning the *Item payload.
+func (r *Reservoir) ProbeEdge(u, v graph.VertexID) (any, bool) {
+	it, ok := r.byEdge[graph.NewEdge(u, v)]
+	if !ok {
+		return nil, false
+	}
+	return it, true
+}
+
+// ForEachNeighborItem implements pattern.ItemView; the payload is the edge's
+// *Item. fn must not mutate the reservoir.
+func (r *Reservoir) ForEachNeighborItem(u graph.VertexID, fn func(v graph.VertexID, payload any) bool) {
+	for _, e := range r.adj[u] {
+		if !fn(e.v, e.it) {
 			return
 		}
 	}
@@ -235,11 +332,33 @@ func (lv LiveView) Degree(u graph.VertexID) int { return lv.r.Degree(u) }
 
 // ForEachNeighbor implements pattern.View, skipping DEL-tagged edges.
 func (lv LiveView) ForEachNeighbor(u graph.VertexID, fn func(v graph.VertexID) bool) {
-	for v, it := range lv.r.adj[u] {
-		if it.Deleted {
+	for _, e := range lv.r.adj[u] {
+		if e.it.Deleted {
 			continue
 		}
-		if !fn(v) {
+		if !fn(e.v) {
+			return
+		}
+	}
+}
+
+// ProbeEdge implements pattern.ItemView over the live items.
+func (lv LiveView) ProbeEdge(u, v graph.VertexID) (any, bool) {
+	it, ok := lv.r.byEdge[graph.NewEdge(u, v)]
+	if !ok || it.Deleted {
+		return nil, false
+	}
+	return it, true
+}
+
+// ForEachNeighborItem implements pattern.ItemView, skipping DEL-tagged edges;
+// the payload is the edge's *Item.
+func (lv LiveView) ForEachNeighborItem(u graph.VertexID, fn func(v graph.VertexID, payload any) bool) {
+	for _, e := range lv.r.adj[u] {
+		if e.it.Deleted {
+			continue
+		}
+		if !fn(e.v, e.it) {
 			return
 		}
 	}

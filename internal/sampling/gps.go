@@ -54,6 +54,7 @@ func (c *GPSConfig) validate() error {
 type GPS struct {
 	cfg        GPSConfig
 	res        *reservoir.Reservoir
+	comp       *pattern.Completer
 	z          float64 // r_{M+1}: max rank ever rejected or evicted
 	estimate   float64
 	insertions int64
@@ -73,6 +74,7 @@ func NewGPS(cfg GPSConfig) (*GPS, error) {
 	return &GPS{
 		cfg:      cfg,
 		res:      reservoir.New(cfg.M),
+		comp:     pattern.NewCompleter(cfg.Pattern),
 		temporal: make([]float64, cfg.Pattern.Size()),
 		arrivals: make([]float64, 0, cfg.Pattern.Size()),
 	}, nil
@@ -144,13 +146,19 @@ func (g *GPS) estimateArrival(e graph.Edge, view pattern.View, sign float64) wei
 		g.temporal[j] = 0
 	}
 	instances := 0
-	g.cfg.Pattern.ForEachCompletion(view, e.U, e.V, func(others []graph.Edge) bool {
+	g.comp.ForEach(view, e.U, e.V, func(others []graph.Edge, payloads []any) bool {
 		prod := 1.0
 		arr := g.arrivals[:0]
-		for _, oe := range others {
-			it, ok := g.res.Get(oe)
-			if !ok {
-				panic(fmt.Sprintf("sampling: enumerated edge %v missing from reservoir", oe))
+		for i, oe := range others {
+			// Both GPS views (the reservoir and its live view) are ItemViews,
+			// so the payload is the item; the lookup is a defensive fallback.
+			it, _ := payloads[i].(*reservoir.Item)
+			if it == nil {
+				var ok bool
+				it, ok = g.res.Get(oe)
+				if !ok {
+					panic(fmt.Sprintf("sampling: enumerated edge %v missing from reservoir", oe))
+				}
 			}
 			prod *= 1 / g.inclusionProb(it)
 			arr = append(arr, float64(it.Arrival))

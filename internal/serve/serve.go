@@ -59,6 +59,11 @@ type Server struct {
 	// ensemble under the write lock.
 	mu  sync.RWMutex
 	ens *wsd.ShardedCounter
+
+	// batches recycles ingest buffers: binary request frames are decoded
+	// into pooled batches that the shard workers release after applying, so
+	// steady-state binary ingestion allocates nothing per frame.
+	batches stream.BatchPool
 }
 
 // New builds the counter and returns a ready server.
@@ -152,10 +157,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Binary bodies are submitted frame by frame — the wire format's frames
-	// map 1:1 onto SubmitBatch batches — while text bodies are parsed whole.
+	// map 1:1 onto SubmitPooled batches — while text bodies are parsed whole.
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	accepted, err := ingest(s.ens, bytes.NewReader(raw))
+	accepted, err := ingest(s.ens, &s.batches, bytes.NewReader(raw))
 	if err != nil {
 		if errors.Is(err, shard.ErrClosed) {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -177,43 +182,60 @@ func isBodyTooLarge(err error) bool {
 // The whole body is decoded before the first submit, so a parse error
 // anywhere (a corrupt trailing frame, a malformed line) rejects the request
 // without having applied a prefix of it — clients can safely retry a 400
-// without double-counting. Binary frames are still submitted batch by batch,
-// preserving the wire format's 1:1 frame-to-SubmitBatch mapping.
-func ingest(ens *wsd.ShardedCounter, body io.Reader) (int, error) {
+// without double-counting. Binary frames are decoded into pooled batches and
+// submitted frame by frame through the refcounted broadcast, preserving the
+// wire format's 1:1 frame-to-batch mapping without copying the events per
+// shard; the pool makes steady-state binary ingestion allocation-free once
+// its buffers have grown to the request's frame sizes.
+func ingest(ens *wsd.ShardedCounter, pool *stream.BatchPool, body io.Reader) (int, error) {
 	br, isBinary := stream.SniffBinary(body)
-	var batches [][]stream.Event
 	total := 0
 	if isBinary {
 		reader, err := stream.NewBinaryReader(br)
 		if err != nil {
 			return 0, err
 		}
+		var pending []*stream.Batch
+		release := func() {
+			for _, b := range pending {
+				b.Release()
+			}
+		}
 		for {
-			batch, err := reader.ReadBatch()
+			b := pool.Get()
+			b.Events, err = reader.ReadBatchAppend(b.Events)
 			if err == io.EOF {
+				b.Release() // EOF strikes between frames: b is empty
 				break
 			}
 			if err != nil {
+				b.Release()
+				release()
 				return 0, err
 			}
-			batches = append(batches, batch)
-			total += len(batch)
+			pending = append(pending, b)
+			total += len(b.Events)
 		}
-	} else {
-		evs, err := stream.Read(br)
-		if err != nil {
-			return 0, err
+		for i, b := range pending {
+			if err := ens.SubmitPooled(b); err != nil {
+				// Only Close can fail a submit; the service is shutting
+				// down. SubmitPooled released b; drop the rest too.
+				pending = pending[i+1:]
+				release()
+				return 0, err
+			}
 		}
-		if len(evs) > 0 {
-			batches = append(batches, evs)
-			total = len(evs)
-		}
+		return total, nil
 	}
-	for _, batch := range batches {
-		if err := ens.SubmitBatch(batch); err != nil {
-			// Only Close can fail a submit; the service is shutting down.
+	evs, err := stream.Read(br)
+	if err != nil {
+		return 0, err
+	}
+	if len(evs) > 0 {
+		if err := ens.SubmitBatch(evs); err != nil {
 			return 0, err
 		}
+		total = len(evs)
 	}
 	return total, nil
 }

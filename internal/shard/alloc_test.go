@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/stream"
+	"repro/internal/weights"
+	"repro/internal/xrand"
+)
+
+// TestSubmitPooledAllocs pins the sharded broadcast at effectively zero
+// steady-state allocations per event: one pooled buffer crosses K feed
+// channels by reference, every worker applies it through the allocation-free
+// core path, and the last release hands the buffer back to the pool. The
+// trailing Quiesce drains all workers into the measurement window (its
+// barrier channels are the handful of allocations the budget absorbs).
+func TestSubmitPooledAllocs(t *testing.T) {
+	const shards = 4
+	counters := make([]Counter, shards)
+	for i := range counters {
+		c, err := core.New(core.Config{
+			M:            64,
+			Pattern:      pattern.Triangle,
+			Weight:       weights.GPSDefault(),
+			Rng:          xrand.NewSequence(3, int64(i)),
+			SkipTemporal: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counters[i] = c
+	}
+	e, err := New(counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	block := make([]stream.Event, 0, 2048)
+	for i := 0; i < 1024; i++ {
+		ed := graph.NewEdge(graph.VertexID(i%29), graph.VertexID(i%29+1+i%7))
+		block = append(block, stream.Event{Op: stream.Insert, Edge: ed})
+		block = append(block, stream.Event{Op: stream.Delete, Edge: ed})
+	}
+	drain := func(int, Counter) error { return nil }
+
+	var pool stream.BatchPool
+	cycle := func() {
+		b := pool.Get()
+		b.Events = append(b.Events, block...)
+		if err := e.SubmitPooled(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Quiesce(drain); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		cycle()
+	}
+	avg := testing.AllocsPerRun(5, cycle)
+	perEvent := avg / float64(len(block))
+	t.Logf("shard SubmitPooled: %.4f allocs/event (%.1f per block of %d, %d shards)", perEvent, avg, len(block), shards)
+	if perEvent > 0.02 {
+		t.Errorf("sharded broadcast allocates %.4f/event, budget 0.02 — the zero-alloc path regressed", perEvent)
+	}
+}

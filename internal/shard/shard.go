@@ -135,13 +135,14 @@ func SplitBudget(total, shards int) []int {
 	return out
 }
 
-// envelope is one feed message: a batch of events, or a quiesce barrier when
-// sync is non-nil. FIFO order on the feed is what makes the barrier a
-// barrier: when the worker reaches it, every previously enqueued batch has
-// been applied.
+// envelope is one feed message: a batch of events (plain or pooled), or a
+// quiesce barrier when sync is non-nil. FIFO order on the feed is what makes
+// the barrier a barrier: when the worker reaches it, every previously
+// enqueued batch has been applied.
 type envelope struct {
-	batch []stream.Event
-	sync  chan struct{} // non-nil: barrier; worker closes it and continues
+	batch  []stream.Event
+	pooled *stream.Batch // non-nil: batch aliases pooled.Events; release after applying
+	sync   chan struct{} // non-nil: barrier; worker closes it and continues
 }
 
 // worker owns one shard: its counter, its feed channel, and its published
@@ -172,6 +173,9 @@ func (w *worker) run() {
 			}
 		}
 		w.processed.Add(int64(len(batch)))
+		if env.pooled != nil {
+			env.pooled.Release()
+		}
 		w.estimate.Store(math.Float64bits(w.counter.Estimate()))
 	}
 }
@@ -272,6 +276,33 @@ func (e *Ensemble) SubmitBatch(evs []stream.Event) error {
 // path; Submit allocates a one-event batch per call.
 func (e *Ensemble) Submit(ev stream.Event) error {
 	return e.SubmitBatch([]stream.Event{ev})
+}
+
+// SubmitPooled broadcasts a pooled batch to every shard by reference: the
+// ensemble takes the producer's reference, retains K-1 more (one per shard),
+// and each worker releases after applying, so the buffer returns to its pool
+// when the slowest shard is done — no per-shard copy of the events. The
+// ensemble takes ownership in every case; on error (ErrClosed) the batch is
+// released immediately. Empty batches are released and ignored.
+func (e *Ensemble) SubmitPooled(b *stream.Batch) error {
+	if len(b.Events) == 0 {
+		b.Release()
+		return e.SubmitBatch(nil)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		b.Release()
+		return ErrClosed
+	}
+	// As in SubmitBatch: the lock spans the sends so Close cannot close a
+	// feed mid-broadcast and every shard sees batches in the same order.
+	b.Retain(len(e.workers) - 1)
+	for _, w := range e.workers {
+		w.feed <- envelope{batch: b.Events, pooled: b}
+	}
+	e.mu.Unlock()
+	return nil
 }
 
 // Estimate combines the shards' most recently published estimates. Safe for

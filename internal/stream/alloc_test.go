@@ -1,0 +1,98 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestReadBatchAppendAllocs pins the binary decode loop at effectively zero
+// steady-state allocations: once the reader's payload buffer and the
+// caller's event buffer have grown to the frame size, re-decoding a stream
+// costs only the per-reader setup (bufio wrapper), amortized across its
+// frames.
+func TestReadBatchAppendAllocs(t *testing.T) {
+	s := make(Stream, 0, 20*DefaultFrameEvents/4)
+	for i := 0; i < cap(s); i++ {
+		op := Insert
+		if i%5 == 0 {
+			op = Delete
+		}
+		s = append(s, Event{Op: op, Edge: graph.NewEdge(graph.VertexID(i), graph.VertexID(i+1))})
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+
+	var evs []Event
+	reader := bytes.NewReader(encoded)
+	decodeAll := func() {
+		reader.Reset(encoded)
+		br, err := NewBinaryReader(reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			evs, err = br.ReadBatchAppend(evs[:0])
+			if err != nil {
+				break
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		decodeAll()
+	}
+	avg := testing.AllocsPerRun(5, decodeAll)
+	perEvent := avg / float64(len(s))
+	t.Logf("binary decode: %.5f allocs/event (%.1f per %d-event stream)", perEvent, avg, len(s))
+	if perEvent > 0.005 {
+		t.Errorf("binary decode allocates %.5f/event, budget 0.005 — the reused-frame path regressed", perEvent)
+	}
+}
+
+// TestBatchPoolRecycles pins the pool contract the ingest layers rely on:
+// release returns the buffer, a get after release reuses it (same backing
+// array), the refcounted broadcast only recycles after the last release, and
+// over-release panics. The positive recycling-identity checks are skipped
+// under the race detector, where sync.Pool deliberately drops items.
+func TestBatchPoolRecycles(t *testing.T) {
+	var pool BatchPool
+	b := pool.Get()
+	b.Events = append(b.Events, Event{})
+	first := &b.Events[0]
+	b.Release()
+
+	b2 := pool.Get()
+	if len(b2.Events) != 0 {
+		t.Fatalf("recycled batch not reset: len %d", len(b2.Events))
+	}
+	b2.Events = append(b2.Events, Event{})
+	if !raceEnabled && &b2.Events[0] != first {
+		t.Error("pool did not recycle the released buffer")
+	}
+
+	// Broadcast shape: 1 producer reference + 3 retained consumers.
+	b2.Retain(3)
+	for i := 0; i < 3; i++ {
+		b2.Release()
+	}
+	b3 := pool.Get() // b2 still holds one reference: must be a new batch
+	if b3 == b2 {
+		t.Fatal("pool recycled a batch that still holds a reference")
+	}
+	b2.Release() // last reference: now recyclable
+	if b4 := pool.Get(); !raceEnabled && b4 != b2 {
+		t.Error("pool did not recycle after the final release")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("over-release did not panic")
+		}
+	}()
+	b3.Release()
+	b3.Release() // underflow
+}

@@ -139,61 +139,75 @@ func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
 
 // ReadBatch returns the next frame's events, or io.EOF after the last
 // complete frame. The returned slice is freshly allocated per call — safe to
-// hand to SubmitBatch, which takes ownership.
+// hand to SubmitBatch, which takes ownership. Zero-allocation loops should
+// use ReadBatchAppend with a reused buffer (or a pooled Batch) instead.
 func (br *BinaryReader) ReadBatch() ([]Event, error) {
+	evs, err := br.ReadBatchAppend(nil)
+	if err != nil {
+		return nil, err
+	}
+	return evs, nil
+}
+
+// ReadBatchAppend decodes the next frame's events appended to dst (usually
+// dst[:0] of a reused buffer) and returns the extended slice, or io.EOF after
+// the last complete frame. Once dst's capacity has grown to the stream's
+// frame size, the decode loop performs no allocations: the frame payload
+// buffer is owned and reused by the reader.
+func (br *BinaryReader) ReadBatchAppend(dst []Event) ([]Event, error) {
 	payloadLen, err := binary.ReadUvarint(br.r)
 	if err != nil {
 		if err == io.EOF {
-			return nil, io.EOF // clean end between frames
+			return dst, io.EOF // clean end between frames
 		}
-		return nil, fmt.Errorf("stream: read frame length: %w", err)
+		return dst, fmt.Errorf("stream: read frame length: %w", err)
 	}
 	if payloadLen > maxFrameBytes {
-		return nil, fmt.Errorf("stream: frame of %d bytes exceeds the %d-byte limit", payloadLen, maxFrameBytes)
+		return dst, fmt.Errorf("stream: frame of %d bytes exceeds the %d-byte limit", payloadLen, maxFrameBytes)
 	}
 	if uint64(cap(br.buf)) < payloadLen {
 		br.buf = make([]byte, payloadLen)
 	}
 	payload := br.buf[:payloadLen]
 	if _, err := io.ReadFull(br.r, payload); err != nil {
-		return nil, fmt.Errorf("stream: read frame payload: %w", err)
+		return dst, fmt.Errorf("stream: read frame payload: %w", err)
 	}
 	count, n := binary.Uvarint(payload)
 	if n <= 0 {
-		return nil, fmt.Errorf("stream: corrupt frame: bad event count")
+		return dst, fmt.Errorf("stream: corrupt frame: bad event count")
 	}
 	payload = payload[n:]
 	// Each event is at least two bytes, so a count above payload/2 is
-	// corrupt; checking before allocating keeps hostile counts cheap.
+	// corrupt; checking before growing dst keeps hostile counts cheap.
 	if count > uint64(len(payload))/2 {
-		return nil, fmt.Errorf("stream: corrupt frame: %d events in %d payload bytes", count, len(payload))
+		return dst, fmt.Errorf("stream: corrupt frame: %d events in %d payload bytes", count, len(payload))
 	}
-	evs := make([]Event, 0, count)
+	base := len(dst)
 	for i := uint64(0); i < count; i++ {
 		opU, n := binary.Uvarint(payload)
 		if n <= 0 {
-			return nil, fmt.Errorf("stream: corrupt frame: truncated event %d", i)
+			return dst[:base], fmt.Errorf("stream: corrupt frame: truncated event %d", i)
 		}
 		payload = payload[n:]
 		v, n := binary.Uvarint(payload)
 		if n <= 0 {
-			return nil, fmt.Errorf("stream: corrupt frame: truncated event %d", i)
+			return dst[:base], fmt.Errorf("stream: corrupt frame: truncated event %d", i)
 		}
 		payload = payload[n:]
 		u := opU >> 1
 		if u > uint64(^graph.VertexID(0)) || v > uint64(^graph.VertexID(0)) {
-			return nil, fmt.Errorf("stream: corrupt frame: vertex id overflows 32 bits in event %d", i)
+			return dst[:base], fmt.Errorf("stream: corrupt frame: vertex id overflows 32 bits in event %d", i)
 		}
 		op := Insert
 		if opU&1 == 1 {
 			op = Delete
 		}
-		evs = append(evs, Event{Op: op, Edge: graph.NewEdge(graph.VertexID(u), graph.VertexID(v))})
+		dst = append(dst, Event{Op: op, Edge: graph.NewEdge(graph.VertexID(u), graph.VertexID(v))})
 	}
 	if len(payload) != 0 {
-		return nil, fmt.Errorf("stream: corrupt frame: %d trailing bytes", len(payload))
+		return dst[:base], fmt.Errorf("stream: corrupt frame: %d trailing bytes", len(payload))
 	}
-	return evs, nil
+	return dst, nil
 }
 
 // WriteBinary serializes the stream in the binary format, cutting frames of

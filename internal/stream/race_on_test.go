@@ -1,0 +1,8 @@
+//go:build race
+
+package stream
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where sync.Pool deliberately drops items to expose races — positive
+// pool-recycling identity assertions do not hold there.
+const raceEnabled = true

@@ -162,6 +162,14 @@ func resolveWeight(o *options) (WeightFunc, error) {
 	return w, nil
 }
 
+// skipTemporal reports whether the counter can skip extracting the temporal
+// state features: the default WSD-H heuristic reads only the topological
+// features, so nothing observes them. A trained policy consumes them, and a
+// user-supplied weight function might, so both keep the full state.
+func skipTemporal(o *options) bool {
+	return o.policy == nil && o.weight == nil
+}
+
 // NewCounter returns a WSD counter for the given pattern with reservoir
 // capacity m. Without options it is WSD-H (the paper's heuristic instance).
 func NewCounter(p Pattern, m int, opts ...Option) (Counter, error) {
@@ -174,10 +182,11 @@ func NewCounter(p Pattern, m int, opts ...Option) (Counter, error) {
 		return nil, err
 	}
 	return core.New(core.Config{
-		M:       m,
-		Pattern: p,
-		Weight:  w,
-		Rng:     xrand.New(o.seed),
+		M:            m,
+		Pattern:      p,
+		Weight:       w,
+		Rng:          xrand.New(o.seed),
+		SkipTemporal: skipTemporal(&o),
 	})
 }
 
@@ -254,16 +263,28 @@ func NewLocalCounter(p Pattern, m int, opts ...Option) (*LocalCounter, error) {
 		return nil, err
 	}
 	return local.New(core.Config{
-		M:       m,
-		Pattern: p,
-		Weight:  w,
-		Rng:     xrand.New(o.seed),
+		M:            m,
+		Pattern:      p,
+		Weight:       w,
+		Rng:          xrand.New(o.seed),
+		SkipTemporal: skipTemporal(&o),
 	})
 }
 
+// Batch is a refcounted, pool-recycled batch of events: the zero-allocation
+// currency between stream producers and the ingestion layers. Get one from a
+// BatchPool, fill Events, and hand it to Processor.SubmitPooled or
+// ShardedCounter.SubmitPooled, which release it back to the pool after the
+// events are applied.
+type Batch = stream.Batch
+
+// BatchPool recycles Batches; the zero value is ready to use.
+type BatchPool = stream.BatchPool
+
 // Processor ingests events from concurrent producers and publishes the
 // running estimate for lock-free readers; see NewProcessor. Submit enqueues
-// one event; SubmitBatch is the amortized fast path.
+// one event; SubmitBatch is the amortized fast path and SubmitPooled its
+// zero-allocation variant over pooled batches.
 type Processor = pipeline.Processor
 
 // NewProcessor wraps a counter in a dedicated ingestion goroutine with the
@@ -324,10 +345,11 @@ func NewShardedCounter(p Pattern, m, shards int, opts ...Option) (*ShardedCounte
 			wi = o.policy.Func()
 		}
 		c, err := core.New(core.Config{
-			M:       budget,
-			Pattern: p,
-			Weight:  wi,
-			Rng:     xrand.NewSequence(o.seed, int64(i)),
+			M:            budget,
+			Pattern:      p,
+			Weight:       wi,
+			Rng:          xrand.NewSequence(o.seed, int64(i)),
+			SkipTemporal: skipTemporal(&o),
 		})
 		if err != nil {
 			return nil, err
@@ -388,7 +410,7 @@ func RestoreCounter(data []byte, opts ...Option) (Counter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed)})
+	return core.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skipTemporal(&o)})
 }
 
 // RestoreLocalCounter revives a local counter from a Checkpoint blob produced
@@ -406,7 +428,7 @@ func RestoreLocalCounter(data []byte, opts ...Option) (*LocalCounter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return local.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed)})
+	return local.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skipTemporal(&o)})
 }
 
 // ShardedSnapshotInfo summarizes a ShardedCounter snapshot blob without
@@ -491,7 +513,7 @@ func RestoreShardedCounterChecked(data []byte, check func(ShardedSnapshotInfo) e
 			// state; give each shard worker its own.
 			wi = o.policy.Func()
 		}
-		c, err := core.Restore(snap, core.Config{Weight: wi, Rng: xrand.NewSequence(o.seed, int64(i))})
+		c, err := core.Restore(snap, core.Config{Weight: wi, Rng: xrand.NewSequence(o.seed, int64(i)), SkipTemporal: skipTemporal(&o)})
 		if err != nil {
 			return nil, fmt.Errorf("wsd: restore shard %d: %w", i, err)
 		}
