@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check race bench bench-tables bench-suite bench-compare
+.PHONY: build test vet fmt check race docs-check bench bench-tables bench-suite bench-compare
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ check: fmt vet build test
 # packages are pipeline, shard, and serve).
 race:
 	$(GO) test -race ./...
+
+# The documentation gate: formatting, vet, the godoc lint (undocumented
+# facade exports, packages without doc comments), and the relative-link
+# check over README/ARCHITECTURE/docs. CI runs this on every push.
+docs-check: fmt vet
+	$(GO) run ./cmd/docslint -root .
 
 # Ingestion throughput: single-goroutine pipeline vs sharded ensemble.
 bench:

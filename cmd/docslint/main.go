@@ -1,0 +1,233 @@
+// Command docslint is the documentation gate behind `make docs-check`. It
+// enforces three invariants the prose documentation system depends on:
+//
+//  1. Every exported identifier in the facade package (the module root) has
+//     a doc comment — the facade is the supported API surface, and an
+//     undocumented export there is a documentation bug.
+//  2. Every Go package in the repository has a package doc comment.
+//  3. Every relative link in the markdown documentation (README.md,
+//     ARCHITECTURE.md, everything under docs/) points at a file that
+//     exists, so the docs cannot silently rot as files move.
+//
+// It prints one line per violation and exits 1 if any were found.
+//
+// Usage:
+//
+//	docslint [-root .]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	var problems []string
+	report := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	if err := lintFacadeExports(*root, report); err != nil {
+		fatal(err)
+	}
+	if err := lintPackageDocs(*root, report); err != nil {
+		fatal(err)
+	}
+	if err := lintMarkdownLinks(*root, report); err != nil {
+		fatal(err)
+	}
+
+	sort.Strings(problems)
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "docslint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "docslint: %v\n", err)
+	os.Exit(2)
+}
+
+// lintFacadeExports checks that every exported top-level identifier (and
+// every exported method) in the root package carries a doc comment.
+func lintFacadeExports(root string, report func(string, ...any)) error {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, root, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return err
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				checkDecl(fset, decl, report)
+			}
+		}
+	}
+	return nil
+}
+
+func checkDecl(fset *token.FileSet, decl ast.Decl, report func(string, ...any)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return
+		}
+		if d.Doc.Text() == "" {
+			report("%s: exported %s %s has no doc comment", pos(fset, d.Pos()), kindOf(d), nameOf(d))
+		}
+	case *ast.GenDecl:
+		// A doc comment on the grouped declaration covers its specs (the
+		// conventional style for const/var blocks); a spec's own comment
+		// also counts.
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc.Text() == "" && s.Doc.Text() == "" {
+					report("%s: exported type %s has no doc comment", pos(fset, s.Pos()), s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, name := range s.Names {
+					if name.IsExported() && d.Doc.Text() == "" && s.Doc.Text() == "" && s.Comment.Text() == "" {
+						report("%s: exported %s %s has no doc comment", pos(fset, name.Pos()), d.Tok, name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// kindOf distinguishes methods from functions for readable messages.
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// nameOf renders Recv.Name for methods.
+func nameOf(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
+func pos(fset *token.FileSet, p token.Pos) string {
+	position := fset.Position(p)
+	return fmt.Sprintf("%s:%d", position.Filename, position.Line)
+}
+
+// lintPackageDocs checks that every package in the module has a package doc
+// comment on at least one of its files.
+func lintPackageDocs(root string, report func(string, ...any)) error {
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if strings.HasPrefix(name, ".") && path != root {
+			return filepath.SkipDir
+		}
+		if name == "testdata" {
+			return filepath.SkipDir
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, path, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			// Directories without Go files are fine; real parse errors are
+			// the build's problem, not the doc linter's.
+			return nil
+		}
+		for pkgName, pkg := range pkgs {
+			documented := false
+			for _, file := range pkg.Files {
+				if file.Doc.Text() != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				report("%s: package %s has no package doc comment", path, pkgName)
+			}
+		}
+		return nil
+	})
+}
+
+// mdLink matches markdown inline links and images; group 1 is the target.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// lintMarkdownLinks checks that relative links in the documentation set
+// resolve to existing files.
+func lintMarkdownLinks(root string, report func(string, ...any)) error {
+	var files []string
+	for _, name := range []string{"README.md", "ARCHITECTURE.md"} {
+		p := filepath.Join(root, name)
+		if _, err := os.Stat(p); err == nil {
+			files = append(files, p)
+		}
+	}
+	docs := filepath.Join(root, "docs")
+	if entries, err := os.ReadDir(docs); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+				files = append(files, filepath.Join(docs, e.Name()))
+			}
+		}
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+					continue
+				}
+				if idx := strings.IndexByte(target, '#'); idx >= 0 {
+					target = target[:idx]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(file), target)
+				if _, err := os.Stat(resolved); err != nil {
+					report("%s:%d: broken relative link %q", file, i+1, m[1])
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, root, name, content string) {
+	t.Helper()
+	path := filepath.Join(root, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func collect() (func(string, ...any), *[]string) {
+	var problems []string
+	return func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}, &problems
+}
+
+func TestFacadeExportLint(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "facade.go", `// Package facade is documented.
+package facade
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {}
+
+type Bare struct{}
+
+// Method docs are checked too.
+func (Bare) Fine() {}
+
+func (Bare) Missing() {}
+
+var LooseVar = 1
+
+// Grouped docs cover the block.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+`)
+	report, problems := collect()
+	if err := lintFacadeExports(root, report); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(*problems, "\n")
+	for _, want := range []string{"Undocumented", "type Bare", "Bare.Missing", "LooseVar"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("lint missed %q in:\n%s", want, got)
+		}
+	}
+	for _, clean := range []string{"Documented", "Fine", "GroupedA", "GroupedB"} {
+		for _, p := range *problems {
+			if strings.Contains(p, clean) {
+				t.Errorf("lint flagged documented identifier: %s", p)
+			}
+		}
+	}
+}
+
+func TestPackageDocLint(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "good/good.go", "// Package good is documented.\npackage good\n")
+	write(t, root, "bad/bad.go", "package bad\n")
+	report, problems := collect()
+	if err := lintPackageDocs(root, report); err != nil {
+		t.Fatal(err)
+	}
+	if len(*problems) != 1 || !strings.Contains((*problems)[0], "package bad") {
+		t.Fatalf("problems = %v, want exactly the undocumented package", *problems)
+	}
+}
+
+func TestMarkdownLinkLint(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "exists.go", "package x\n")
+	write(t, root, "README.md", strings.Join([]string{
+		"[ok](exists.go)",
+		"[ok with anchor](exists.go#l5)",
+		"[external](https://example.com/gone)", // never checked
+		"[broken](missing.md)",
+		"![broken image](img/gone.png)",
+	}, "\n"))
+	write(t, root, "docs/map.md", "[up](../exists.go) and [gone](nowhere.md)\n")
+	report, problems := collect()
+	if err := lintMarkdownLinks(root, report); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(*problems, "\n")
+	for _, want := range []string{"missing.md", "img/gone.png", "nowhere.md"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("lint missed broken link %q in:\n%s", want, got)
+		}
+	}
+	if len(*problems) != 3 {
+		t.Fatalf("problems = %v, want exactly the 3 broken links", *problems)
+	}
+}
+
+// TestRepositoryIsClean runs the linter over the real repository: the gate CI
+// enforces, as a test, so `go test ./...` catches doc rot even without make.
+func TestRepositoryIsClean(t *testing.T) {
+	root := "../.."
+	report, problems := collect()
+	if err := lintFacadeExports(root, report); err != nil {
+		t.Fatal(err)
+	}
+	if err := lintPackageDocs(root, report); err != nil {
+		t.Fatal(err)
+	}
+	if err := lintMarkdownLinks(root, report); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range *problems {
+		t.Error(p)
+	}
+}

@@ -142,6 +142,10 @@ var experiments = map[string]runner{
 	},
 }
 
+// suiteOnly carries the -only flag's workload substrings into suiteConfig
+// (the suite entry point is reached both from main and the experiment table).
+var suiteOnly []string
+
 // suiteConfig maps the experiment profile onto the benchmark suite: the seed
 // carries over, and the trial count is capped at 5 — perf trials average
 // clock noise, not sampling variance, so paper-scale repetition buys nothing.
@@ -150,7 +154,7 @@ func suiteConfig(p experiment.Profile) benchsuite.Config {
 	if trials > 5 {
 		trials = 5
 	}
-	return benchsuite.Config{Seed: p.Seed, Trials: trials}
+	return benchsuite.Config{Seed: p.Seed, Trials: trials, Only: suiteOnly}
 }
 
 // suiteTable renders a perf report as a wsdbench table, the human view of
@@ -222,6 +226,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the base seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonOut := flag.Bool("json", false, "with -exp suite: emit the machine-readable JSON report on stdout")
+	only := flag.String("only", "", "with -exp suite: run only workloads whose name contains one of these comma-separated substrings")
 	compare := flag.Bool("compare", false, "compare two suite reports: wsdbench -compare old.json new.json; exits 1 on regression")
 	tolTime := flag.Float64("tolerance", 0, "with -compare: allowed relative events/s drop (default 0.10)")
 	tolAllocs := flag.Float64("alloc-tolerance", 0, "with -compare: allowed relative allocs/event rise (default 0.10)")
@@ -231,6 +236,13 @@ func main() {
 	if *list {
 		fmt.Println(strings.Join(ids(), "\n"))
 		return
+	}
+	if *only != "" {
+		for _, part := range strings.Split(*only, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				suiteOnly = append(suiteOnly, part)
+			}
+		}
 	}
 	if *compare {
 		if flag.NArg() != 2 {

@@ -5,12 +5,13 @@
 // Usage:
 //
 //	wsdserve -addr :8080 -pattern triangle -m 100000 -shards 4
+//	wsdserve -pattern triangle,wedge,4clique   # multi-pattern: one stream, three counts
 //	wsdserve -checkpoint state.json   # load on start if present, save on SIGINT
 //
 // Endpoints:
 //
 //	POST /ingest    stream events, text or binary (auto-detected)
-//	GET  /estimate  running estimate as JSON
+//	GET  /estimate  running estimate(s) as JSON; ?pattern=<name> for one
 //	GET  /snapshot  full counter state (save it anywhere)
 //	POST /restore   a previously fetched snapshot
 //	GET  /healthz   liveness
@@ -39,7 +40,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	pat := flag.String("pattern", "triangle", "pattern: wedge, triangle, 4cycle, 4clique, 5clique")
+	pat := flag.String("pattern", "triangle", "pattern(s) to count: wedge, triangle, 4cycle, 4clique, 5clique; comma-separate for a multi-pattern deployment over one shared stream (first = primary)")
 	m := flag.Int("m", 100_000, "total reservoir budget (edges)")
 	shards := flag.Int("shards", 4, "ensemble width (counters fed every event)")
 	seed := flag.Int64("seed", 1, "sampler seed")
@@ -48,7 +49,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: restored on start if it exists, written on SIGINT/SIGTERM")
 	flag.Parse()
 
-	k, err := cli.ParsePattern(*pat)
+	kinds, err := cli.ParsePatterns(*pat)
 	if err != nil {
 		fatal(err)
 	}
@@ -59,7 +60,11 @@ func main() {
 	if *mom > 0 {
 		opts = append(opts, wsd.WithMedianOfMeans(*mom))
 	}
-	srv, err := serve.New(serve.Config{Pattern: k, M: *m, Shards: *shards, Options: opts})
+	cfg := serve.Config{Pattern: kinds[0], M: *m, Shards: *shards, Options: opts}
+	if len(kinds) > 1 {
+		cfg.Patterns = kinds
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -78,7 +83,7 @@ func main() {
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {
-		log.Printf("wsdserve: serving %s with %d shards, m=%d on %s", k, *shards, *m, *addr)
+		log.Printf("wsdserve: serving %v with %d shards, m=%d on %s", kinds, *shards, *m, *addr)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fatal(err)
 		}

@@ -96,6 +96,52 @@ func ExampleNewShardedCounter() {
 	// 2 4
 }
 
+// One multi-pattern counter answers several pattern queries from the same
+// ingested stream: one shared sample, one estimate per pattern. This is the
+// README's multi-pattern snippet, kept alive here.
+func ExampleNewMultiCounter() {
+	patterns := []wsd.Pattern{wsd.TrianglePattern, wsd.WedgePattern, wsd.FourCliquePattern}
+	mc, err := wsd.NewMultiCounter(patterns, 1000, wsd.WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
+	mc.ProcessBatch([]wsd.Event{
+		wsd.Insert(1, 2), wsd.Insert(2, 3), wsd.Insert(1, 3), // triangle {1,2,3}
+		wsd.Insert(3, 4), // wedges only
+	})
+	tri, err := mc.Estimate(wsd.TrianglePattern)
+	if err != nil {
+		panic(err)
+	}
+	wedge, err := mc.Estimate(wsd.WedgePattern)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tri, wedge)
+	// Output:
+	// 1 5
+}
+
+// A sharded multi-pattern ensemble: every shard counts every pattern, and
+// the per-pattern estimates combine across shards (EstimateAt follows the
+// patterns argument's order).
+func ExampleNewShardedMultiCounter() {
+	patterns := []wsd.Pattern{wsd.TrianglePattern, wsd.WedgePattern}
+	sc, err := wsd.NewShardedMultiCounter(patterns, 4000, 4, wsd.WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
+	if err := sc.SubmitBatch([]wsd.Event{
+		wsd.Insert(1, 2), wsd.Insert(2, 3), wsd.Insert(1, 3),
+	}); err != nil {
+		panic(err)
+	}
+	sc.Close()
+	fmt.Println(sc.EstimateAt(0), sc.EstimateAt(1))
+	// Output:
+	// 1 3
+}
+
 // The processor's batched ingestion amortizes channel and publish overhead;
 // Submit and SubmitBatch can be mixed freely.
 func ExampleProcessor_SubmitBatch() {

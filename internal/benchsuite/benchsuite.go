@@ -5,7 +5,8 @@
 // machine-readable JSON report that a comparator can diff against a committed
 // baseline and fail CI on regression.
 //
-// The suite crosses three stream shapes with four ingest paths:
+// The suite crosses three stream shapes with four ingest paths, plus two
+// multi-pattern cells on the densest stream:
 //
 //	streams: dense-community (4-clique counting on planted communities, the
 //	         quadratic-enumeration regime), wedge-heavy (hub-dominated
@@ -14,7 +15,10 @@
 //	ingest:  core (bare counter, batched calls), pipeline (one worker
 //	         goroutine behind a channel), shard4 (4-shard split-budget
 //	         ensemble, refcounted broadcast), binary-decode (wire-format
-//	         frames decoded into pooled batches feeding a pipeline)
+//	         frames decoded into pooled batches feeding a pipeline),
+//	         multi3 (one 3-pattern MultiCounter over one shared sample) and
+//	         single3x (the same 3 patterns as 3 independent counters, the
+//	         baseline multi3 is measured against; dense-community only)
 //
 // Everything is seeded: the streams, the samplers, and the trial protocol,
 // so two runs on the same machine measure the same computation and the only
@@ -114,7 +118,39 @@ func streams() []streamSpec {
 // feeds it the whole stream in batches, and returns the final estimate.
 type ingestSpec struct {
 	name string
-	run  func(sp streamSpec, s stream.Stream, encoded []byte, seed int64) (float64, error)
+	// streams, when non-empty, restricts the path to the named stream shapes
+	// (the multi-pattern cells only make sense where several patterns have
+	// instances worth counting).
+	streams []string
+	run     func(sp streamSpec, s stream.Stream, encoded []byte, seed int64) (float64, error)
+}
+
+// appliesTo reports whether the ingest path runs on stream sp.
+func (ing ingestSpec) appliesTo(sp streamSpec) bool {
+	if len(ing.streams) == 0 {
+		return true
+	}
+	for _, name := range ing.streams {
+		if name == sp.name {
+			return true
+		}
+	}
+	return false
+}
+
+// multiPatterns is the 3-pattern set of the multi-pattern cells: the stream's
+// own pattern stays primary so the sampling trajectory — and therefore the
+// MRE column — matches the single-pattern core cell exactly; what the cell
+// measures is the marginal cost of answering two more pattern queries from
+// the same sample.
+func multiPatterns(sp streamSpec) []pattern.Kind {
+	kinds := []pattern.Kind{sp.kind}
+	for _, k := range []pattern.Kind{pattern.FourClique, pattern.Triangle, pattern.Wedge} {
+		if k != sp.kind {
+			kinds = append(kinds, k)
+		}
+	}
+	return kinds[:3]
 }
 
 func newCoreCounter(sp streamSpec, m int, seed int64) (*core.Counter, error) {
@@ -190,6 +226,60 @@ func ingests() []ingestSpec {
 			},
 		},
 		{
+			// One multi-pattern counter answering three pattern queries from
+			// one shared sample: the "one stream, many questions" operating
+			// point. The acceptance bar is < 2x the single-pattern core cell
+			// on the same stream (vs ~3x for three separate counters, the
+			// single3x cell below).
+			name:    "multi3",
+			streams: []string{"dense-community"},
+			run: func(sp streamSpec, s stream.Stream, _ []byte, seed int64) (float64, error) {
+				c, err := core.NewMulti(core.MultiConfig{
+					M:            sp.m,
+					Patterns:     multiPatterns(sp),
+					Weight:       weights.GPSDefault(),
+					Rng:          xrand.New(seed),
+					SkipTemporal: true,
+				})
+				if err != nil {
+					return 0, err
+				}
+				for lo := 0; lo < len(s); lo += batchSize {
+					c.ProcessBatch(s[lo:min(lo+batchSize, len(s))])
+				}
+				return c.Estimate(), nil
+			},
+		},
+		{
+			// The same three pattern queries served the pre-multi way: three
+			// independent counters each ingesting (and sampling) the whole
+			// stream. The cost this row pays and multi3 does not is the
+			// baseline the tentpole is measured against.
+			name:    "single3x",
+			streams: []string{"dense-community"},
+			run: func(sp streamSpec, s stream.Stream, _ []byte, seed int64) (float64, error) {
+				counters := make([]*core.Counter, 0, 3)
+				for _, k := range multiPatterns(sp) {
+					spk := sp
+					spk.kind = k
+					c, err := newCoreCounter(spk, sp.m, seed)
+					if err != nil {
+						return 0, err
+					}
+					counters = append(counters, c)
+				}
+				for lo := 0; lo < len(s); lo += batchSize {
+					batch := s[lo:min(lo+batchSize, len(s))]
+					for _, c := range counters {
+						c.ProcessBatch(batch)
+					}
+				}
+				// counters[0] counts the stream's own pattern: the MRE column
+				// stays comparable with the core and multi3 cells.
+				return counters[0].Estimate(), nil
+			},
+		},
+		{
 			// The wire path: binary frames decoded into pooled batches
 			// feeding a pipeline — what a socket ingester pays end to end.
 			name: "binary-decode",
@@ -255,7 +345,7 @@ func Run(cfg Config) (*Report, error) {
 		encoded := buf.Bytes()
 		for _, ing := range ingests() {
 			name := ing.name + "/" + sp.name
-			if !selected(name, cfg.Only) {
+			if !ing.appliesTo(sp) || !selected(name, cfg.Only) {
 				continue
 			}
 			res, err := measure(name, sp, ing, s, encoded, truth, cfg)

@@ -1,0 +1,48 @@
+package benchsuite
+
+import "testing"
+
+// TestMultiPatternIngestCost is the tentpole's acceptance criterion as a
+// test: on the dense-community stream, one 3-pattern MultiCounter (multi3)
+// must ingest at under 2x the single-pattern ns/event (core), while three
+// separate counters (single3x) demonstrate the cost the multi-pattern layer
+// removes — multi3 must beat them outright. Same process, same stream, same
+// protocol, so the ratios are robust to machine speed; the 2x bound carries
+// a real margin (the shared sample maintenance and the shared clique
+// collection put the expected ratio well below it).
+func TestMultiPatternIngestCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock ratio measurement")
+	}
+	rep, err := Run(Config{Seed: 1, Trials: 2, Only: []string{
+		"core/dense-community", "multi3/dense-community", "single3x/dense-community",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Result{}
+	for _, r := range rep.Results {
+		byName[r.Workload] = r
+	}
+	core, ok1 := byName["core/dense-community"]
+	multi, ok2 := byName["multi3/dense-community"]
+	singles, ok3 := byName["single3x/dense-community"]
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("missing workloads in %v", rep.Results)
+	}
+
+	if ratio := multi.NsPerEvent / core.NsPerEvent; ratio >= 2.0 {
+		t.Errorf("3-pattern ingest costs %.2fx the single-pattern path (%.0f vs %.0f ns/event), want < 2x",
+			ratio, multi.NsPerEvent, core.NsPerEvent)
+	}
+	if multi.NsPerEvent >= singles.NsPerEvent {
+		t.Errorf("multi3 (%.0f ns/event) is not cheaper than three separate counters (%.0f ns/event)",
+			multi.NsPerEvent, singles.NsPerEvent)
+	}
+	// The multi counter's primary pattern shares the single counter's exact
+	// sampling trajectory, so their estimates — and MREs — must be identical.
+	if multi.MREVsExact != core.MREVsExact {
+		t.Errorf("multi3 primary MRE %v differs from core MRE %v: the shared-sample trajectory diverged",
+			multi.MREVsExact, core.MREVsExact)
+	}
+}

@@ -31,6 +31,34 @@ func ParsePattern(s string) (pattern.Kind, error) {
 	return 0, fmt.Errorf("unknown pattern %q (wedge, triangle, 4cycle, 4clique, 5clique)", s)
 }
 
+// ParsePatterns resolves a comma-separated list of pattern names (e.g.
+// "triangle,wedge,4clique") into the multi-pattern counting order: the first
+// entry is the primary pattern. Duplicates are rejected here so the mistake
+// reads as a flag error rather than a counter-construction error.
+func ParsePatterns(s string) ([]pattern.Kind, error) {
+	parts := strings.Split(s, ",")
+	kinds := make([]pattern.Kind, 0, len(parts))
+	seen := make(map[pattern.Kind]bool, len(parts))
+	for _, part := range parts {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		k, err := ParsePattern(part)
+		if err != nil {
+			return nil, err
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("pattern %s listed twice", k)
+		}
+		seen[k] = true
+		kinds = append(kinds, k)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("no patterns in %q", s)
+	}
+	return kinds, nil
+}
+
 // ParseAlgo resolves a user-facing algorithm name.
 func ParseAlgo(s string) (experiment.Algo, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {

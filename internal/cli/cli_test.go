@@ -70,3 +70,29 @@ func TestGenerateModel(t *testing.T) {
 		t.Error("planted without communities should error")
 	}
 }
+
+func TestParsePatterns(t *testing.T) {
+	got, err := ParsePatterns("triangle, wedge,4clique")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []pattern.Kind{pattern.Triangle, pattern.Wedge, pattern.FourClique}
+	if len(got) != len(want) {
+		t.Fatalf("ParsePatterns = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParsePatterns = %v, want %v", got, want)
+		}
+	}
+	for name, in := range map[string]string{
+		"empty":     "",
+		"commas":    ",,",
+		"unknown":   "triangle,pentagon",
+		"duplicate": "wedge,triangle,wedge",
+	} {
+		if _, err := ParsePatterns(in); err == nil {
+			t.Errorf("%s (%q): accepted", name, in)
+		}
+	}
+}

@@ -110,3 +110,32 @@ func TestProcessBatchAllocsFullState(t *testing.T) {
 		t.Errorf("full-state ingest allocates %.4f/event, budget 0.01", perEvent)
 	}
 }
+
+// TestMultiProcessBatchAllocs extends the steady-state allocation guard to
+// the multi-pattern counter: three estimators over one shared sample must
+// stay on the same zero-allocation budget as one — the shared enumeration
+// scratch and per-pattern prods buffers are all reused across events.
+func TestMultiProcessBatchAllocs(t *testing.T) {
+	c, err := NewMulti(MultiConfig{
+		M:            256,
+		Patterns:     []pattern.Kind{pattern.FourClique, pattern.Triangle, pattern.Wedge},
+		Weight:       weights.GPSDefault(),
+		Rng:          xrand.New(5),
+		SkipTemporal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := steadyBlock(1024, 40)
+	for i := 0; i < 3; i++ {
+		c.ProcessBatch(block)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		c.ProcessBatch(block)
+	})
+	perEvent := avg / float64(len(block))
+	t.Logf("multi3: %.4f allocs/event (%.1f per block of %d)", perEvent, avg, len(block))
+	if perEvent > 0.01 {
+		t.Errorf("multi-pattern ingest allocates %.4f/event, budget 0.01 — the zero-alloc path regressed", perEvent)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/pattern"
@@ -22,17 +23,27 @@ import (
 // source in the restore Config and resumes an exchangeable — but not
 // identical — trajectory.
 type Snapshot struct {
-	Version     int            `json:"version"`
-	M           int            `json:"m"`
-	Pattern     pattern.Kind   `json:"pattern"`
-	TemporalAgg TemporalAgg    `json:"temporal_agg"`
-	TauP        float64        `json:"tau_p"`
-	TauQ        float64        `json:"tau_q"`
-	Estimate    float64        `json:"estimate"`
-	Insertions  int64          `json:"insertions"`
-	RngState    *uint64        `json:"rng_state,omitempty"` // xrand state; nil when the source is not checkpointable
-	Items       []SnapshotItem `json:"items"`
+	Version     int          `json:"version"`
+	M           int          `json:"m"`
+	Pattern     pattern.Kind `json:"pattern"`
+	TemporalAgg TemporalAgg  `json:"temporal_agg"`
+	TauP        float64      `json:"tau_p"`
+	TauQ        float64      `json:"tau_q"`
+	Estimate    float64      `json:"estimate"`
+	// Patterns and Estimates carry a MultiCounter's per-pattern state
+	// (version 3); both are empty in single-counter snapshots. When present,
+	// Pattern and Estimate mirror the primary entries (Patterns[0],
+	// Estimates[0]) so version-agnostic inspection keeps working.
+	Patterns   []pattern.Kind `json:"patterns,omitempty"`
+	Estimates  []float64      `json:"estimates,omitempty"`
+	Insertions int64          `json:"insertions"`
+	RngState   *uint64        `json:"rng_state,omitempty"` // xrand state; nil when the source is not checkpointable
+	Items      []SnapshotItem `json:"items"`
 }
+
+// Multi reports whether the snapshot holds multi-pattern state (restore it
+// with RestoreMulti, not Restore).
+func (s *Snapshot) Multi() bool { return len(s.Patterns) > 0 }
 
 // SnapshotItem is one sampled edge in a snapshot.
 type SnapshotItem struct {
@@ -44,8 +55,9 @@ type SnapshotItem struct {
 }
 
 // snapshotVersion guards the wire format. Version 2 added rng_state; version
-// 1 snapshots (no RNG state) are still accepted by DecodeSnapshot.
-const snapshotVersion = 2
+// 3 added the multi-pattern fields (patterns, estimates). Snapshots of every
+// prior version are still accepted by DecodeSnapshot.
+const snapshotVersion = 3
 
 // stateful is the optional interface of checkpointable randomness sources
 // (*xrand.Rand). Snapshot captures the state when the counter's source
@@ -116,6 +128,32 @@ func (s *Snapshot) Validate() error {
 	if s.M < s.Pattern.Size() {
 		return fmt.Errorf("core: snapshot M=%d is below pattern size |H|=%d", s.M, s.Pattern.Size())
 	}
+	if s.Multi() {
+		if len(s.Estimates) != len(s.Patterns) {
+			return fmt.Errorf("core: snapshot holds %d estimates for %d patterns", len(s.Estimates), len(s.Patterns))
+		}
+		if s.Patterns[0] != s.Pattern {
+			return fmt.Errorf("core: snapshot primary pattern %s does not match patterns[0]=%s", s.Pattern, s.Patterns[0])
+		}
+		if s.Estimates[0] != s.Estimate {
+			return fmt.Errorf("core: snapshot primary estimate %v does not match estimates[0]=%v", s.Estimate, s.Estimates[0])
+		}
+		seen := make(map[pattern.Kind]bool, len(s.Patterns))
+		for _, p := range s.Patterns {
+			if !p.Valid() {
+				return fmt.Errorf("core: snapshot names unknown pattern %d", int(p))
+			}
+			if seen[p] {
+				return fmt.Errorf("core: snapshot lists pattern %s twice", p)
+			}
+			seen[p] = true
+			if s.M < p.Size() {
+				return fmt.Errorf("core: snapshot M=%d is below pattern size |H|=%d for %s", s.M, p.Size(), p)
+			}
+		}
+	} else if len(s.Estimates) > 0 {
+		return fmt.Errorf("core: snapshot holds %d estimates but no pattern list", len(s.Estimates))
+	}
 	if len(s.Items) > s.M {
 		return fmt.Errorf("core: snapshot holds %d items, above M=%d", len(s.Items), s.M)
 	}
@@ -142,6 +180,9 @@ func Restore(s *Snapshot, cfg Config) (*Counter, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	if s.Multi() {
+		return nil, fmt.Errorf("core: snapshot holds multi-pattern state (%d patterns); restore it with RestoreMulti", len(s.Patterns))
+	}
 	if cfg.M == 0 {
 		cfg.M = s.M
 	}
@@ -160,6 +201,82 @@ func Restore(s *Snapshot, cfg Config) (*Counter, error) {
 	c.tauP = s.TauP
 	c.tauQ = s.TauQ
 	c.estimate = s.Estimate
+	c.insertions = s.Insertions
+	for _, it := range s.Items {
+		c.res.PushValue(graph.NewEdge(it.U, it.V), it.Weight, it.Rank, it.Arrival)
+	}
+	return c, nil
+}
+
+// Snapshot captures the multi-pattern counter's current state: the shared
+// sample and thresholds once, plus every pattern's estimate. The counter can
+// keep processing events afterwards; the snapshot is an independent copy.
+func (c *MultiCounter) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Version:     snapshotVersion,
+		M:           c.cfg.M,
+		Pattern:     c.cfg.Patterns[0],
+		Patterns:    append([]pattern.Kind(nil), c.cfg.Patterns...),
+		TemporalAgg: c.cfg.TemporalAgg,
+		TauP:        c.tauP,
+		TauQ:        c.tauQ,
+		Estimate:    c.pats[0].estimate,
+		Estimates:   c.EstimatesInto(nil),
+		Insertions:  c.insertions,
+	}
+	if src, ok := c.cfg.Rng.(stateful); ok {
+		state := src.State()
+		s.RngState = &state
+	}
+	for _, it := range c.res.Items() {
+		s.Items = append(s.Items, SnapshotItem{
+			U: it.Edge.U, V: it.Edge.V,
+			Weight: it.Weight, Rank: it.Rank, Arrival: it.Arrival,
+		})
+	}
+	return s
+}
+
+// Checkpoint is Snapshot().Encode() in one call, the Checkpointable surface
+// the ingestion layers store.
+func (c *MultiCounter) Checkpoint() ([]byte, error) { return c.Snapshot().Encode() }
+
+// RestoreMulti reconstructs a multi-pattern counter from a snapshot taken
+// with MultiCounter.Snapshot. cfg plays the same role as in Restore: it
+// supplies the weight function and — only for snapshots without RNG state — a
+// random source; M, Patterns and TemporalAgg must match the snapshot (zero
+// values default to it). A restored counter over a carried RNG state
+// continues bit-identically for every pattern.
+func RestoreMulti(s *Snapshot, cfg MultiConfig) (*MultiCounter, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.Multi() {
+		return nil, fmt.Errorf("core: snapshot holds single-pattern state; restore it with Restore")
+	}
+	if cfg.M == 0 {
+		cfg.M = s.M
+	}
+	if cfg.M != s.M {
+		return nil, fmt.Errorf("core: restore M=%d does not match snapshot M=%d", cfg.M, s.M)
+	}
+	if len(cfg.Patterns) > 0 && !slices.Equal(cfg.Patterns, s.Patterns) {
+		return nil, fmt.Errorf("core: restore patterns %v do not match snapshot patterns %v", cfg.Patterns, s.Patterns)
+	}
+	cfg.Patterns = s.Patterns
+	cfg.TemporalAgg = s.TemporalAgg
+	if s.RngState != nil {
+		cfg.Rng = xrand.FromState(*s.RngState)
+	}
+	c, err := NewMulti(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.tauP = s.TauP
+	c.tauQ = s.TauQ
+	for i := range c.pats {
+		c.pats[i].estimate = s.Estimates[i]
+	}
 	c.insertions = s.Insertions
 	for _, it := range s.Items {
 		c.res.PushValue(graph.NewEdge(it.U, it.V), it.Weight, it.Rank, it.Arrival)

@@ -370,12 +370,16 @@ func (c *Counter) delete(e graph.Edge) {
 // enumeration visited them in. Without this, float non-associativity makes
 // estimates differ in their last ULP between identical runs, which the
 // bit-identical checkpoint/resume tests would catch as divergence.
-func (c *Counter) sumProds() float64 {
-	if len(c.prods) > 1 {
-		sort.Float64s(c.prods)
+func (c *Counter) sumProds() float64 { return sumSorted(c.prods) }
+
+// sumSorted sorts prods in place and returns their sum: the order-independent
+// fold shared by the single- and multi-pattern counters (see sumProds).
+func sumSorted(prods []float64) float64 {
+	if len(prods) > 1 {
+		sort.Float64s(prods)
 	}
 	sum := 0.0
-	for _, p := range c.prods {
+	for _, p := range prods {
 		sum += p
 	}
 	return sum

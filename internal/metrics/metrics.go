@@ -1,7 +1,10 @@
 // Package metrics implements the evaluation metrics of Section V-A: absolute
-// relative error (ARE) at stream end and mean absolute relative error (MARE)
-// over the stream's lifetime, plus small statistical helpers for aggregating
-// repeated sampling trials.
+// relative error (ARE) at stream end via RelErr, and mean absolute relative
+// error (MARE) over the stream's lifetime via the MARE accumulator, which
+// observes (estimate, truth) pairs at checkpoints along a run. Summarize
+// aggregates repeated sampling trials into mean and sample standard
+// deviation — how every accuracy table in internal/experiment reports its
+// cells, and how the benchsuite's MRE column is produced.
 package metrics
 
 import "math"

@@ -201,6 +201,15 @@ func (c *Completer) collectCommon(w graph.VertexID, payload any) bool {
 // Collection runs to completion even when fn stops early; the clique callers
 // (estimators, counting) never stop early, so the waste is theoretical.
 func (c *Completer) collectAndEmit(iv ItemView, a, b graph.VertexID) {
+	c.collect(iv, a, b)
+	c.emitCliques(iv, a, b)
+}
+
+// collect fills the common-neighborhood scratch (common, payA, payB) for the
+// event edge {a, b}: the collection phase of every clique pattern, split out
+// so a MultiCompleter can run it once and share the result across the clique
+// kinds in its set.
+func (c *Completer) collect(iv ItemView, a, b graph.VertexID) {
 	lo, hi := a, b
 	if iv.Degree(lo) > iv.Degree(hi) {
 		lo, hi = hi, lo
@@ -210,7 +219,12 @@ func (c *Completer) collectAndEmit(iv ItemView, a, b graph.VertexID) {
 	c.payB = c.payB[:0]
 	c.hi, c.hiIsB = hi, hi == b
 	iv.ForEachNeighborItem(lo, c.shared)
+}
 
+// emitCliques emits the completer's clique instances from the collected
+// common-neighborhood scratch, which may alias another Completer's collection
+// (the MultiCompleter sharing path).
+func (c *Completer) emitCliques(iv ItemView, a, b graph.VertexID) {
 	switch c.kind {
 	case Triangle:
 		for i, w := range c.common {

@@ -1,0 +1,197 @@
+package pattern
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// canon sorts an instance list (and each instance's edges) into a canonical
+// order: the underlying views iterate hash maps, so two enumerations of the
+// same graph may yield the same instances in different orders, and the same
+// clique instance with its vertices discovered in a different sequence.
+func canon(instances [][]graph.Edge) [][]graph.Edge {
+	for _, inst := range instances {
+		sort.Slice(inst, func(i, j int) bool {
+			if inst[i].U != inst[j].U {
+				return inst[i].U < inst[j].U
+			}
+			return inst[i].V < inst[j].V
+		})
+	}
+	sort.Slice(instances, func(i, j int) bool {
+		return fmt.Sprint(instances[i]) < fmt.Sprint(instances[j])
+	})
+	return instances
+}
+
+// randomGraph builds a dense-ish random graph so every pattern kind has
+// instances to enumerate.
+func randomGraph(n, edges int, rng *rand.Rand) *graph.AdjSet {
+	g := graph.NewAdjSet()
+	for g.Len() < edges {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		g.Add(graph.NewEdge(u, v))
+	}
+	return g
+}
+
+// TestMultiCompleterMatchesSingleCompleters: for every kind order and every
+// probed edge, the multi-pass enumeration must yield exactly the instances
+// the per-kind Completers yield, in the same per-kind order.
+func TestMultiCompleterMatchesSingleCompleters(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(30, 180, rng)
+
+	kindSets := [][]Kind{
+		{Wedge, Triangle, FourClique},
+		{FourClique, Triangle, Wedge}, // collection order must not matter
+		{Triangle, FiveClique, FourCycle, Wedge, FourClique},
+		{FourCycle},
+		{FiveClique, Triangle},
+	}
+	for _, kinds := range kindSets {
+		mc, err := NewMultiCompleter(kinds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			a := graph.VertexID(rng.Intn(30))
+			b := graph.VertexID(rng.Intn(30))
+			if a == b {
+				continue
+			}
+			got := make([][][]graph.Edge, len(kinds))
+			fns := make([]func([]graph.Edge, []any) bool, len(kinds))
+			for i := range kinds {
+				i := i
+				fns[i] = func(others []graph.Edge, _ []any) bool {
+					cp := make([]graph.Edge, len(others))
+					copy(cp, others)
+					got[i] = append(got[i], cp)
+					return true
+				}
+			}
+			mc.ForEach(g, a, b, fns)
+			for i, k := range kinds {
+				want := canon(collect(k, g, a, b))
+				got[i] = canon(got[i])
+				if len(want) == 0 && len(got[i]) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got[i], want) {
+					t.Fatalf("kinds %v edge (%d,%d): %s instances differ:\nmulti:  %v\nsingle: %v",
+						kinds, a, b, k, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiCompleterEarlyStopIsPerKind: a callback returning false stops only
+// its own kind's enumeration; the other kinds still see every instance.
+func TestMultiCompleterEarlyStopIsPerKind(t *testing.T) {
+	// K5 on vertices 0..4 minus edge (0,1): probing (0,1) completes wedges,
+	// triangles, and 4-cliques.
+	g := graph.NewAdjSet()
+	for u := graph.VertexID(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			if u == 0 && v == 1 {
+				continue
+			}
+			g.Add(graph.NewEdge(u, v))
+		}
+	}
+	mc, err := NewMultiCompleter([]Kind{Wedge, Triangle, FourClique})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wedges, triangles, cliques := 0, 0, 0
+	mc.ForEach(g, 0, 1, []func([]graph.Edge, []any) bool{
+		func([]graph.Edge, []any) bool { wedges++; return false }, // stop after 1
+		func([]graph.Edge, []any) bool { triangles++; return true },
+		func([]graph.Edge, []any) bool { cliques++; return true },
+	})
+	if wedges != 1 {
+		t.Fatalf("stopped wedge enumeration saw %d instances, want 1", wedges)
+	}
+	if want := Triangle.CountCompletions(g, 0, 1); triangles != want {
+		t.Fatalf("triangles = %d, want %d", triangles, want)
+	}
+	if want := FourClique.CountCompletions(g, 0, 1); cliques != want {
+		t.Fatalf("4-cliques = %d, want %d", cliques, want)
+	}
+}
+
+// TestMultiCompleterNilCallbackSkipsKind: nil callbacks disable a kind
+// without disturbing the others (including the shared clique collection when
+// the would-be collector is skipped).
+func TestMultiCompleterNilCallbackSkipsKind(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(20, 100, rng)
+	mc, err := NewMultiCompleter([]Kind{Triangle, FourClique})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		a := graph.VertexID(rng.Intn(20))
+		b := graph.VertexID(rng.Intn(20))
+		if a == b {
+			continue
+		}
+		n := 0
+		mc.ForEach(g, a, b, []func([]graph.Edge, []any) bool{
+			nil, // triangle (the first clique kind) skipped: 4-clique must collect itself
+			func([]graph.Edge, []any) bool { n++; return true },
+		})
+		if want := FourClique.CountCompletions(g, a, b); n != want {
+			t.Fatalf("edge (%d,%d): 4-cliques with triangle skipped = %d, want %d", a, b, n, want)
+		}
+	}
+}
+
+// TestMultiCompleterCounts exercises the convenience counter.
+func TestMultiCompleterCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(25, 140, rng)
+	kinds := []Kind{Wedge, Triangle, FourCycle, FourClique, FiveClique}
+	mc, err := NewMultiCompleter(kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		a := graph.VertexID(rng.Intn(25))
+		b := graph.VertexID(rng.Intn(25))
+		if a == b {
+			continue
+		}
+		got := mc.Counts(g, a, b, nil)
+		for i, k := range kinds {
+			if want := k.CountCompletions(g, a, b); got[i] != want {
+				t.Fatalf("edge (%d,%d): Counts[%s] = %d, want %d", a, b, k, got[i], want)
+			}
+		}
+	}
+}
+
+// TestMultiCompleterRejectsBadSets: empty, duplicate, and unknown kinds fail
+// at construction.
+func TestMultiCompleterRejectsBadSets(t *testing.T) {
+	for name, kinds := range map[string][]Kind{
+		"empty":     {},
+		"duplicate": {Triangle, Wedge, Triangle},
+		"unknown":   {Triangle, Kind(99)},
+	} {
+		if _, err := NewMultiCompleter(kinds); err == nil {
+			t.Errorf("%s kind set accepted", name)
+		}
+	}
+}

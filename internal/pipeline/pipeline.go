@@ -44,6 +44,20 @@ type Checkpointable interface {
 	Checkpoint() ([]byte, error)
 }
 
+// VectorCounter is optionally implemented by counters that maintain several
+// estimates side by side (core.MultiCounter: one per pattern). The processor
+// publishes every estimate after each envelope, so concurrent readers get the
+// whole vector lock-free through EstimateAt. Estimate() must equal index 0 of
+// the vector (the primary estimate).
+type VectorCounter interface {
+	Counter
+	// NumEstimates returns the (fixed) number of estimates.
+	NumEstimates() int
+	// EstimatesInto appends the current estimates to dst and returns it; it
+	// must not allocate when dst has the capacity.
+	EstimatesInto(dst []float64) []float64
+}
+
 // ErrClosed is returned by Submit, SubmitBatch, Quiesce and Snapshot after
 // Close.
 var ErrClosed = errors.New("pipeline: processor closed")
@@ -63,9 +77,11 @@ type envelope struct {
 // Processor runs a counter on a dedicated goroutine.
 type Processor struct {
 	counter   Counter
-	batched   BatchCounter // non-nil when counter implements BatchCounter
+	batched   BatchCounter  // non-nil when counter implements BatchCounter
+	vector    VectorCounter // non-nil when counter implements VectorCounter
 	events    chan envelope
-	estimate  atomic.Uint64 // float64 bits of the latest estimate
+	estimates []atomic.Uint64 // float64 bits of the latest estimates; len 1 for plain counters
+	scratch   []float64       // worker-only: reused EstimatesInto buffer
 	processed atomic.Int64
 
 	mu     sync.Mutex
@@ -87,9 +103,29 @@ func New(c Counter, buffer int) *Processor {
 	if bc, ok := c.(BatchCounter); ok {
 		p.batched = bc
 	}
-	p.estimate.Store(math.Float64bits(c.Estimate()))
+	n := 1
+	if vc, ok := c.(VectorCounter); ok {
+		p.vector = vc
+		n = vc.NumEstimates()
+	}
+	p.estimates = make([]atomic.Uint64, n)
+	p.scratch = make([]float64, 0, n)
+	p.publish()
 	go p.run()
 	return p
+}
+
+// publish stores the counter's current estimate(s) for lock-free readers.
+// Called from the worker goroutine (and once before it starts).
+func (p *Processor) publish() {
+	if p.vector == nil {
+		p.estimates[0].Store(math.Float64bits(p.counter.Estimate()))
+		return
+	}
+	p.scratch = p.vector.EstimatesInto(p.scratch[:0])
+	for i := range p.estimates {
+		p.estimates[i].Store(math.Float64bits(p.scratch[i]))
+	}
 }
 
 func (p *Processor) run() {
@@ -115,8 +151,8 @@ func (p *Processor) run() {
 				env.pooled.Release()
 			}
 		}
-		// One publication per envelope: batches amortize the atomic store.
-		p.estimate.Store(math.Float64bits(p.counter.Estimate()))
+		// One publication per envelope: batches amortize the atomic stores.
+		p.publish()
 	}
 }
 
@@ -177,11 +213,35 @@ func (p *Processor) send(env envelope) error {
 	return nil
 }
 
-// Estimate returns the most recently published estimate. Safe for concurrent
-// use; it lags ingestion by at most the channel buffer in envelopes, where an
-// envelope is one Submit event or one whole SubmitBatch slice.
+// Estimate returns the most recently published estimate (the primary one for
+// vector counters). Safe for concurrent use; it lags ingestion by at most the
+// channel buffer in envelopes, where an envelope is one Submit event or one
+// whole SubmitBatch slice.
 func (p *Processor) Estimate() float64 {
-	return math.Float64frombits(p.estimate.Load())
+	return math.Float64frombits(p.estimates[0].Load())
+}
+
+// NumEstimates returns how many estimates the processor publishes: 1 for
+// plain counters, the pattern count for a multi-pattern counter.
+func (p *Processor) NumEstimates() int { return len(p.estimates) }
+
+// EstimateAt returns estimate i of the most recently published vector. For a
+// multi-pattern counter, i indexes its Patterns order. Safe for concurrent
+// use. Estimates within one read may straddle an envelope boundary (each slot
+// is individually atomic); Quiesce first for a vector consistent at a single
+// stream position.
+func (p *Processor) EstimateAt(i int) float64 {
+	return math.Float64frombits(p.estimates[i].Load())
+}
+
+// EstimateVector returns the most recently published estimates as a fresh
+// slice, primary first. See EstimateAt for the consistency caveat.
+func (p *Processor) EstimateVector() []float64 {
+	out := make([]float64, len(p.estimates))
+	for i := range p.estimates {
+		out[i] = math.Float64frombits(p.estimates[i].Load())
+	}
+	return out
 }
 
 // Processed returns the number of events applied so far.

@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	wsd "repro"
+
+	"repro/internal/stream"
+)
+
+var servedPatterns = []wsd.Pattern{wsd.TrianglePattern, wsd.WedgePattern, wsd.FourCliquePattern}
+
+func testMultiServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(Config{Patterns: servedPatterns, M: 600, Shards: 3,
+		Options: []wsd.Option{wsd.WithSeed(9)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+// TestEstimatePatternParam is the query-parameter contract, table-tested:
+// every served pattern answers with its own estimate, unknown and unserved
+// names are 400s, and the no-parameter response carries the all-patterns map.
+func TestEstimatePatternParam(t *testing.T) {
+	s := testStream(t, 4, 400)
+	srv, ts := testMultiServer(t)
+	var body bytes.Buffer
+	if err := stream.WriteBinary(&body, s); err != nil {
+		t.Fatal(err)
+	}
+	post(t, ts.URL+"/ingest", body.Bytes())
+	if _, err := srv.Snapshot(); err != nil { // quiesce so estimates are final
+		t.Fatal(err)
+	}
+
+	// The direct-run truth: a sharded multi counter with the same config.
+	direct, err := wsd.NewShardedMultiCounter(servedPatterns, 600, 3, wsd.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.SubmitBatch(s); err != nil {
+		t.Fatal(err)
+	}
+	direct.Close()
+	want := direct.EstimateVector()
+
+	cases := []struct {
+		name    string
+		query   string
+		status  int
+		pattern string  // expected "pattern" field for 200s
+		est     float64 // expected "estimate" field for 200s
+	}{
+		{"primary by name", "?pattern=triangle", http.StatusOK, "triangle", want[0]},
+		{"secondary wedge", "?pattern=wedge", http.StatusOK, "wedge", want[1]},
+		{"secondary 4-clique", "?pattern=4-clique", http.StatusOK, "4-clique", want[2]},
+		{"flag-style alias", "?pattern=4clique", http.StatusOK, "4-clique", want[2]}, // the same spelling the -pattern flag accepts
+		{"case-insensitive", "?pattern=Triangle", http.StatusOK, "triangle", want[0]},
+		{"unknown name", "?pattern=pentagon", http.StatusBadRequest, "", 0},
+		{"valid but unserved", "?pattern=5-clique", http.StatusBadRequest, "", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Get(ts.URL + "/estimate" + tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+			if tc.status != http.StatusOK {
+				return
+			}
+			var out struct {
+				Pattern  string  `json:"pattern"`
+				Estimate float64 `json:"estimate"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			if out.Pattern != tc.pattern || out.Estimate != tc.est {
+				t.Fatalf("got {%s %v}, want {%s %v}", out.Pattern, out.Estimate, tc.pattern, tc.est)
+			}
+		})
+	}
+
+	// No parameter: the all-patterns shape, with one estimate per served
+	// pattern matching the direct run.
+	var all struct {
+		Estimate  float64            `json:"estimate"`
+		Estimates map[string]float64 `json:"estimates"`
+		Patterns  []string           `json:"patterns"`
+		Processed int64              `json:"processed"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL+"/estimate"), &all); err != nil {
+		t.Fatal(err)
+	}
+	if all.Estimate != want[0] {
+		t.Fatalf("primary estimate %v, want %v", all.Estimate, want[0])
+	}
+	if len(all.Estimates) != len(servedPatterns) {
+		t.Fatalf("estimates map %v, want %d entries", all.Estimates, len(servedPatterns))
+	}
+	for i, p := range servedPatterns {
+		if all.Estimates[p.String()] != want[i] {
+			t.Fatalf("%s: served %v, direct %v", p, all.Estimates[p.String()], want[i])
+		}
+	}
+	if strings.Join(all.Patterns, ",") != "triangle,wedge,4-clique" {
+		t.Fatalf("patterns %v", all.Patterns)
+	}
+	if all.Processed != int64(len(s)) {
+		t.Fatalf("processed %d of %d", all.Processed, len(s))
+	}
+}
+
+// TestMultiSnapshotRestoreAcrossServers: the multi-pattern deployment's
+// /snapshot blob restores into a fresh server that finishes the stream
+// bit-identically on every pattern — the HTTP layer of the acceptance
+// criterion.
+func TestMultiSnapshotRestoreAcrossServers(t *testing.T) {
+	s := testStream(t, 7, 500)
+	cut := len(s) / 2
+	encode := func(evs stream.Stream) []byte {
+		var buf bytes.Buffer
+		if err := stream.WriteBinary(&buf, evs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	readAll := func(ts *httptest.Server) map[string]float64 {
+		get(t, ts.URL+"/snapshot") // quiesce
+		var est struct {
+			Estimates map[string]float64 `json:"estimates"`
+		}
+		if err := json.Unmarshal(get(t, ts.URL+"/estimate"), &est); err != nil {
+			t.Fatal(err)
+		}
+		return est.Estimates
+	}
+
+	_, uninterrupted := testMultiServer(t)
+	post(t, uninterrupted.URL+"/ingest", encode(s))
+
+	_, interrupted := testMultiServer(t)
+	post(t, interrupted.URL+"/ingest", encode(s[:cut]))
+	blob := get(t, interrupted.URL+"/snapshot")
+
+	info, err := wsd.InspectShardedSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Patterns) != len(servedPatterns) {
+		t.Fatalf("snapshot info %+v, want %d patterns", info, len(servedPatterns))
+	}
+
+	_, fresh := testMultiServer(t)
+	out := post(t, fresh.URL+"/restore", blob)
+	if out["restored"] != true {
+		t.Fatalf("restore reply: %v", out)
+	}
+	post(t, fresh.URL+"/ingest", encode(s[cut:]))
+
+	got, want := readAll(fresh), readAll(uninterrupted)
+	for name, w := range want {
+		if got[name] != w {
+			t.Fatalf("%s: restored server %v, uninterrupted %v", name, got[name], w)
+		}
+	}
+}
+
+// TestMultiRestoreRejectsPatternSetMismatch: snapshots from deployments with
+// a different pattern set (including a single-pattern one with the same
+// primary) must be refused.
+func TestMultiRestoreRejectsPatternSetMismatch(t *testing.T) {
+	donors := map[string]Config{
+		"single-pattern same primary": {Pattern: wsd.TrianglePattern, M: 600, Shards: 3},
+		"same patterns different order": {
+			Patterns: []wsd.Pattern{wsd.WedgePattern, wsd.TrianglePattern, wsd.FourCliquePattern},
+			M:        600, Shards: 3},
+	}
+	for name, cfg := range donors {
+		t.Run(name, func(t *testing.T) {
+			cfg.Options = []wsd.Option{wsd.WithSeed(3)}
+			donor, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer donor.Close()
+			blob, err := donor.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, ts := testMultiServer(t)
+			resp, err := http.Post(ts.URL+"/restore", "application/json", bytes.NewReader(blob))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("mismatched restore: status %d", resp.StatusCode)
+			}
+		})
+	}
+}
+
+// TestRaceMixedPatternEstimates extends the race regression net to the
+// multi-pattern deployment: concurrent /ingest with /estimate?pattern=...
+// readers cycling through the served set (and one all-patterns reader) — no
+// torn estimate, no non-finite value, no 400 for a served pattern.
+func TestRaceMixedPatternEstimates(t *testing.T) {
+	srv, err := New(Config{Patterns: servedPatterns, M: 600, Shards: 3,
+		Options: []wsd.Option{wsd.WithSeed(21)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := srv.Handler()
+	defer srv.Close()
+
+	s := testStream(t, 23, 500)
+	per := (len(s) + 5) / 6
+	var chunks [][]byte
+	for lo := 0; lo < len(s); lo += per {
+		hi := min(lo+per, len(s))
+		var buf bytes.Buffer
+		if err := stream.WriteBinary(&buf, s[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		chunks = append(chunks, buf.Bytes())
+	}
+
+	roundTrip := func(method, path string, body []byte) (int, []byte) {
+		req, err := http.NewRequest(method, path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := newRecorder()
+		handler.ServeHTTP(rec, req)
+		return rec.code, rec.body.Bytes()
+	}
+
+	var wg sync.WaitGroup
+	for _, chunk := range chunks {
+		wg.Add(1)
+		go func(chunk []byte) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				code, body := roundTrip(http.MethodPost, "/ingest", chunk)
+				if code != http.StatusOK {
+					t.Errorf("/ingest: status %d: %s", code, body)
+					return
+				}
+			}
+		}(chunk)
+	}
+	for r := 0; r < len(servedPatterns); r++ {
+		name := servedPatterns[r].String()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				code, body := roundTrip(http.MethodGet, "/estimate?pattern="+name, nil)
+				if code != http.StatusOK {
+					t.Errorf("/estimate?pattern=%s: status %d: %s", name, code, body)
+					return
+				}
+				var est struct {
+					Pattern  string  `json:"pattern"`
+					Estimate float64 `json:"estimate"`
+				}
+				if err := json.Unmarshal(body, &est); err != nil {
+					t.Errorf("%s: bad JSON: %v", name, err)
+					return
+				}
+				if est.Pattern != name || math.IsNaN(est.Estimate) || math.IsInf(est.Estimate, 0) {
+					t.Errorf("%s: torn estimate: %+v", name, est)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			code, body := roundTrip(http.MethodGet, "/estimate", nil)
+			if code != http.StatusOK {
+				t.Errorf("/estimate: status %d", code)
+				return
+			}
+			var est struct {
+				Estimates map[string]float64 `json:"estimates"`
+			}
+			if err := json.Unmarshal(body, &est); err != nil {
+				t.Errorf("/estimate: bad JSON: %v", err)
+				return
+			}
+			if len(est.Estimates) != len(servedPatterns) {
+				t.Errorf("/estimate: %d entries, want %d", len(est.Estimates), len(servedPatterns))
+				return
+			}
+			for name, v := range est.Estimates {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("/estimate: non-finite %s: %v", name, v)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Fully functional after the storm, with every event accounted for.
+	var est struct {
+		Processed int64 `json:"processed"`
+	}
+	if _, err := srv.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	code, body := roundTrip(http.MethodGet, "/estimate", nil)
+	if code != http.StatusOK {
+		t.Fatalf("final /estimate: status %d", code)
+	}
+	if err := json.Unmarshal(body, &est); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len(s) * 5); est.Processed != want {
+		t.Fatalf("processed %d, want %d", est.Processed, want)
+	}
+}

@@ -1,8 +1,9 @@
 // Package serve is the HTTP front end over the sharded counter: the piece
 // that turns the library into a long-running service. It exposes batch
-// ingestion (text or binary stream bodies), the combined estimate, and
-// checkpoint/restore of the full sampler state, so a deployment can survive
-// restarts and be rebalanced without replaying its (single-pass,
+// ingestion (text or binary stream bodies), the combined estimate — for one
+// pattern or for a whole multi-pattern set counted over the same ingested
+// stream — and checkpoint/restore of the full sampler state, so a deployment
+// can survive restarts and be rebalanced without replaying its (single-pass,
 // unreplayable) stream.
 //
 // The handler is plain net/http over the wsd facade's ShardedCounter, which
@@ -10,11 +11,12 @@
 // lock-free readers; the server only adds wire parsing and a swap lock for
 // restore.
 //
-//	POST /ingest    body: stream events, text or binary (sniffed)  -> {"accepted": n}
-//	GET  /estimate                                                  -> {"estimate": ..., "processed": ..., ...}
-//	GET  /snapshot  full ensemble state                             -> application/json blob
-//	POST /restore   body: a /snapshot blob                          -> {"restored": true, "shards": k}
-//	GET  /healthz                                                   -> ok
+//	POST /ingest    body: stream events, text or binary (sniffed)   -> {"accepted": n}
+//	GET  /estimate                 all served patterns               -> {"estimate": ..., "estimates": {...}, ...}
+//	GET  /estimate?pattern=<name>  one served pattern (else 400)     -> {"pattern": ..., "estimate": ...}
+//	GET  /snapshot  full ensemble state                              -> application/json blob
+//	POST /restore   body: a /snapshot blob                           -> {"restored": true, "shards": k}
+//	GET  /healthz                                                    -> ok
 package serve
 
 import (
@@ -28,14 +30,20 @@ import (
 
 	wsd "repro"
 
+	"repro/internal/cli"
 	"repro/internal/shard"
 	"repro/internal/stream"
 )
 
 // Config describes the counter the server fronts.
 type Config struct {
-	// Pattern is the subgraph pattern served. Required.
+	// Pattern is the subgraph pattern served. Required unless Patterns is
+	// set.
 	Pattern wsd.Pattern
+	// Patterns, when non-empty, makes the deployment multi-pattern: one
+	// ingested stream serves an estimate per listed pattern (primary first —
+	// the sampling weights are tuned for Patterns[0]). Pattern is ignored.
+	Patterns []wsd.Pattern
 	// M is the total reservoir budget. Required.
 	M int
 	// Shards is the ensemble width; values < 1 mean 1.
@@ -53,6 +61,11 @@ const defaultMaxBodyBytes = 64 << 20
 // not usable.
 type Server struct {
 	cfg Config
+	// patterns is the served pattern set in estimator order: cfg.Patterns
+	// for multi-pattern deployments, [cfg.Pattern] otherwise. byKind resolves
+	// a parsed ?pattern= query parameter to an estimator index.
+	patterns []wsd.Pattern
+	byKind   map[wsd.Pattern]int
 
 	// mu guards ens as a pointer: ingest/estimate/snapshot hold the read
 	// lock (the ensemble itself is concurrency-safe), restore swaps the
@@ -74,11 +87,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = defaultMaxBodyBytes
 	}
-	ens, err := wsd.NewShardedCounter(cfg.Pattern, cfg.M, cfg.Shards, cfg.Options...)
+	var (
+		ens *wsd.ShardedCounter
+		err error
+	)
+	patterns := []wsd.Pattern{cfg.Pattern}
+	if len(cfg.Patterns) > 0 {
+		patterns = append([]wsd.Pattern(nil), cfg.Patterns...)
+		ens, err = wsd.NewShardedMultiCounter(patterns, cfg.M, cfg.Shards, cfg.Options...)
+	} else {
+		ens, err = wsd.NewShardedCounter(cfg.Pattern, cfg.M, cfg.Shards, cfg.Options...)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, ens: ens}, nil
+	byKind := make(map[wsd.Pattern]int, len(patterns))
+	for i, p := range patterns {
+		byKind[p] = i
+	}
+	return &Server{cfg: cfg, patterns: patterns, byKind: byKind, ens: ens}, nil
 }
 
 // Close drains and stops the counter, returning the final estimate.
@@ -105,8 +132,17 @@ func (s *Server) Snapshot() ([]byte, error) {
 // closed on success.
 func (s *Server) Restore(blob []byte) (int, error) {
 	restored, err := wsd.RestoreShardedCounterChecked(blob, func(info wsd.ShardedSnapshotInfo) error {
-		if info.Pattern != s.cfg.Pattern {
-			return fmt.Errorf("serve: snapshot counts %s, server is configured for %s", info.Pattern, s.cfg.Pattern)
+		snapPatterns := info.Patterns
+		if snapPatterns == nil {
+			snapPatterns = []wsd.Pattern{info.Pattern}
+		}
+		if len(snapPatterns) != len(s.patterns) {
+			return fmt.Errorf("serve: snapshot counts %v, server is configured for %v", snapPatterns, s.patterns)
+		}
+		for i := range snapPatterns {
+			if snapPatterns[i] != s.patterns[i] {
+				return fmt.Errorf("serve: snapshot counts %v, server is configured for %v", snapPatterns, s.patterns)
+			}
 		}
 		if info.Shards != s.cfg.Shards {
 			return fmt.Errorf("serve: snapshot holds %d shards, server is configured for %d", info.Shards, s.cfg.Shards)
@@ -243,13 +279,53 @@ func ingest(ens *wsd.ShardedCounter, pool *stream.BatchPool, body io.Reader) (in
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if name := r.URL.Query().Get("pattern"); name != "" {
+		// The query value goes through the same parser as the -pattern flag,
+		// so every alias spelling that configures a server also queries it
+		// (?pattern=4clique and ?pattern=4-clique are the same pattern).
+		// Unknown or unserved names are client errors so a misconfigured
+		// client cannot silently read the wrong count.
+		k, err := cli.ParsePattern(name)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("serve: %v (served: %s)", err, s.patternNames()), http.StatusBadRequest)
+			return
+		}
+		idx, ok := s.byKind[k]
+		if !ok {
+			http.Error(w, fmt.Sprintf("serve: pattern %q is not served (served: %s)", k, s.patternNames()), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"pattern":   k.String(),
+			"estimate":  s.ens.EstimateAt(idx),
+			"processed": s.ens.Processed(),
+			"m":         s.cfg.M,
+		})
+		return
+	}
+	vec := s.ens.EstimateVector()
+	estimates := make(map[string]float64, len(s.patterns))
+	for i, p := range s.patterns {
+		estimates[p.String()] = vec[i]
+	}
 	writeJSON(w, map[string]any{
-		"estimate":  s.ens.Estimate(),
+		"estimate":  vec[0],
+		"estimates": estimates,
 		"shards":    s.ens.Estimates(),
 		"processed": s.ens.Processed(),
-		"pattern":   s.cfg.Pattern.String(),
+		"pattern":   s.patterns[0].String(),
+		"patterns":  s.patternNames(),
 		"m":         s.cfg.M,
 	})
+}
+
+// patternNames renders the served pattern set in estimator order.
+func (s *Server) patternNames() []string {
+	names := make([]string, len(s.patterns))
+	for i, p := range s.patterns {
+		names[i] = p.String()
+	}
+	return names
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {

@@ -59,6 +59,20 @@ type Checkpointable interface {
 	Checkpoint() ([]byte, error)
 }
 
+// VectorCounter is optionally implemented by counters that maintain several
+// estimates side by side (core.MultiCounter: one per pattern). When every
+// shard counter implements it, each worker publishes the whole vector and the
+// ensemble combines it index by index, so one shard fleet serves P pattern
+// queries at once. Estimate() must equal index 0 of the vector.
+type VectorCounter interface {
+	Counter
+	// NumEstimates returns the (fixed) number of estimates.
+	NumEstimates() int
+	// EstimatesInto appends the current estimates to dst and returns it; it
+	// must not allocate when dst has the capacity.
+	EstimatesInto(dst []float64) []float64
+}
+
 // ErrClosed is returned by Submit, SubmitBatch, Quiesce and Snapshot after
 // Close.
 var ErrClosed = errors.New("shard: ensemble closed")
@@ -146,15 +160,31 @@ type envelope struct {
 }
 
 // worker owns one shard: its counter, its feed channel, and its published
-// estimate. The counter is touched only by the worker goroutine — except
-// inside a Quiesce barrier, where the worker is provably parked.
+// estimate vector (length 1 for plain counters). The counter is touched only
+// by the worker goroutine — except inside a Quiesce barrier, where the worker
+// is provably parked.
 type worker struct {
 	counter   Counter
-	batched   BatchCounter // non-nil when counter implements BatchCounter
+	batched   BatchCounter  // non-nil when counter implements BatchCounter
+	vector    VectorCounter // non-nil when counter implements VectorCounter
 	feed      chan envelope
-	estimate  atomic.Uint64 // float64 bits
+	estimates []atomic.Uint64 // float64 bits per estimate index
+	scratch   []float64       // worker-only: reused EstimatesInto buffer
 	processed atomic.Int64
 	done      chan struct{}
+}
+
+// publish stores the counter's current estimate(s); called from the worker
+// goroutine (and once before it starts).
+func (w *worker) publish() {
+	if w.vector == nil {
+		w.estimates[0].Store(math.Float64bits(w.counter.Estimate()))
+		return
+	}
+	w.scratch = w.vector.EstimatesInto(w.scratch[:0])
+	for i := range w.estimates {
+		w.estimates[i].Store(math.Float64bits(w.scratch[i]))
+	}
 }
 
 func (w *worker) run() {
@@ -176,7 +206,7 @@ func (w *worker) run() {
 		if env.pooled != nil {
 			env.pooled.Release()
 		}
-		w.estimate.Store(math.Float64bits(w.counter.Estimate()))
+		w.publish()
 	}
 }
 
@@ -185,6 +215,9 @@ func (w *worker) run() {
 type Ensemble struct {
 	workers []*worker
 	combine Combiner
+	// numEstimates is the per-shard estimate vector width: 1 for plain
+	// counters, the pattern count when every shard is a VectorCounter.
+	numEstimates int
 
 	mu     sync.Mutex
 	closed bool
@@ -224,20 +257,34 @@ func New(counters []Counter, opts ...Option) (*Ensemble, error) {
 	if cfg.buffer < 1 {
 		cfg.buffer = 1
 	}
-	e := &Ensemble{combine: cfg.combine}
-	for _, c := range counters {
+	e := &Ensemble{combine: cfg.combine, numEstimates: 1}
+	for i, c := range counters {
 		if c == nil {
 			return nil, fmt.Errorf("shard: nil counter")
 		}
+		n := 1
+		if vc, ok := c.(VectorCounter); ok {
+			n = vc.NumEstimates()
+		}
+		if i == 0 {
+			e.numEstimates = n
+		} else if n != e.numEstimates {
+			return nil, fmt.Errorf("shard: counter %d publishes %d estimates, counter 0 publishes %d; every shard must count the same patterns", i, n, e.numEstimates)
+		}
 		w := &worker{
-			counter: c,
-			feed:    make(chan envelope, cfg.buffer),
-			done:    make(chan struct{}),
+			counter:   c,
+			feed:      make(chan envelope, cfg.buffer),
+			estimates: make([]atomic.Uint64, n),
+			scratch:   make([]float64, 0, n),
+			done:      make(chan struct{}),
 		}
 		if bc, ok := c.(BatchCounter); ok {
 			w.batched = bc
 		}
-		w.estimate.Store(math.Float64bits(c.Estimate()))
+		if vc, ok := c.(VectorCounter); ok {
+			w.vector = vc
+		}
+		w.publish()
 		e.workers = append(e.workers, w)
 	}
 	for _, w := range e.workers {
@@ -305,22 +352,48 @@ func (e *Ensemble) SubmitPooled(b *stream.Batch) error {
 	return nil
 }
 
-// Estimate combines the shards' most recently published estimates. Safe for
-// concurrent use; each shard's contribution lags Submit by at most its buffer.
-func (e *Ensemble) Estimate() float64 {
+// Estimate combines the shards' most recently published (primary) estimates.
+// Safe for concurrent use; each shard's contribution lags Submit by at most
+// its buffer.
+func (e *Ensemble) Estimate() float64 { return e.EstimateAt(0) }
+
+// NumEstimates returns the per-shard estimate vector width: 1 for plain
+// counters, the pattern count for multi-pattern shards.
+func (e *Ensemble) NumEstimates() int { return e.numEstimates }
+
+// EstimateAt combines the shards' most recently published estimates at index
+// i (a pattern index, in the shards' Patterns order, for multi-pattern
+// counters). Safe for concurrent use.
+func (e *Ensemble) EstimateAt(i int) float64 {
 	xs := make([]float64, len(e.workers))
-	for i, w := range e.workers {
-		xs[i] = math.Float64frombits(w.estimate.Load())
+	for j, w := range e.workers {
+		xs[j] = math.Float64frombits(w.estimates[i].Load())
 	}
 	return e.combine(xs)
 }
 
-// Estimates returns each shard's most recently published estimate, in shard
-// order — the spread is an empirical variance check.
+// EstimateVector returns the combined estimate for every index, primary
+// first. Each index combines that estimate across all shards with the
+// ensemble's combiner. Indexes are individually atomic; Quiesce first for a
+// vector consistent at a single stream position.
+func (e *Ensemble) EstimateVector() []float64 {
+	out := make([]float64, e.numEstimates)
+	xs := make([]float64, len(e.workers))
+	for i := range out {
+		for j, w := range e.workers {
+			xs[j] = math.Float64frombits(w.estimates[i].Load())
+		}
+		out[i] = e.combine(xs)
+	}
+	return out
+}
+
+// Estimates returns each shard's most recently published primary estimate, in
+// shard order — the spread is an empirical variance check.
 func (e *Ensemble) Estimates() []float64 {
 	xs := make([]float64, len(e.workers))
 	for i, w := range e.workers {
-		xs[i] = math.Float64frombits(w.estimate.Load())
+		xs[i] = math.Float64frombits(w.estimates[0].Load())
 	}
 	return xs
 }

@@ -1,0 +1,195 @@
+package wsd
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/shard"
+	"repro/internal/xrand"
+)
+
+// MultiCounter counts several subgraph patterns over one shared stream: a
+// single reservoir-maintained edge sample feeds one estimator per pattern, so
+// serving P patterns costs one ingest — not P ingests of the same stream into
+// P independent counters. The clique patterns additionally share their
+// common-neighborhood enumeration per event.
+//
+// The first pattern is the primary one: the sampling weights are tuned for it
+// (the WSD-H heuristic and the MDP state are computed from its completions),
+// while every pattern's estimate remains unbiased. Put the pattern you care
+// most about first.
+//
+// A MultiCounter is not safe for concurrent use; wrap it in a Processor, or
+// build a sharded deployment with NewShardedMultiCounter.
+type MultiCounter struct {
+	inner *core.MultiCounter
+}
+
+// NewMultiCounter returns a multi-pattern WSD counter over the given patterns
+// (primary first) with shared reservoir capacity m. The options are those of
+// NewCounter; without options it is WSD-H with the heuristic computed on the
+// primary pattern.
+func NewMultiCounter(patterns []Pattern, m int, opts ...Option) (*MultiCounter, error) {
+	o := options{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	w, err := resolveWeight(&o)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewMulti(core.MultiConfig{
+		M:            m,
+		Patterns:     patterns,
+		Weight:       w,
+		Rng:          xrand.New(o.seed),
+		SkipTemporal: skipTemporal(&o),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MultiCounter{inner: inner}, nil
+}
+
+// Process consumes one stream event, updating every pattern's estimate.
+func (c *MultiCounter) Process(ev Event) { c.inner.Process(ev) }
+
+// ProcessBatch consumes a slice of events in order (the batched fast path).
+func (c *MultiCounter) ProcessBatch(evs []Event) { c.inner.ProcessBatch(evs) }
+
+// Patterns returns the counted patterns in estimator order, primary first.
+func (c *MultiCounter) Patterns() []Pattern { return c.inner.Patterns() }
+
+// Estimate returns the current unbiased estimate for pattern p. It fails if p
+// is not one of the counter's patterns.
+func (c *MultiCounter) Estimate(p Pattern) (float64, error) {
+	est, ok := c.inner.EstimateOf(p)
+	if !ok {
+		return 0, fmt.Errorf("wsd: counter does not count %s (patterns: %v)", p, c.inner.Patterns())
+	}
+	return est, nil
+}
+
+// Estimates returns every pattern's estimate in Patterns order.
+func (c *MultiCounter) Estimates() []float64 { return c.inner.Estimates() }
+
+// SampleSize returns the current number of sampled edges (shared by all
+// patterns).
+func (c *MultiCounter) SampleSize() int { return c.inner.SampleSize() }
+
+// Name identifies the algorithm for reports.
+func (c *MultiCounter) Name() string { return c.inner.Name() }
+
+// Checkpoint serializes the counter's complete state — sample, thresholds,
+// every pattern's estimate, and RNG state — for RestoreMultiCounter.
+func (c *MultiCounter) Checkpoint() ([]byte, error) { return c.inner.Checkpoint() }
+
+// Core returns the underlying multi-pattern counter for use with the
+// ingestion layers: NewProcessor(mc.Core(), ...) publishes all P estimates
+// (read them with Processor.EstimateAt in Patterns order). The caller must
+// not drive Core and the wrapper concurrently.
+func (c *MultiCounter) Core() *core.MultiCounter { return c.inner }
+
+// RestoreMultiCounter revives a multi-pattern counter from a Checkpoint blob.
+// As with RestoreCounter, the weight options must match the original
+// construction; the patterns, budget, estimates, and RNG state come from the
+// blob, and the restored counter continues bit-identically on every pattern.
+func RestoreMultiCounter(data []byte, opts ...Option) (*MultiCounter, error) {
+	o := options{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	w, err := resolveWeight(&o)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := core.DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.RestoreMulti(snap, core.MultiConfig{
+		Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skipTemporal(&o),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MultiCounter{inner: inner}, nil
+}
+
+// NewShardedMultiCounter returns an ensemble of shards independently seeded
+// multi-pattern counters, all fed every event: the multi-pattern analogue of
+// NewShardedCounter, and the counter behind a multi-pattern serving
+// deployment. Read the per-pattern combined estimates with
+// ShardedCounter.EstimateAt (indexes follow the patterns argument) or
+// EstimateVector.
+//
+// Budget semantics and options match NewShardedCounter, with the split-budget
+// floor checked against the largest pattern.
+func NewShardedMultiCounter(patterns []Pattern, m, shards int, opts ...Option) (*ShardedCounter, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("wsd: shards=%d, need at least 1", shards)
+	}
+	o := options{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	w, err := resolveWeight(&o)
+	if err != nil {
+		return nil, err
+	}
+	budgets := shard.SplitBudget(m, shards)
+	counters := make([]shard.Counter, shards)
+	for i := range counters {
+		budget := m
+		if !o.fullBudget {
+			budget = budgets[i]
+			for _, p := range patterns {
+				if budget < p.Size() {
+					return nil, fmt.Errorf("wsd: split budget m/shards=%d/%d is below pattern size |H|=%d for %s; use fewer shards, a larger m, or WithFullBudgetShards", m, shards, p.Size(), p)
+				}
+			}
+		}
+		wi := w
+		if o.policy != nil {
+			// As in NewShardedCounter: policy closures carry per-call scratch
+			// state; give each shard worker its own.
+			wi = o.policy.Func()
+		}
+		c, err := core.NewMulti(core.MultiConfig{
+			M:            budget,
+			Patterns:     patterns,
+			Weight:       wi,
+			Rng:          xrand.NewSequence(o.seed, int64(i)),
+			SkipTemporal: skipTemporal(&o),
+		})
+		if err != nil {
+			return nil, err
+		}
+		counters[i] = c
+	}
+	return shard.New(counters, shardOptions(&o)...)
+}
+
+// restoreShardCounter rebuilds one shard counter from its decoded snapshot,
+// dispatching on the snapshot's shape: multi-pattern snapshots revive
+// multi-pattern counters, so RestoreShardedCounter and the serving /restore
+// path work unchanged for both deployment kinds.
+func restoreShardCounter(snap *core.Snapshot, w WeightFunc, o *options, i int) (shard.Counter, error) {
+	wi := w
+	if o.policy != nil {
+		// Policy closures carry per-call scratch state; one per shard worker.
+		wi = o.policy.Func()
+	}
+	rng := xrand.NewSequence(o.seed, int64(i))
+	if snap.Multi() {
+		return core.RestoreMulti(snap, core.MultiConfig{Weight: wi, Rng: rng, SkipTemporal: skipTemporal(o)})
+	}
+	return core.Restore(snap, core.Config{Weight: wi, Rng: rng, SkipTemporal: skipTemporal(o)})
+}
+
+// MultiPatterns is a convenience constructor for the patterns argument:
+// MultiPatterns(wsd.TrianglePattern, wsd.WedgePattern).
+func MultiPatterns(primary Pattern, rest ...Pattern) []Pattern {
+	return append([]pattern.Kind{primary}, rest...)
+}
