@@ -24,6 +24,7 @@ package wsd
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/exact"
@@ -374,20 +375,26 @@ func shardOptions(o *options) []shard.Option {
 
 // Checkpointable is implemented by counters whose complete state — reservoir,
 // thresholds, temporal bookkeeping, and RNG state — serializes to bytes. The
-// counters returned by NewCounter and NewLocalCounter implement it, and so do
-// Processor (Snapshot) and ShardedCounter (Snapshot) at the ingestion layer.
+// counters returned by NewCounter, NewLocalCounter, and NewMultiCounter
+// implement it, and so do Processor (Snapshot) and ShardedCounter (Snapshot)
+// at the ingestion layer.
 // A counter restored from a checkpoint continues bit-identically to the
 // uninterrupted run: same sample trajectory, same estimates.
 type Checkpointable interface {
 	Checkpoint() ([]byte, error)
 }
 
-// Checkpoint serializes a counter's complete state. It fails for counters
-// that do not support checkpointing (e.g. the exact oracle).
-func Checkpoint(c Counter) ([]byte, error) {
+// Checkpoint serializes a counter's complete state. It accepts any of the
+// package's counters — single, local, multi-pattern, or an ingestion layer —
+// and fails for counters that do not support checkpointing (e.g. the exact
+// oracle).
+func Checkpoint(c any) ([]byte, error) {
 	ck, ok := c.(Checkpointable)
 	if !ok {
-		return nil, fmt.Errorf("wsd: %s counter does not support checkpointing", c.Name())
+		if named, ok := c.(interface{ Name() string }); ok {
+			return nil, fmt.Errorf("wsd: %s counter does not support checkpointing", named.Name())
+		}
+		return nil, fmt.Errorf("wsd: %T does not support checkpointing", c)
 	}
 	return ck.Checkpoint()
 }
@@ -432,13 +439,19 @@ func RestoreLocalCounter(data []byte, opts ...Option) (*LocalCounter, error) {
 }
 
 // ShardedSnapshotInfo summarizes a ShardedCounter snapshot blob without
-// restoring it: what pattern it counts, how many shards it holds, and the
+// restoring it: what pattern(s) it counts, how many shards it holds, and the
 // total reservoir budget across shards. Deployments use it to refuse a
 // snapshot that does not match their configuration before swapping it in.
 type ShardedSnapshotInfo struct {
+	// Pattern is the primary pattern (the only one for single-pattern
+	// deployments).
 	Pattern Pattern
-	Shards  int
-	TotalM  int // sum of per-shard budgets (equals m in split-budget mode, m*Shards in full-budget mode)
+	// Patterns lists every counted pattern in estimator order for
+	// multi-pattern deployments (NewShardedMultiCounter); it is nil for
+	// single-pattern snapshots.
+	Patterns []Pattern
+	Shards   int
+	TotalM   int // sum of per-shard budgets (equals m in split-budget mode, m*Shards in full-budget mode)
 }
 
 // decodeShardedSnapshot decodes an ensemble blob into per-shard core
@@ -458,13 +471,24 @@ func decodeShardedSnapshot(data []byte) ([]*core.Snapshot, ShardedSnapshotInfo, 
 		}
 		if i == 0 {
 			info.Pattern = cs.Pattern
-		} else if cs.Pattern != info.Pattern {
-			return nil, ShardedSnapshotInfo{}, fmt.Errorf("wsd: snapshot mixes patterns (%s and %s)", info.Pattern, cs.Pattern)
+			if cs.Multi() {
+				info.Patterns = append([]Pattern(nil), cs.Patterns...)
+			}
+		} else if cs.Pattern != info.Pattern || !slices.Equal(info.Patterns, cs.Patterns) {
+			return nil, ShardedSnapshotInfo{}, fmt.Errorf("wsd: snapshot mixes patterns across shards (%v vs %v)", shardPatterns(info), cs.Patterns)
 		}
 		info.TotalM += cs.M
 		cores[i] = cs
 	}
 	return cores, info, nil
+}
+
+// shardPatterns renders an info's pattern set for error messages.
+func shardPatterns(info ShardedSnapshotInfo) []Pattern {
+	if info.Patterns != nil {
+		return info.Patterns
+	}
+	return []Pattern{info.Pattern}
 }
 
 // InspectShardedSnapshot decodes the header and per-shard metadata of a
@@ -475,10 +499,12 @@ func InspectShardedSnapshot(data []byte) (ShardedSnapshotInfo, error) {
 }
 
 // RestoreShardedCounter revives a sharded counter from a blob produced by
-// ShardedCounter.Snapshot. Reservoir budgets, pattern, and per-shard RNG
+// ShardedCounter.Snapshot. Reservoir budgets, pattern(s), and per-shard RNG
 // states come from the snapshot; the weight function and combiner are code
 // and are re-supplied through the options, which must match the original
-// construction for the ensemble to continue bit-identically.
+// construction for the ensemble to continue bit-identically. Snapshots from
+// multi-pattern deployments (NewShardedMultiCounter) restore multi-pattern
+// shards automatically.
 func RestoreShardedCounter(data []byte, opts ...Option) (*ShardedCounter, error) {
 	return RestoreShardedCounterChecked(data, nil, opts...)
 }
@@ -507,13 +533,7 @@ func RestoreShardedCounterChecked(data []byte, check func(ShardedSnapshotInfo) e
 	}
 	counters := make([]shard.Counter, len(cores))
 	for i, snap := range cores {
-		wi := w
-		if o.policy != nil {
-			// As in NewShardedCounter: policy closures carry per-call scratch
-			// state; give each shard worker its own.
-			wi = o.policy.Func()
-		}
-		c, err := core.Restore(snap, core.Config{Weight: wi, Rng: xrand.NewSequence(o.seed, int64(i)), SkipTemporal: skipTemporal(&o)})
+		c, err := restoreShardCounter(snap, w, &o, i)
 		if err != nil {
 			return nil, fmt.Errorf("wsd: restore shard %d: %w", i, err)
 		}
