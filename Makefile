@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check race docs-check bench bench-tables bench-suite bench-compare
+.PHONY: build test vet fmt check race docs-check cluster-smoke bench bench-tables bench-suite bench-compare
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,17 @@ race:
 	$(GO) test -race ./...
 
 # The documentation gate: formatting, vet, the godoc lint (undocumented
-# facade exports, packages without doc comments), and the relative-link
-# check over README/ARCHITECTURE/docs. CI runs this on every push.
+# facade exports, packages without doc comments), the relative-link check
+# over README/ARCHITECTURE/docs, and the cmd/* flag-coverage check against
+# docs/operations.md. CI runs this on every push.
 docs-check: fmt vet
 	$(GO) run ./cmd/docslint -root .
+
+# The cluster layer end to end under the race detector: coordinator vs
+# equal-budget in-process ensemble, snapshot->restore, degraded reads.
+cluster-smoke:
+	$(GO) test -race -run 'Cluster|Coordinator|Degraded' ./internal/cluster/ ./internal/serve/
+	$(GO) test -race ./internal/combine/
 
 # Ingestion throughput: single-goroutine pipeline vs sharded ensemble.
 bench:

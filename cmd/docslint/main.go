@@ -8,6 +8,10 @@
 //  3. Every relative link in the markdown documentation (README.md,
 //     ARCHITECTURE.md, everything under docs/) points at a file that
 //     exists, so the docs cannot silently rot as files move.
+//  4. Every command-line flag registered by a cmd/* binary
+//     (flag.String/Int/Bool/Duration/... in its main.go) is documented in
+//     docs/operations.md, inside that binary's section — the operator
+//     guide's flag tables are complete by construction, not by discipline.
 //
 // It prints one line per violation and exits 1 if any were found.
 //
@@ -27,6 +31,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -46,6 +51,9 @@ func main() {
 		fatal(err)
 	}
 	if err := lintMarkdownLinks(*root, report); err != nil {
+		fatal(err)
+	}
+	if err := lintFlagDocs(*root, report); err != nil {
 		fatal(err)
 	}
 
@@ -182,6 +190,183 @@ func lintPackageDocs(root string, report func(string, ...any)) error {
 		}
 		return nil
 	})
+}
+
+// flagNameArg maps each flag-registration function to the position of its
+// name argument, covering the typed constructors, their *Var forms, and the
+// value/function-based registrations — any way a cmd can grow a flag must
+// land in the docs gate.
+var flagNameArg = map[string]int{
+	"String": 0, "Bool": 0, "Int": 0, "Int64": 0,
+	"Uint": 0, "Uint64": 0, "Float64": 0, "Duration": 0,
+	"StringVar": 1, "BoolVar": 1, "IntVar": 1, "Int64Var": 1,
+	"UintVar": 1, "Uint64Var": 1, "Float64Var": 1, "DurationVar": 1,
+	"Var": 1, "TextVar": 1,
+	"Func": 0, "BoolFunc": 0,
+}
+
+// lintFlagDocs checks that every flag a cmd/* binary registers appears in
+// docs/operations.md within that binary's section, so the operator guide's
+// flag reference cannot rot as flags are added.
+func lintFlagDocs(root string, report func(string, ...any)) error {
+	cmdDir := filepath.Join(root, "cmd")
+	entries, err := os.ReadDir(cmdDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // a repo without cmd/ has nothing to check
+		}
+		return err
+	}
+	opsPath := filepath.Join(root, "docs", "operations.md")
+	ops, err := os.ReadFile(opsPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			report("%s: missing (the cmd/* flag reference lives here)", opsPath)
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		bin := e.Name()
+		flags, err := registeredFlags(filepath.Join(cmdDir, bin))
+		if err != nil {
+			return err
+		}
+		if len(flags) == 0 {
+			continue
+		}
+		section, ok := binarySection(string(ops), bin)
+		if !ok {
+			report("%s: cmd/%s has no section in docs/operations.md (registers %d flag(s))", opsPath, bin, len(flags))
+			continue
+		}
+		for _, f := range flags {
+			// A documented flag is written `-name` (a backticked table cell
+			// or inline mention); requiring a closing delimiter keeps -m
+			// from matching -mom.
+			documented := false
+			for _, delim := range []string{"`", " ", "="} {
+				if strings.Contains(section, "`-"+f+delim) {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				report("%s: flag -%s of cmd/%s is not documented in docs/operations.md", opsPath, f, bin)
+			}
+		}
+	}
+	return nil
+}
+
+// registeredFlags parses a cmd directory and returns the names of the flags
+// it registers through the standard flag package.
+func registeredFlags(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var flags []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				recv, ok := sel.X.(*ast.Ident)
+				if !ok || recv.Name != "flag" {
+					return true
+				}
+				argIdx, ok := flagNameArg[sel.Sel.Name]
+				if !ok || len(call.Args) <= argIdx {
+					return true
+				}
+				lit, ok := call.Args[argIdx].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				if fname, err := strconv.Unquote(lit.Value); err == nil {
+					flags = append(flags, fname)
+				}
+				return true
+			})
+		}
+	}
+	sort.Strings(flags)
+	return flags, nil
+}
+
+// binarySection extracts the part of the operations guide that documents
+// the named binary: from the first markdown heading mentioning the binary to
+// the next heading of the same or higher level. Scoping per binary keeps a
+// flag documented for one tool (say wsdgen's -seed) from satisfying another
+// tool's identically named flag.
+func binarySection(doc, bin string) (string, bool) {
+	lines := strings.Split(doc, "\n")
+	level := 0
+	start := -1
+	inFence := false
+	for i, line := range lines {
+		// A '#' inside a fenced code block is a shell comment, not a
+		// heading; letting it start or end a section would mis-scope the
+		// flag check around the guide's own example snippets.
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		l := len(line) - len(strings.TrimLeft(line, "#"))
+		if start < 0 {
+			if matchesWord(line, bin) {
+				start, level = i, l
+			}
+			continue
+		}
+		if l <= level {
+			return strings.Join(lines[start:i], "\n"), true
+		}
+	}
+	if start < 0 {
+		return "", false
+	}
+	return strings.Join(lines[start:], "\n"), true
+}
+
+// matchesWord reports whether s mentions word with no identifier characters
+// around it (so "wsdserve" does not match a hypothetical "wsdserve2").
+func matchesWord(s, word string) bool {
+	for idx := 0; ; {
+		j := strings.Index(s[idx:], word)
+		if j < 0 {
+			return false
+		}
+		j += idx
+		before := j == 0 || !isWordByte(s[j-1])
+		afterIdx := j + len(word)
+		after := afterIdx >= len(s) || !isWordByte(s[afterIdx])
+		if before && after {
+			return true
+		}
+		idx = j + len(word)
+	}
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || b == '-' ||
+		('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
 }
 
 // mdLink matches markdown inline links and images; group 1 is the target.

@@ -109,6 +109,141 @@ func TestMarkdownLinkLint(t *testing.T) {
 	}
 }
 
+func TestFlagDocsLint(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "cmd/wsdfoo/main.go", `package main
+
+import (
+	"flag"
+	"time"
+)
+
+func main() {
+	_ = flag.String("in", "", "input")
+	_ = flag.Int("m", 10, "budget")
+	_ = flag.Bool("exact", false, "oracle")
+	_ = flag.Duration("timeout", time.Second, "bound")
+	var out string
+	flag.StringVar(&out, "out", "", "output")
+	flag.Func("exclude", "patterns to skip", func(string) error { return nil })
+}
+`)
+	write(t, root, "cmd/wsdbar/main.go", `package main
+
+import "flag"
+
+func main() { _ = flag.Int64("seed", 1, "seed") }
+`)
+	write(t, root, "docs/operations.md", `# Operations
+
+## wsdfoo
+
+| flag | meaning |
+|---|---|
+| `+"`-in`"+` | input |
+| `+"`-mom`"+` | not the -m flag: the delimiter check must not let this satisfy -m |
+| `+"`-timeout`"+` | bound |
+| `+"`-out`"+` | output |
+
+## unrelated
+
+`+"`-exact`"+` and `+"`-seed`"+` documented outside any binary section count
+for nothing.
+`)
+	report, problems := collect()
+	if err := lintFlagDocs(root, report); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(*problems, "\n")
+	// -m is undocumented (the -mom mention must not satisfy it), -exact is
+	// documented only outside wsdfoo's section, -exclude (a flag.Func
+	// registration) is undocumented, and wsdbar has no section.
+	for _, want := range []string{"flag -m of cmd/wsdfoo", "flag -exact of cmd/wsdfoo", "flag -exclude of cmd/wsdfoo", "cmd/wsdbar has no section"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("lint missed %q in:\n%s", want, got)
+		}
+	}
+	for _, clean := range []string{"-in", "-timeout", "-out"} {
+		for _, p := range *problems {
+			if strings.Contains(p, "flag "+clean+" ") {
+				t.Errorf("lint flagged documented flag: %s", p)
+			}
+		}
+	}
+	if len(*problems) != 4 {
+		t.Errorf("problems = %v, want exactly 4", *problems)
+	}
+}
+
+func TestFlagDocsLintMissingGuide(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "cmd/wsdfoo/main.go", `package main
+
+import "flag"
+
+func main() { _ = flag.Int("m", 10, "budget") }
+`)
+	report, problems := collect()
+	if err := lintFlagDocs(root, report); err != nil {
+		t.Fatal(err)
+	}
+	if len(*problems) != 1 || !strings.Contains((*problems)[0], "operations.md: missing") {
+		t.Fatalf("problems = %v, want exactly the missing-guide report", *problems)
+	}
+}
+
+func TestBinarySection(t *testing.T) {
+	doc := "# guide\n\n## wsdfoo\n\nfoo `-a`\n\n### details\n\nstill foo `-b`\n\n## wsdbarlike\n\nnot foo\n"
+	section, ok := binarySection(doc, "wsdfoo")
+	if !ok {
+		t.Fatal("section not found")
+	}
+	for _, want := range []string{"`-a`", "`-b`"} {
+		if !strings.Contains(section, want) {
+			t.Errorf("section missing %s:\n%s", want, section)
+		}
+	}
+	if strings.Contains(section, "not foo") {
+		t.Errorf("section leaked past the next same-level heading:\n%s", section)
+	}
+	// wsdbar must not match the wsdbarlike heading (word boundaries).
+	if _, ok := binarySection(doc, "wsdbar"); ok {
+		t.Error("wsdbar matched the wsdbarlike heading")
+	}
+}
+
+func TestBinarySectionIgnoresFencedCode(t *testing.T) {
+	doc := strings.Join([]string{
+		"# guide",
+		"```sh",
+		"# wsdfoo feeds the pipeline — a shell comment, not a heading",
+		"```",
+		"## wsdfoo",
+		"real section `-a`",
+		"```sh",
+		"# another comment that must not end the section",
+		"```",
+		"still in section `-b`",
+		"## other",
+		"outside `-c`",
+	}, "\n")
+	section, ok := binarySection(doc, "wsdfoo")
+	if !ok {
+		t.Fatal("section not found")
+	}
+	if strings.Contains(section, "shell comment") {
+		t.Errorf("section started at a fenced comment:\n%s", section)
+	}
+	for _, want := range []string{"`-a`", "`-b`"} {
+		if !strings.Contains(section, want) {
+			t.Errorf("section missing %s (fence comment split it):\n%s", want, section)
+		}
+	}
+	if strings.Contains(section, "`-c`") {
+		t.Errorf("section leaked past the next real heading:\n%s", section)
+	}
+}
+
 // TestRepositoryIsClean runs the linter over the real repository: the gate CI
 // enforces, as a test, so `go test ./...` catches doc rot even without make.
 func TestRepositoryIsClean(t *testing.T) {
@@ -121,6 +256,9 @@ func TestRepositoryIsClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := lintMarkdownLinks(root, report); err != nil {
+		t.Fatal(err)
+	}
+	if err := lintFlagDocs(root, report); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range *problems {

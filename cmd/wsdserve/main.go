@@ -1,24 +1,29 @@
-// Command wsdserve runs the subgraph-count estimator as an HTTP service: a
+// Command wsdserve runs the subgraph-count estimator as an HTTP service — a
 // sharded WSD ensemble behind batch ingestion, estimate, and
-// checkpoint/restore endpoints.
+// checkpoint/restore endpoints — or, in coordinator mode, as the scatter/
+// gather front end over a fleet of such services.
 //
 // Usage:
 //
 //	wsdserve -addr :8080 -pattern triangle -m 100000 -shards 4
 //	wsdserve -pattern triangle,wedge,4clique   # multi-pattern: one stream, three counts
-//	wsdserve -checkpoint state.json   # load on start if present, save on SIGINT
+//	wsdserve -checkpoint state.json   # load on start if present, save on SIGTERM
+//	wsdserve -mode coordinator -workers host1:8080,host2:8080,host3:8080
 //
-// Endpoints:
+// Endpoints (both modes):
 //
 //	POST /ingest    stream events, text or binary (auto-detected)
 //	GET  /estimate  running estimate(s) as JSON; ?pattern=<name> for one
 //	GET  /snapshot  full counter state (save it anywhere)
 //	POST /restore   a previously fetched snapshot
-//	GET  /healthz   liveness
+//	GET  /healthz   readiness: pattern set and shape; worker quorum in coordinator mode
 //
 // Feed it with wsdgen, curl, or any client that speaks the stream formats:
 //
 //	wsdgen -model ba -n 100000 -format binary | curl --data-binary @- localhost:8080/ingest
+//
+// See docs/operations.md for the full operator guide: deployment topologies,
+// the checkpoint lifecycle, and degraded-mode semantics.
 package main
 
 import (
@@ -35,55 +40,94 @@ import (
 	wsd "repro"
 
 	"repro/internal/cli"
+	"repro/internal/cluster"
+	"repro/internal/combine"
 	"repro/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	mode := flag.String("mode", "single", "serving mode: single (one sharded counter in this process) or coordinator (scatter/gather over -workers)")
+	workers := flag.String("workers", "", "coordinator mode: comma-separated worker base URLs (host:port or http://host:port)")
+	quorum := flag.Int("quorum", 0, "coordinator mode: minimum workers required to serve a request (0 = majority)")
+	workerTimeout := flag.Duration("worker-timeout", 10*time.Second, "coordinator mode: per-worker request timeout")
 	pat := flag.String("pattern", "triangle", "pattern(s) to count: wedge, triangle, 4cycle, 4clique, 5clique; comma-separate for a multi-pattern deployment over one shared stream (first = primary)")
 	m := flag.Int("m", 100_000, "total reservoir budget (edges)")
 	shards := flag.Int("shards", 4, "ensemble width (counters fed every event)")
 	seed := flag.Int64("seed", 1, "sampler seed")
 	fullBudget := flag.Bool("full-budget", false, "give every shard the full budget m (uses shards x memory, 1/shards variance)")
-	mom := flag.Int("mom", 0, "median-of-means groups for the combined estimate (0 = plain mean)")
-	checkpoint := flag.String("checkpoint", "", "checkpoint file: restored on start if it exists, written on SIGINT/SIGTERM")
+	mom := flag.Int("mom", 0, "median-of-means groups for the combined estimate (0 = plain mean); in coordinator mode, groups over worker estimates")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: restored on start if it exists, written on SIGINT/SIGTERM (a cluster blob in coordinator mode)")
 	flag.Parse()
+	rejectModeMismatchedFlags(*mode)
 
-	kinds, err := cli.ParsePatterns(*pat)
-	if err != nil {
-		fatal(err)
-	}
-	opts := []wsd.Option{wsd.WithSeed(*seed)}
-	if *fullBudget {
-		opts = append(opts, wsd.WithFullBudgetShards())
-	}
-	if *mom > 0 {
-		opts = append(opts, wsd.WithMedianOfMeans(*mom))
-	}
-	cfg := serve.Config{Pattern: kinds[0], M: *m, Shards: *shards, Options: opts}
-	if len(kinds) > 1 {
-		cfg.Patterns = kinds
-	}
-	srv, err := serve.New(cfg)
-	if err != nil {
-		fatal(err)
+	var (
+		handler  http.Handler
+		snapshot func() ([]byte, error)
+		restore  func([]byte) error
+		closing  func()
+	)
+	switch *mode {
+	case "single":
+		kinds, err := cli.ParsePatterns(*pat)
+		if err != nil {
+			fatal(err)
+		}
+		opts := []wsd.Option{wsd.WithSeed(*seed)}
+		if *fullBudget {
+			opts = append(opts, wsd.WithFullBudgetShards())
+		}
+		if *mom > 0 {
+			opts = append(opts, wsd.WithMedianOfMeans(*mom))
+		}
+		cfg := serve.Config{Pattern: kinds[0], M: *m, Shards: *shards, Options: opts}
+		if len(kinds) > 1 {
+			cfg.Patterns = kinds
+		}
+		srv, err := serve.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		handler = srv.Handler()
+		snapshot = srv.Snapshot
+		restore = func(blob []byte) error { _, err := srv.Restore(blob); return err }
+		closing = func() { log.Printf("wsdserve: final estimate %.2f", srv.Close()) }
+		log.Printf("wsdserve: serving %v with %d shards, m=%d on %s", kinds, *shards, *m, *addr)
+	case "coordinator":
+		urls, err := cli.ParseWorkers(*workers)
+		if err != nil {
+			fatal(fmt.Errorf("-workers: %w", err))
+		}
+		ccfg := cluster.Config{Workers: urls, Quorum: *quorum, Timeout: *workerTimeout}
+		if *mom > 0 {
+			ccfg.Combiner = combine.MedianOfMeans(*mom)
+		}
+		coord, err := serve.NewCoordinator(serve.CoordinatorConfig{Cluster: ccfg})
+		if err != nil {
+			fatal(err)
+		}
+		handler = coord.Handler()
+		snapshot = coord.Cluster().Snapshot
+		restore = coord.Cluster().Restore
+		closing = func() {}
+		log.Printf("wsdserve: coordinating %d workers (quorum %d) on %s", coord.Cluster().Workers(), coord.Cluster().Quorum(), *addr)
+	default:
+		fatal(fmt.Errorf("unknown -mode %q (single, coordinator)", *mode))
 	}
 
 	if *checkpoint != "" {
 		if blob, err := os.ReadFile(*checkpoint); err == nil {
-			n, err := srv.Restore(blob)
-			if err != nil {
+			if err := restore(blob); err != nil {
 				fatal(fmt.Errorf("restore %s: %w", *checkpoint, err))
 			}
-			log.Printf("wsdserve: restored %d shards from %s", n, *checkpoint)
+			log.Printf("wsdserve: restored from %s", *checkpoint)
 		} else if !os.IsNotExist(err) {
 			fatal(err)
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
-		log.Printf("wsdserve: serving %v with %d shards, m=%d on %s", kinds, *shards, *m, *addr)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fatal(err)
 		}
@@ -97,7 +141,7 @@ func main() {
 	defer cancel()
 	httpSrv.Shutdown(ctx)
 	if *checkpoint != "" {
-		blob, err := srv.Snapshot()
+		blob, err := snapshot()
 		if err != nil {
 			fatal(err)
 		}
@@ -106,7 +150,27 @@ func main() {
 		}
 		log.Printf("wsdserve: checkpointed %d bytes to %s", len(blob), *checkpoint)
 	}
-	log.Printf("wsdserve: final estimate %.2f", srv.Close())
+	closing()
+}
+
+// rejectModeMismatchedFlags fails fast when a flag that the selected mode
+// ignores was explicitly set: an operator passing -pattern or -m to a
+// coordinator believes they configured the fleet, but only the workers'
+// flags govern — starting anyway would serve estimates for a deployment the
+// operator did not ask for. The mistake reads as a flag error instead.
+func rejectModeMismatchedFlags(mode string) {
+	ignored := map[string][]string{
+		"single":      {"workers", "quorum", "worker-timeout"},
+		"coordinator": {"pattern", "m", "shards", "seed", "full-budget"},
+	}[mode]
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, name := range ignored {
+		if set[name] {
+			fatal(fmt.Errorf("-%s does not apply to -mode %s (it configures the %s side); see docs/operations.md",
+				name, mode, map[string]string{"single": "coordinator", "coordinator": "worker"}[mode]))
+		}
+	}
 }
 
 func fatal(err error) {

@@ -16,9 +16,13 @@
 //	         goroutine behind a channel), shard4 (4-shard split-budget
 //	         ensemble, refcounted broadcast), binary-decode (wire-format
 //	         frames decoded into pooled batches feeding a pipeline),
-//	         multi3 (one 3-pattern MultiCounter over one shared sample) and
+//	         multi3 (one 3-pattern MultiCounter over one shared sample),
 //	         single3x (the same 3 patterns as 3 independent counters, the
-//	         baseline multi3 is measured against; dense-community only)
+//	         baseline multi3 is measured against; dense-community only), and
+//	         cluster3 (a coordinator broadcasting pooled batches over HTTP to
+//	         3 in-process httptest workers and gathering the combined
+//	         estimate — what the cluster layer pays end to end;
+//	         dense-community only)
 //
 // Everything is seeded: the streams, the samplers, and the trial protocol,
 // so two runs on the same machine measure the same computation and the only
@@ -31,17 +35,22 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http/httptest"
 	"runtime"
 	"sort"
 	"strings"
 	"time"
 
+	wsd "repro"
+
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/gen"
 	"repro/internal/metrics"
 	"repro/internal/pattern"
 	"repro/internal/pipeline"
+	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/stream"
 	"repro/internal/weights"
@@ -277,6 +286,63 @@ func ingests() []ingestSpec {
 				// counters[0] counts the stream's own pattern: the MRE column
 				// stays comparable with the core and multi3 cells.
 				return counters[0].Estimate(), nil
+			},
+		},
+		{
+			// The cluster layer end to end: a coordinator broadcasting pooled
+			// batches (re-encoded once into the wire format) over HTTP to
+			// three in-process single-shard workers at equal total budget,
+			// then gathering and combining their estimates. The cell gates
+			// the scatter/gather path's ingest throughput like every other
+			// cell — HTTP loopback included, since that is what a real
+			// deployment pays.
+			name:    "cluster3",
+			streams: []string{"dense-community"},
+			run: func(sp streamSpec, s stream.Stream, _ []byte, seed int64) (float64, error) {
+				budgets := shard.SplitBudget(sp.m, 3)
+				urls := make([]string, len(budgets))
+				var closers []func()
+				defer func() {
+					for _, c := range closers {
+						c()
+					}
+				}()
+				for i := range budgets {
+					srv, err := serve.New(serve.Config{
+						Pattern: sp.kind,
+						M:       budgets[i],
+						Shards:  1,
+						Options: []wsd.Option{wsd.WithSeed(seed + int64(i))},
+					})
+					if err != nil {
+						return 0, err
+					}
+					ts := httptest.NewServer(srv.Handler())
+					closers = append(closers, ts.Close, func() { srv.Close() })
+					urls[i] = ts.URL
+				}
+				coord, err := cluster.New(cluster.Config{Workers: urls})
+				if err != nil {
+					return 0, err
+				}
+				var pool stream.BatchPool
+				for lo := 0; lo < len(s); lo += batchSize {
+					b := pool.Get()
+					b.Events = append(b.Events, s[lo:min(lo+batchSize, len(s))]...)
+					if err := coord.SubmitPooled(b); err != nil {
+						return 0, err
+					}
+				}
+				// Snapshot quiesces every worker, so the gathered estimate
+				// reflects the whole stream.
+				if _, err := coord.Snapshot(); err != nil {
+					return 0, err
+				}
+				est, err := coord.Estimate()
+				if err != nil {
+					return 0, err
+				}
+				return est.Estimate, nil
 			},
 		},
 		{

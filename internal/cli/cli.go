@@ -59,6 +59,32 @@ func ParsePatterns(s string) ([]pattern.Kind, error) {
 	return kinds, nil
 }
 
+// ParseWorkers resolves a comma-separated worker address list (e.g.
+// "10.0.0.1:8080,10.0.0.2:8080") for a coordinator deployment. Entries are
+// trimmed, empties dropped, and duplicates rejected here so the mistake
+// reads as a flag error; scheme normalization (bare host:port gets http://)
+// happens in the cluster layer.
+func ParseWorkers(s string) ([]string, error) {
+	parts := strings.Split(s, ",")
+	workers := make([]string, 0, len(parts))
+	seen := make(map[string]bool, len(parts))
+	for _, part := range parts {
+		w := strings.TrimSpace(part)
+		if w == "" {
+			continue
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("worker %s listed twice", w)
+		}
+		seen[w] = true
+		workers = append(workers, w)
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("no worker addresses in %q", s)
+	}
+	return workers, nil
+}
+
 // ParseAlgo resolves a user-facing algorithm name.
 func ParseAlgo(s string) (experiment.Algo, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {

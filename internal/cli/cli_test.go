@@ -96,3 +96,28 @@ func TestParsePatterns(t *testing.T) {
 		}
 	}
 }
+
+func TestParseWorkers(t *testing.T) {
+	got, err := ParseWorkers(" host1:8080, http://host2:9090 ,host3:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"host1:8080", "http://host2:9090", "host3:8080"}
+	if len(got) != len(want) {
+		t.Fatalf("ParseWorkers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParseWorkers = %v, want %v", got, want)
+		}
+	}
+	for name, in := range map[string]string{
+		"empty":     "",
+		"commas":    ",,",
+		"duplicate": "a:1,b:2,a:1",
+	} {
+		if _, err := ParseWorkers(in); err == nil {
+			t.Errorf("%s (%q): accepted", name, in)
+		}
+	}
+}

@@ -1,0 +1,760 @@
+// Package cluster distributes the shard ensemble across worker nodes: a
+// coordinator that broadcasts event batches to N remote wsdserve workers —
+// each itself a sharded counter — and serves scatter/gather reads by
+// collecting the workers' estimates and combining them with the same
+// unit-tested math (internal/combine) the in-process ensemble uses.
+//
+// The statistical argument is the one internal/shard already relies on, and
+// it is indifferent to process boundaries: every worker ingests the complete
+// stream with independently seeded randomness, so each worker estimate is an
+// independent unbiased estimator of the same quantity. The mean of K worker
+// estimates preserves unbiasedness and divides the variance by K; the
+// median-of-means keeps sub-Gaussian concentration under the heavy right
+// tail of inverse-probability estimates. A coordinator over K single-shard
+// workers is therefore statistically interchangeable with one K-shard
+// process — the cluster layer buys horizontal memory and CPU, not a
+// different estimator.
+//
+// Consistency model. A worker is *consistent* while it has applied every
+// broadcast since the cluster's start (or its last successful cluster
+// restore). A worker that misses a broadcast — network error, crash, 5xx —
+// is marked inconsistent and excluded from ingest and reads: its counter no
+// longer summarizes the full stream, and an estimator over a prefix of the
+// stream is not an unbiased estimator of the present graph. Inconsistent
+// workers rejoin only through Restore, which resets every worker to one
+// cluster-wide snapshot. Reads additionally tolerate transient
+// unreachability: a consistent worker that fails one gather is skipped for
+// that read (and stays consistent — its state is intact). Every read reports
+// how many workers answered and whether the configured quorum was met, so a
+// degraded cluster serves, visibly, from the survivors.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	wsd "repro"
+
+	"repro/internal/combine"
+	"repro/internal/stream"
+)
+
+// Config describes the worker fleet a coordinator fronts.
+type Config struct {
+	// Workers are the worker base URLs ("http://host:port"; a bare
+	// "host:port" gets the http scheme). At least one is required.
+	Workers []string
+	// Combiner folds the worker estimates (default combine.Mean; use
+	// combine.MedianOfMeans for tail robustness).
+	Combiner combine.Func
+	// Quorum is the minimum number of workers that must answer for a read to
+	// be served; values < 1 default to a majority (workers/2 + 1). Ingest
+	// applies the same bar: a broadcast that lands on fewer than Quorum
+	// workers is reported as an error (the events that did land stay
+	// applied — single-pass streams cannot be unapplied).
+	Quorum int
+	// Timeout bounds each worker request (default 10s).
+	Timeout time.Duration
+	// Client overrides the HTTP client used for worker requests. When nil, a
+	// client with Timeout applied is built; when set, Timeout is ignored and
+	// the supplied client's own limits govern.
+	Client *http.Client
+}
+
+// ErrBadStream wraps a body every worker rejected as unparsable: a client
+// error, not a cluster failure. No worker applied any of it (workers
+// validate a whole body before applying), so the cluster stays consistent.
+var ErrBadStream = errors.New("cluster: stream body rejected by workers")
+
+// ErrNoQuorum is returned when fewer consistent workers than the configured
+// quorum are available to serve a request.
+var ErrNoQuorum = errors.New("cluster: below worker quorum")
+
+// ErrPartialRestore wraps a restore fan-out that failed after validation:
+// some workers swapped to the snapshot state while others kept theirs. The
+// failed workers are marked inconsistent; retry the restore to heal.
+var ErrPartialRestore = errors.New("cluster: restore incomplete")
+
+// workerRef is one worker endpoint plus its consistency flag.
+type workerRef struct {
+	url string
+	// inconsistent is set when the worker misses a broadcast; only a
+	// successful cluster Restore clears it.
+	inconsistent atomic.Bool
+}
+
+// Coordinator fans ingested batches out to every worker and gathers their
+// estimates into one combined read. Construct with New; the zero value is
+// not usable. Safe for concurrent use.
+type Coordinator struct {
+	workers []*workerRef
+	comb    combine.Func
+	quorum  int
+	client  *http.Client
+
+	// mu guards the ingest/read side against Restore the same way
+	// serve.Server does: requests hold the read lock, Restore the write
+	// lock, so a restore never interleaves with a broadcast.
+	mu sync.RWMutex
+
+	// bcastMu serializes broadcasts, the cross-process analogue of the shard
+	// ensemble holding its lock across the per-shard sends: without it, two
+	// concurrent ingests could land on different workers in different
+	// orders, and an insert/delete pair applied in opposite orders leaves
+	// workers summarizing different graphs while still marked consistent.
+	// Snapshot also takes it, so a cluster blob can never interleave with a
+	// broadcast and capture workers at different stream positions.
+	bcastMu sync.Mutex
+
+	// encMu serializes access to the reused binary-encode buffer on the
+	// programmatic submit path.
+	encMu  sync.Mutex
+	encBuf bytes.Buffer
+}
+
+// New validates the worker list and returns a coordinator. The workers are
+// not contacted: a coordinator can start before its fleet and report the gap
+// through Health.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: no workers configured")
+	}
+	seen := make(map[string]bool, len(cfg.Workers))
+	refs := make([]*workerRef, 0, len(cfg.Workers))
+	for _, w := range cfg.Workers {
+		u := NormalizeWorkerURL(w)
+		if u == "" {
+			return nil, fmt.Errorf("cluster: empty worker address in %v", cfg.Workers)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("cluster: worker %s listed twice", u)
+		}
+		seen[u] = true
+		refs = append(refs, &workerRef{url: u})
+	}
+	comb := cfg.Combiner
+	if comb == nil {
+		comb = combine.Mean
+	}
+	quorum := cfg.Quorum
+	if quorum < 1 {
+		quorum = len(refs)/2 + 1
+	}
+	if quorum > len(refs) {
+		return nil, fmt.Errorf("cluster: quorum %d exceeds the %d configured workers", quorum, len(refs))
+	}
+	client := cfg.Client
+	if client == nil {
+		timeout := cfg.Timeout
+		if timeout <= 0 {
+			timeout = 10 * time.Second
+		}
+		client = &http.Client{Timeout: timeout}
+	}
+	return &Coordinator{workers: refs, comb: comb, quorum: quorum, client: client}, nil
+}
+
+// NormalizeWorkerURL canonicalizes a worker address: trims whitespace and
+// trailing slashes (a leftover slash would turn every request path into
+// //ingest, which the worker mux redirects and breaks), and defaults the
+// scheme to http. Empty input returns "".
+func NormalizeWorkerURL(s string) string {
+	u := strings.TrimSpace(s)
+	u = strings.TrimRight(u, "/")
+	if u == "" {
+		return ""
+	}
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return u
+}
+
+// Workers returns the configured fleet size.
+func (c *Coordinator) Workers() int { return len(c.workers) }
+
+// Quorum returns the minimum worker count required to serve.
+func (c *Coordinator) Quorum() int { return c.quorum }
+
+// consistent returns the workers currently eligible for broadcast and
+// gather.
+func (c *Coordinator) consistent() []*workerRef {
+	out := make([]*workerRef, 0, len(c.workers))
+	for _, w := range c.workers {
+		if !w.inconsistent.Load() {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// fanout runs fn once per worker concurrently and returns the per-worker
+// errors (nil entries for successes), indexed like workers.
+func fanout(workers []*workerRef, fn func(i int, w *workerRef) error) []error {
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *workerRef) {
+			defer wg.Done()
+			errs[i] = fn(i, w)
+		}(i, w)
+	}
+	wg.Wait()
+	return errs
+}
+
+// statusError is a non-2xx worker reply; Client reports whether it was a
+// 4xx, i.e. the worker validated and rejected the request without applying
+// any of it.
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("status %d: %s", e.code, strings.TrimSpace(e.body))
+}
+
+func (e *statusError) client() bool { return e.code >= 400 && e.code < 500 }
+
+// post sends body to worker path and decodes a JSON reply into out (when
+// non-nil).
+func (c *Coordinator) post(w *workerRef, path string, body []byte, out any) error {
+	resp, err := c.client.Post(w.url+path, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &statusError{code: resp.StatusCode, body: string(raw)}
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("bad reply: %w", err)
+		}
+	}
+	return nil
+}
+
+// get fetches worker path and returns the raw body.
+func (c *Coordinator) get(w *workerRef, path string) ([]byte, error) {
+	resp, err := c.client.Get(w.url + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &statusError{code: resp.StatusCode, body: string(raw)}
+	}
+	return raw, nil
+}
+
+// IngestResult reports how a broadcast landed.
+type IngestResult struct {
+	// Accepted is the event count each applying worker reported.
+	Accepted int `json:"accepted"`
+	// Applied is how many workers applied the batch.
+	Applied int `json:"applied"`
+	// Workers is the configured fleet size.
+	Workers int `json:"workers"`
+}
+
+// IngestBytes broadcasts one request body — text or binary stream format, as
+// accepted by the workers' /ingest — to every consistent worker. The same
+// bytes go to every worker (no re-encode, no per-worker copy). Workers that
+// fail to apply are marked inconsistent and excluded until the next Restore.
+//
+// If every worker rejects the body as unparsable (4xx), no worker applied
+// any of it and the error wraps ErrBadStream: the cluster is intact and the
+// client should fix its stream. If fewer than the quorum applied, the error
+// wraps ErrNoQuorum.
+func (c *Coordinator) IngestBytes(raw []byte) (IngestResult, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.broadcast(raw)
+}
+
+// broadcast is IngestBytes under a held read lock, shared with the
+// programmatic submit path. It owns bcastMu for the whole fan-out, so every
+// worker applies batches in one global order and snapshots never tear.
+func (c *Coordinator) broadcast(raw []byte) (IngestResult, error) {
+	c.bcastMu.Lock()
+	defer c.bcastMu.Unlock()
+	res := IngestResult{Workers: len(c.workers)}
+	live := c.consistent()
+	if len(live) < c.quorum {
+		return res, fmt.Errorf("%w: %d consistent of %d (need %d)", ErrNoQuorum, len(live), len(c.workers), c.quorum)
+	}
+	accepted := make([]int, len(live))
+	errs := fanout(live, func(i int, w *workerRef) error {
+		var reply struct {
+			Accepted int `json:"accepted"`
+		}
+		if err := c.post(w, "/ingest", raw, &reply); err != nil {
+			return err
+		}
+		accepted[i] = reply.Accepted
+		return nil
+	})
+	var (
+		firstErr error
+		clientRejects,
+		applied int
+	)
+	for i, err := range errs {
+		if err == nil {
+			applied++
+			continue
+		}
+		var se *statusError
+		if errors.As(err, &se) && se.client() {
+			clientRejects++
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("worker %s: %w", live[i].url, err)
+		}
+	}
+	if applied == 0 && clientRejects > 0 {
+		// Nothing was applied anywhere and at least one worker validated
+		// the body whole and rejected it: the body is bad, not the fleet.
+		// Workers that did not respond cannot have applied it either — the
+		// same bytes fail the same validation (the fleet is uniform) — so
+		// nobody is marked inconsistent and the client gets its error back.
+		return res, fmt.Errorf("%w: %v", ErrBadStream, firstErr)
+	}
+	for i, err := range errs {
+		if err != nil {
+			// Some worker applied this batch (or the outcome is unknowable:
+			// every request failed in transit and a lost response may have
+			// followed an apply), so an errored worker's state no longer
+			// provably covers the stream.
+			live[i].inconsistent.Store(true)
+		} else if accepted[i] > res.Accepted {
+			res.Accepted = accepted[i]
+		}
+	}
+	res.Applied = applied
+	if applied < c.quorum {
+		return res, fmt.Errorf("%w: %d of %d workers applied (need %d): %v", ErrNoQuorum, applied, len(c.workers), c.quorum, firstErr)
+	}
+	return res, nil
+}
+
+// SubmitBatch encodes one event batch in the binary wire format and
+// broadcasts it, the programmatic equivalent of POSTing to every worker. The
+// encode buffer is reused across calls, so steady-state submission allocates
+// only what the HTTP client needs.
+func (c *Coordinator) SubmitBatch(evs []stream.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	c.encBuf.Reset()
+	bw, err := stream.NewBinaryWriter(&c.encBuf)
+	if err != nil {
+		return err
+	}
+	if err := bw.WriteBatch(evs); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	_, err = c.broadcast(c.encBuf.Bytes())
+	return err
+}
+
+// SubmitPooled broadcasts a pooled batch (the PR 3 zero-copy ingest
+// currency) and releases it: the batch's events are encoded once into the
+// coordinator's reused wire buffer and the same bytes go to every worker.
+func (c *Coordinator) SubmitPooled(b *stream.Batch) error {
+	err := c.SubmitBatch(b.Events)
+	b.Release()
+	return err
+}
+
+// Estimate is a combined scatter/gather read over the worker fleet.
+type Estimate struct {
+	// Estimate is the combined primary-pattern estimate.
+	Estimate float64 `json:"estimate"`
+	// Estimates maps every served pattern to its combined estimate.
+	Estimates map[string]float64 `json:"estimates"`
+	// Patterns is the served pattern set in estimator order.
+	Patterns []string `json:"patterns"`
+	// WorkerEstimates is each gathered worker's primary estimate, in fleet
+	// order of the workers that answered — the spread is an empirical
+	// variance check, exactly like the single-process /estimate "shards"
+	// field.
+	WorkerEstimates []float64 `json:"worker_estimates"`
+	// Processed is the minimum processed-event count across the gathered
+	// workers.
+	Processed int64 `json:"processed"`
+	// Workers is the configured fleet size; Gathered is how many answered
+	// this read.
+	Workers  int `json:"workers"`
+	Gathered int `json:"gathered"`
+	// Quorum is the configured read quorum; Degraded is true when any
+	// configured worker did not contribute.
+	Quorum   int  `json:"quorum"`
+	Degraded bool `json:"degraded"`
+}
+
+// workerEstimate is the slice of a worker's /estimate reply the gather
+// needs.
+type workerEstimate struct {
+	Estimate  float64            `json:"estimate"`
+	Estimates map[string]float64 `json:"estimates"`
+	Patterns  []string           `json:"patterns"`
+	Processed int64              `json:"processed"`
+}
+
+// Estimate gathers every consistent worker's estimates and combines them per
+// pattern with the coordinator's combiner. Consistent workers that fail the
+// gather are skipped (and stay consistent — reads do not mutate state); the
+// reply reports how many answered. Fewer answers than the quorum is an
+// ErrNoQuorum error. Workers serving different pattern sets (or different
+// estimate-vector widths) are a deployment error and fail the read.
+func (c *Coordinator) Estimate() (*Estimate, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	live := c.consistent()
+	replies := make([]*workerEstimate, len(live))
+	fanout(live, func(i int, w *workerRef) error {
+		raw, err := c.get(w, "/estimate")
+		if err != nil {
+			return err
+		}
+		var we workerEstimate
+		if err := json.Unmarshal(raw, &we); err != nil {
+			return err
+		}
+		replies[i] = &we
+		return nil
+	})
+	var gathered []*workerEstimate
+	for _, r := range replies {
+		if r != nil {
+			gathered = append(gathered, r)
+		}
+	}
+	out := &Estimate{
+		Workers:  len(c.workers),
+		Gathered: len(gathered),
+		Quorum:   c.quorum,
+		Degraded: len(gathered) < len(c.workers),
+	}
+	if len(gathered) < c.quorum {
+		return out, fmt.Errorf("%w: gathered %d of %d workers (need %d)", ErrNoQuorum, len(gathered), len(c.workers), c.quorum)
+	}
+	patterns := gathered[0].Patterns
+	if len(patterns) == 0 {
+		// A reply with no pattern list would combine into a width-0 vector;
+		// the endpoint is answering JSON but is not a (current) wsdserve
+		// worker — a deployment error, reported instead of served.
+		return out, fmt.Errorf("cluster: worker reply carries no pattern estimates; is every -workers entry a wsdserve worker?")
+	}
+	vectors := make([][]float64, len(gathered))
+	out.Processed = gathered[0].Processed
+	for i, g := range gathered {
+		if !slices.Equal(g.Patterns, patterns) {
+			return out, fmt.Errorf("cluster: workers serve different pattern sets (%v vs %v); the fleet must be configured uniformly", patterns, g.Patterns)
+		}
+		vec := make([]float64, 0, len(patterns))
+		for _, p := range patterns {
+			v, ok := g.Estimates[p]
+			if !ok {
+				return out, fmt.Errorf("cluster: worker reply missing estimate for pattern %s", p)
+			}
+			vec = append(vec, v)
+		}
+		vectors[i] = vec
+		out.WorkerEstimates = append(out.WorkerEstimates, g.Estimate)
+		if g.Processed < out.Processed {
+			out.Processed = g.Processed
+		}
+	}
+	combined, err := combine.Vectors(vectors, c.comb)
+	if err != nil {
+		return out, fmt.Errorf("cluster: %w", err)
+	}
+	out.Patterns = patterns
+	out.Estimate = combined[0]
+	out.Estimates = make(map[string]float64, len(patterns))
+	for i, p := range patterns {
+		out.Estimates[p] = combined[i]
+	}
+	return out, nil
+}
+
+// Snapshot is the serialized state of the whole cluster: one worker ensemble
+// snapshot per worker, in fleet order. ClusterVersion guards the format; the
+// field name is distinct from the per-process snapshots' "version" so the
+// facade and the workers can recognize (and refuse) a cluster blob handed to
+// a single-process restore.
+type Snapshot struct {
+	ClusterVersion int               `json:"cluster_version"`
+	Workers        []json.RawMessage `json:"workers"`
+}
+
+// snapshotVersion guards the cluster snapshot wire format.
+const snapshotVersion = 1
+
+// Snapshot fans GET /snapshot out to the whole fleet and returns one
+// versioned cluster blob. Every configured worker must contribute: a
+// snapshot missing a worker could not restore the full cluster, so a
+// degraded fleet cannot be checkpointed (restore it first). Each worker blob
+// is validated (reusing the facade's snapshot inspection, core
+// validation included) and the fleet must be uniform — same pattern set and
+// shard shape on every worker.
+func (c *Coordinator) Snapshot() ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	// Excluding broadcasts while the snapshot fans out is what makes the
+	// blob a single stream position: every completed broadcast is on every
+	// worker, and none is mid-flight on some workers only. Reads stay
+	// concurrent (they take neither lock exclusively).
+	c.bcastMu.Lock()
+	defer c.bcastMu.Unlock()
+	if live := c.consistent(); len(live) < len(c.workers) {
+		return nil, fmt.Errorf("cluster: %d of %d workers are inconsistent; a cluster snapshot needs the whole fleet (restore it first)", len(c.workers)-len(live), len(c.workers))
+	}
+	snap := Snapshot{ClusterVersion: snapshotVersion, Workers: make([]json.RawMessage, len(c.workers))}
+	errs := fanout(c.workers, func(i int, w *workerRef) error {
+		raw, err := c.get(w, "/snapshot")
+		if err != nil {
+			return err
+		}
+		snap.Workers[i] = raw
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: snapshot worker %s: %w", c.workers[i].url, err)
+		}
+	}
+	if _, err := validateWorkerBlobs(snap.Workers); err != nil {
+		return nil, err
+	}
+	return json.Marshal(snap)
+}
+
+// validateWorkerBlobs inspects every worker ensemble blob (which runs the
+// core snapshot validation on each shard) and checks fleet uniformity,
+// returning the per-worker infos.
+func validateWorkerBlobs(blobs []json.RawMessage) ([]wsd.ShardedSnapshotInfo, error) {
+	infos := make([]wsd.ShardedSnapshotInfo, len(blobs))
+	for i, raw := range blobs {
+		info, err := wsd.InspectShardedSnapshot(raw)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d snapshot: %w", i, err)
+		}
+		infos[i] = info
+		if i == 0 {
+			continue
+		}
+		if info.Pattern != infos[0].Pattern || !slices.Equal(info.Patterns, infos[0].Patterns) {
+			return nil, fmt.Errorf("cluster: worker %d counts a different pattern set than worker 0; the fleet must be uniform", i)
+		}
+		if info.Shards != infos[0].Shards {
+			return nil, fmt.Errorf("cluster: worker %d holds %d shards, worker 0 holds %d; the fleet must be uniform", i, info.Shards, infos[0].Shards)
+		}
+	}
+	return infos, nil
+}
+
+// DecodeSnapshot parses and validates a cluster Snapshot blob — version,
+// per-worker ensemble decode (core validation included), and fleet
+// uniformity — without contacting any worker.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("cluster: decode snapshot: %w", err)
+	}
+	if snap.ClusterVersion != snapshotVersion {
+		// The mirror image of the facade's cluster-blob refusal: a
+		// single-process ensemble blob has no cluster_version, so point the
+		// operator at the right endpoint instead of reporting "version 0".
+		var ensembleProbe struct {
+			Version int               `json:"version"`
+			Shards  []json.RawMessage `json:"shards"`
+		}
+		if snap.ClusterVersion == 0 && json.Unmarshal(data, &ensembleProbe) == nil && len(ensembleProbe.Shards) > 0 {
+			return nil, fmt.Errorf("cluster: blob is a single-process ensemble snapshot (%d shards); POST it to one worker's /restore, not the coordinator's", len(ensembleProbe.Shards))
+		}
+		return nil, fmt.Errorf("cluster: snapshot version %d unsupported (want %d)", snap.ClusterVersion, snapshotVersion)
+	}
+	if len(snap.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: snapshot holds no workers")
+	}
+	if _, err := validateWorkerBlobs(snap.Workers); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// IsClusterSnapshot reports whether data looks like a cluster Snapshot blob
+// (as opposed to a single-process ensemble or counter snapshot) without
+// fully validating it.
+func IsClusterSnapshot(data []byte) bool {
+	var probe struct {
+		ClusterVersion int `json:"cluster_version"`
+	}
+	return json.Unmarshal(data, &probe) == nil && probe.ClusterVersion > 0
+}
+
+// Restore fans a cluster snapshot back out: worker i receives blob i on
+// POST /restore. The blob must hold exactly one ensemble per configured
+// worker; each worker re-validates its blob against its own configuration
+// (pattern set, shard count, budget), so a mismatched deployment refuses the
+// restore before any state is swapped on it. On success every worker is
+// marked consistent again — Restore is how a degraded fleet heals. If any
+// worker fails, the workers that did restore have swapped state while the
+// failed ones kept theirs, so the error marks the failures inconsistent and
+// the cluster stays degraded until a retry succeeds.
+func (c *Coordinator) Restore(blob []byte) error {
+	snap, err := DecodeSnapshot(blob)
+	if err != nil {
+		return err
+	}
+	if len(snap.Workers) != len(c.workers) {
+		return fmt.Errorf("cluster: snapshot holds %d workers, coordinator is configured for %d", len(snap.Workers), len(c.workers))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	errs := fanout(c.workers, func(i int, w *workerRef) error {
+		return c.post(w, "/restore", snap.Workers[i], nil)
+	})
+	var firstErr error
+	for i, err := range errs {
+		if err != nil {
+			c.workers[i].inconsistent.Store(true)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: worker %s: %v", ErrPartialRestore, c.workers[i].url, err)
+			}
+		} else {
+			c.workers[i].inconsistent.Store(false)
+		}
+	}
+	return firstErr
+}
+
+// WorkerHealth is one worker's slice of a cluster health probe.
+type WorkerHealth struct {
+	URL string `json:"url"`
+	// Consistent is false once the worker has missed a broadcast (it needs
+	// a cluster restore to rejoin).
+	Consistent bool `json:"consistent"`
+	// Reachable is whether the worker answered this probe.
+	Reachable bool   `json:"reachable"`
+	Error     string `json:"error,omitempty"`
+}
+
+// Health is the coordinator's readiness report: the fleet roster with
+// per-worker consistency and reachability, and whether enough workers are
+// serving to meet the read quorum.
+type Health struct {
+	// Status is "ok" (full fleet serving), "degraded" (some workers out but
+	// quorum holds), or "unavailable" (below quorum).
+	Status string `json:"status"`
+	// Workers is the configured fleet size; Serving counts workers that are
+	// both consistent and currently reachable.
+	Workers int `json:"workers"`
+	Serving int `json:"serving"`
+	// Quorum is the configured read quorum; HasQuorum is Serving >= Quorum.
+	Quorum    int  `json:"quorum"`
+	HasQuorum bool `json:"has_quorum"`
+	// Patterns and Shards describe the deployment as reported by the first
+	// serving worker's /healthz (empty/zero when nothing is reachable).
+	Patterns []string `json:"patterns,omitempty"`
+	Shards   int      `json:"shards,omitempty"`
+	// WorkersDetail lists every configured worker.
+	WorkersDetail []WorkerHealth `json:"workers_detail"`
+}
+
+// Health probes every worker's /healthz concurrently and reports fleet
+// readiness. Probing never mutates consistency: a worker that misses a probe
+// is reported unreachable but keeps its state. Health deliberately takes no
+// coordinator lock — it reads only immutable config and per-worker atomics —
+// so orchestrator liveness probes keep answering even while a long Restore
+// holds the write lock.
+func (c *Coordinator) Health() Health {
+	h := Health{Workers: len(c.workers), Quorum: c.quorum}
+	h.WorkersDetail = make([]WorkerHealth, len(c.workers))
+	type workerHealthz struct {
+		Patterns []string `json:"patterns"`
+		Shards   int      `json:"shards"`
+	}
+	probes := make([]*workerHealthz, len(c.workers))
+	fanout(c.workers, func(i int, w *workerRef) error {
+		wh := WorkerHealth{URL: w.url, Consistent: !w.inconsistent.Load()}
+		raw, err := c.get(w, "/healthz")
+		if err != nil {
+			wh.Error = err.Error()
+		} else {
+			wh.Reachable = true
+			var probe workerHealthz
+			if json.Unmarshal(raw, &probe) == nil {
+				probes[i] = &probe
+			}
+		}
+		h.WorkersDetail[i] = wh
+		return nil
+	})
+	uniform := true
+	var ref *workerHealthz
+	for i := range h.WorkersDetail {
+		wh := &h.WorkersDetail[i]
+		if !wh.Consistent || !wh.Reachable {
+			continue
+		}
+		h.Serving++
+		probe := probes[i]
+		if probe == nil {
+			continue
+		}
+		if ref == nil {
+			ref = probe
+			h.Patterns = probe.Patterns
+			h.Shards = probe.Shards
+			continue
+		}
+		// A worker counting a different pattern set (or shard shape) than
+		// the rest of the fleet cannot contribute to the ensemble; readiness
+		// must not show green on a fleet whose reads will all fail.
+		if !slices.Equal(probe.Patterns, ref.Patterns) || probe.Shards != ref.Shards {
+			uniform = false
+			wh.Error = fmt.Sprintf("worker configuration differs from the fleet: patterns %v / %d shards vs %v / %d shards", probe.Patterns, probe.Shards, ref.Patterns, ref.Shards)
+		}
+	}
+	h.HasQuorum = h.Serving >= c.quorum
+	switch {
+	case !h.HasQuorum:
+		h.Status = "unavailable"
+	case h.Serving < h.Workers || !uniform:
+		h.Status = "degraded"
+	default:
+		h.Status = "ok"
+	}
+	return h
+}

@@ -1,0 +1,95 @@
+// Package combine holds the estimate-combining math shared by every ensemble
+// in the repository: the in-process shard ensemble (internal/shard) and the
+// cross-process cluster coordinator (internal/cluster) fold K independent
+// estimates of the same quantity into one with exactly the same, unit-tested
+// functions, so the statistical argument — each member is an unbiased
+// estimator of the same stream, the mean preserves unbiasedness and divides
+// the variance by K, the median-of-means trades a little variance for
+// robustness against the heavy right tail of inverse-probability estimates —
+// holds identically whether the members live in one process or on N nodes.
+package combine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Func folds K member estimates into the ensemble estimate. It is called with
+// a scratch slice owned by the caller; implementations may reorder it but
+// must not retain it.
+type Func func(estimates []float64) float64
+
+// Mean is the default combiner: the arithmetic mean of the member estimates.
+// It preserves unbiasedness exactly (linearity of expectation).
+func Mean(estimates []float64) float64 {
+	if len(estimates) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range estimates {
+		sum += e
+	}
+	return sum / float64(len(estimates))
+}
+
+// MedianOfMeans returns a combiner that partitions the member estimates into
+// the given number of contiguous groups, averages within each group, and
+// takes the median of the group means. groups <= 1 degenerates to Mean;
+// groups >= K is the plain median. Median-of-means keeps sub-Gaussian
+// concentration even when the per-member estimates are heavy-tailed, which
+// inverse-probability estimators are.
+func MedianOfMeans(groups int) Func {
+	return func(estimates []float64) float64 {
+		k := len(estimates)
+		if k == 0 {
+			return 0
+		}
+		g := groups
+		if g < 1 {
+			g = 1
+		}
+		if g > k {
+			g = k
+		}
+		if g == 1 {
+			return Mean(estimates)
+		}
+		means := make([]float64, 0, g)
+		for i := 0; i < g; i++ {
+			lo, hi := i*k/g, (i+1)*k/g
+			means = append(means, Mean(estimates[lo:hi]))
+		}
+		sort.Float64s(means)
+		if len(means)%2 == 1 {
+			return means[len(means)/2]
+		}
+		return (means[len(means)/2-1] + means[len(means)/2]) / 2
+	}
+}
+
+// Vectors combines K member estimate vectors index by index: out[i] =
+// fn(members[0][i], ..., members[K-1][i]). Every member must publish the same
+// number of estimates — a width mismatch means the members are not counting
+// the same pattern set, and combining across it would silently mix unrelated
+// quantities, so it is rejected instead. An empty member set yields an error
+// for the same reason: there is nothing to estimate from.
+func Vectors(members [][]float64, fn Func) ([]float64, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("combine: no member estimates")
+	}
+	width := len(members[0])
+	for i, m := range members[1:] {
+		if len(m) != width {
+			return nil, fmt.Errorf("combine: member %d publishes %d estimates, member 0 publishes %d; every member must count the same patterns", i+1, len(m), width)
+		}
+	}
+	out := make([]float64, width)
+	scratch := make([]float64, len(members))
+	for i := range out {
+		for j, m := range members {
+			scratch[j] = m[i]
+		}
+		out[i] = fn(scratch)
+	}
+	return out, nil
+}

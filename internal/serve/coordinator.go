@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	wsd "repro"
+
+	"repro/internal/cli"
+	"repro/internal/cluster"
+)
+
+// CoordinatorConfig describes the worker fleet a coordinator front end
+// serves.
+type CoordinatorConfig struct {
+	// Cluster configures the fleet: worker URLs, combiner, quorum, timeouts.
+	Cluster cluster.Config
+	// MaxBodyBytes caps request bodies; 0 means 64 MiB.
+	MaxBodyBytes int64
+}
+
+// Coordinator is the HTTP front end over a worker fleet: the same endpoint
+// set as the single-node Server, with ingest broadcast to every worker,
+// estimates gathered and combined, checkpointing fanned out into one cluster
+// blob, and /healthz reporting fleet quorum. Construct with NewCoordinator.
+type Coordinator struct {
+	cfg   CoordinatorConfig
+	coord *cluster.Coordinator
+}
+
+// NewCoordinator validates the fleet configuration and returns a ready
+// coordinator front end. The workers are not contacted; /healthz reports the
+// gap until they come up.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	coord, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{cfg: cfg, coord: coord}, nil
+}
+
+// Cluster exposes the underlying coordinator (the serving front end adds
+// only wire parsing), so a main can snapshot on shutdown or probe health
+// directly.
+func (c *Coordinator) Cluster() *cluster.Coordinator { return c.coord }
+
+// Handler returns the HTTP handler: the Server endpoint set in cluster mode.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", c.handleIngest)
+	mux.HandleFunc("GET /estimate", c.handleEstimate)
+	mux.HandleFunc("GET /snapshot", c.handleSnapshot)
+	mux.HandleFunc("POST /restore", c.handleRestore)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	return mux
+}
+
+// readBody reads a whole capped request body, writing the HTTP error itself
+// when reading fails.
+func (c *Coordinator) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		if isBodyTooLarge(err) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return nil, false
+	}
+	return raw, true
+}
+
+func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
+	raw, ok := c.readBody(w, r)
+	if !ok {
+		return
+	}
+	res, err := c.coord.IngestBytes(raw)
+	if err != nil {
+		switch {
+		case errors.Is(err, cluster.ErrBadStream):
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		case errors.Is(err, cluster.ErrNoQuorum):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusBadGateway)
+		}
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (c *Coordinator) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	// Parse ?pattern= before touching the fleet: a malformed name is a 400
+	// that must not cost N worker round trips per request. (Whether a valid
+	// name is actually served is only known after the gather.)
+	var queried *wsd.Pattern
+	if name := r.URL.Query().Get("pattern"); name != "" {
+		// Same resolution as the single-node endpoint: the query value goes
+		// through the flag parser, so alias spellings work, and unknown or
+		// unserved names are client errors.
+		k, err := cli.ParsePattern(name)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("serve: %v", err), http.StatusBadRequest)
+			return
+		}
+		queried = &k
+	}
+	est, err := c.coord.Estimate()
+	if err != nil {
+		if errors.Is(err, cluster.ErrNoQuorum) {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+		}
+		return
+	}
+	if queried != nil {
+		k := *queried
+		v, ok := est.Estimates[k.String()]
+		if !ok {
+			http.Error(w, fmt.Sprintf("serve: pattern %q is not served (served: %s)", k, est.Patterns), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"pattern":   k.String(),
+			"estimate":  v,
+			"processed": est.Processed,
+			"workers":   est.Workers,
+			"gathered":  est.Gathered,
+			"quorum":    est.Quorum,
+			"degraded":  est.Degraded,
+		})
+		return
+	}
+	writeJSON(w, est)
+}
+
+func (c *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	blob, err := c.coord.Snapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(blob)
+}
+
+func (c *Coordinator) handleRestore(w http.ResponseWriter, r *http.Request) {
+	raw, ok := c.readBody(w, r)
+	if !ok {
+		return
+	}
+	if err := c.coord.Restore(raw); err != nil {
+		// Validation failures (bad blob, wrong fleet shape) reject before any
+		// worker is touched — a client error. A partial fan-out means some
+		// workers swapped state and some did not: a gateway error the
+		// operator retries until the fleet heals.
+		if errors.Is(err, cluster.ErrPartialRestore) {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	writeJSON(w, map[string]any{"restored": true, "workers": c.coord.Workers()})
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := c.coord.Health()
+	if !h.HasQuorum {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		writeJSON(w, h)
+		return
+	}
+	writeJSON(w, h)
+}

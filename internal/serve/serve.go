@@ -16,7 +16,11 @@
 //	GET  /estimate?pattern=<name>  one served pattern (else 400)     -> {"pattern": ..., "estimate": ...}
 //	GET  /snapshot  full ensemble state                              -> application/json blob
 //	POST /restore   body: a /snapshot blob                           -> {"restored": true, "shards": k}
-//	GET  /healthz                                                    -> ok
+//	GET  /healthz   readiness                                        -> {"status": "ok", "patterns": [...], "shards": k, "m": ..., "processed": n}
+//
+// NewCoordinator serves the same endpoint set in cluster mode: ingest fans
+// out to a fleet of worker deployments, estimates are gathered and combined,
+// and /healthz reports fleet quorum; see internal/cluster.
 package serve
 
 import (
@@ -171,10 +175,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /estimate", s.handleEstimate)
 	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /restore", s.handleRestore)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz reports real readiness, not a bare ok: what the deployment
+// counts (pattern set), its ensemble shape (shard count, total budget), and
+// how far it has read the stream. Coordinators probe this to build their
+// fleet health report, and an operator can diff it against the intended
+// deployment after a restart or restore.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, map[string]any{
+		"status":    "ok",
+		"pattern":   s.patterns[0].String(),
+		"patterns":  s.patternNames(),
+		"shards":    s.ens.Shards(),
+		"m":         s.cfg.M,
+		"processed": s.ens.Processed(),
+	})
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {

@@ -252,8 +252,20 @@ func TestBadRequests(t *testing.T) {
 			t.Errorf("%s: status %d, want an error", name, resp.StatusCode)
 		}
 	}
-	if got := string(get(t, ts.URL+"/healthz")); got != "ok\n" {
-		t.Errorf("healthz: %q", got)
+	var health struct {
+		Status   string   `json:"status"`
+		Patterns []string `json:"patterns"`
+		Shards   int      `json:"shards"`
+		M        int      `json:"m"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL+"/healthz"), &health); err != nil {
+		t.Fatalf("healthz is not JSON: %v", err)
+	}
+	if health.Status != "ok" || health.Shards != 3 || health.M != 600 {
+		t.Errorf("healthz = %+v, want status ok, 3 shards, m=600", health)
+	}
+	if len(health.Patterns) != 1 || health.Patterns[0] != "triangle" {
+		t.Errorf("healthz patterns = %v, want [triangle]", health.Patterns)
 	}
 }
 

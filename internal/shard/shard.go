@@ -30,10 +30,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/combine"
 	"repro/internal/stream"
 )
 
@@ -77,58 +77,20 @@ type VectorCounter interface {
 // Close.
 var ErrClosed = errors.New("shard: ensemble closed")
 
-// Combiner folds the K shard estimates into the ensemble estimate. It is
-// called with a scratch slice owned by the caller; implementations may
-// reorder it but must not retain it.
-type Combiner func(estimates []float64) float64
+// Combiner folds the K shard estimates into the ensemble estimate. It is an
+// alias of combine.Func: the in-process ensemble and the cross-process
+// cluster coordinator (internal/cluster) share the exact combining math.
+type Combiner = combine.Func
 
-// Mean is the default combiner: the arithmetic mean of the shard estimates.
-// It preserves unbiasedness exactly (linearity of expectation).
-func Mean(estimates []float64) float64 {
-	if len(estimates) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, e := range estimates {
-		sum += e
-	}
-	return sum / float64(len(estimates))
-}
+// Mean is the default combiner: the arithmetic mean of the shard estimates
+// (combine.Mean). It preserves unbiasedness exactly.
+func Mean(estimates []float64) float64 { return combine.Mean(estimates) }
 
-// MedianOfMeans returns a combiner that partitions the shard estimates into
-// the given number of contiguous groups, averages within each group, and
-// takes the median of the group means. groups <= 1 degenerates to Mean;
-// groups >= K is the plain median. Median-of-means keeps sub-Gaussian
-// concentration even when the per-shard estimates are heavy-tailed, which
-// inverse-probability estimators are.
-func MedianOfMeans(groups int) Combiner {
-	return func(estimates []float64) float64 {
-		k := len(estimates)
-		if k == 0 {
-			return 0
-		}
-		g := groups
-		if g < 1 {
-			g = 1
-		}
-		if g > k {
-			g = k
-		}
-		if g == 1 {
-			return Mean(estimates)
-		}
-		means := make([]float64, 0, g)
-		for i := 0; i < g; i++ {
-			lo, hi := i*k/g, (i+1)*k/g
-			means = append(means, Mean(estimates[lo:hi]))
-		}
-		sort.Float64s(means)
-		if len(means)%2 == 1 {
-			return means[len(means)/2]
-		}
-		return (means[len(means)/2-1] + means[len(means)/2]) / 2
-	}
-}
+// MedianOfMeans returns a combiner (combine.MedianOfMeans) that partitions
+// the shard estimates into the given number of contiguous groups, averages
+// within each group, and takes the median of the group means — robust to the
+// heavy right tail of inverse-probability estimates.
+func MedianOfMeans(groups int) Combiner { return combine.MedianOfMeans(groups) }
 
 // SplitBudget divides a total reservoir budget across shards as evenly as
 // possible: each shard gets total/shards edges and the first total%shards

@@ -23,6 +23,7 @@
 package wsd
 
 import (
+	"encoding/json"
 	"fmt"
 	"slices"
 
@@ -456,10 +457,21 @@ type ShardedSnapshotInfo struct {
 
 // decodeShardedSnapshot decodes an ensemble blob into per-shard core
 // snapshots plus the summary info, shared by InspectShardedSnapshot and the
-// restore path so validation never forces a second full decode.
+// restore path so validation never forces a second full decode. Cluster
+// snapshots (internal/cluster: one ensemble blob per worker node) are
+// recognized and refused with a pointed error — the restore dispatch
+// otherwise reads their version field as 0 and the mistake would surface as
+// a confusing version error. The probe only runs after the ensemble decode
+// has already failed, so valid restores never pay a second parse.
 func decodeShardedSnapshot(data []byte) ([]*core.Snapshot, ShardedSnapshotInfo, error) {
 	snap, err := shard.DecodeEnsembleSnapshot(data)
 	if err != nil {
+		var clusterProbe struct {
+			ClusterVersion int `json:"cluster_version"`
+		}
+		if json.Unmarshal(data, &clusterProbe) == nil && clusterProbe.ClusterVersion > 0 {
+			return nil, ShardedSnapshotInfo{}, fmt.Errorf("wsd: blob is a cluster snapshot (cluster_version %d) spanning several worker processes; restore it through a coordinator's /restore, not a single-process ensemble", clusterProbe.ClusterVersion)
+		}
 		return nil, ShardedSnapshotInfo{}, err
 	}
 	cores := make([]*core.Snapshot, len(snap.Shards))
