@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check race docs-check cluster-smoke bench bench-tables bench-suite bench-compare
+.PHONY: build test vet fmt check race docs-check cluster-smoke wal-smoke bench bench-tables bench-suite bench-compare
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,16 @@ docs-check: fmt vet
 cluster-smoke:
 	$(GO) test -race -run 'Cluster|Coordinator|Degraded' ./internal/cluster/ ./internal/serve/
 	$(GO) test -race ./internal/combine/
+
+# The durability layer under the race detector: the write-ahead log's unit,
+# property, and alloc guards, plus the fault-injection suite (worker killed
+# mid-stream and restarted empty must rejoin bit-identically via log replay;
+# coordinator crash over a torn frame must recover), then a short fuzz pass
+# over segment recovery.
+wal-smoke:
+	$(GO) test -race ./internal/wal/
+	$(GO) test -race -run 'WAL|CatchUp|Torn|Retention|Lagging|LogMode|RestoreSeeds' ./internal/cluster/ ./internal/serve/
+	$(GO) test -run xxx -fuzz FuzzWALSegmentDecode -fuzztime 30s ./internal/wal/
 
 # Ingestion throughput: single-goroutine pipeline vs sharded ensemble.
 bench:

@@ -43,6 +43,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/combine"
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -58,6 +59,8 @@ func main() {
 	fullBudget := flag.Bool("full-budget", false, "give every shard the full budget m (uses shards x memory, 1/shards variance)")
 	mom := flag.Int("mom", 0, "median-of-means groups for the combined estimate (0 = plain mean); in coordinator mode, groups over worker estimates")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: restored on start if it exists, written on SIGINT/SIGTERM (a cluster blob in coordinator mode)")
+	walDir := flag.String("wal-dir", "", "coordinator mode: write-ahead log directory; every broadcast is logged before fan-out and lagging workers are healed by replay (empty = no log)")
+	walSegmentBytes := flag.Int64("wal-segment-bytes", 64<<20, "coordinator mode: write-ahead log segment rotation size in bytes")
 	flag.Parse()
 	rejectModeMismatchedFlags(*mode)
 
@@ -66,6 +69,7 @@ func main() {
 		snapshot func() ([]byte, error)
 		restore  func([]byte) error
 		closing  func()
+		booted   func()
 	)
 	switch *mode {
 	case "single":
@@ -102,6 +106,16 @@ func main() {
 		if *mom > 0 {
 			ccfg.Combiner = combine.MedianOfMeans(*mom)
 		}
+		var walLog *wal.Log
+		if *walDir != "" {
+			walLog, err = wal.Open(*walDir, wal.Options{SegmentBytes: *walSegmentBytes})
+			if err != nil {
+				fatal(err)
+			}
+			ccfg.Log = walLog
+			log.Printf("wsdserve: write-ahead log %s at position %d (%d events, %d segments)",
+				*walDir, walLog.End(), walLog.Events(), walLog.Segments())
+		}
 		coord, err := serve.NewCoordinator(serve.CoordinatorConfig{Cluster: ccfg})
 		if err != nil {
 			fatal(err)
@@ -109,7 +123,27 @@ func main() {
 		handler = coord.Handler()
 		snapshot = coord.Cluster().Snapshot
 		restore = coord.Cluster().Restore
-		closing = func() {}
+		closing = func() {
+			if walLog != nil {
+				if err := walLog.Close(); err != nil {
+					log.Printf("wsdserve: close write-ahead log: %v", err)
+				}
+			}
+		}
+		if walLog != nil {
+			// Re-align the fleet against the reopened log before serving
+			// (after any checkpoint restore): a coordinator restart loses its
+			// in-memory ack table, and a lagging worker heals right here
+			// instead of at the first broadcast. Failures are retried
+			// automatically at each broadcast; just report them.
+			booted = func() {
+				if err := coord.Cluster().CatchUp(); err != nil {
+					log.Printf("wsdserve: catch-up: %v", err)
+				} else {
+					log.Printf("wsdserve: fleet caught up to log position %d", walLog.End())
+				}
+			}
+		}
 		log.Printf("wsdserve: coordinating %d workers (quorum %d) on %s", coord.Cluster().Workers(), coord.Cluster().Quorum(), *addr)
 	default:
 		fatal(fmt.Errorf("unknown -mode %q (single, coordinator)", *mode))
@@ -124,6 +158,9 @@ func main() {
 		} else if !os.IsNotExist(err) {
 			fatal(err)
 		}
+	}
+	if booted != nil {
+		booted()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
@@ -160,7 +197,7 @@ func main() {
 // operator did not ask for. The mistake reads as a flag error instead.
 func rejectModeMismatchedFlags(mode string) {
 	ignored := map[string][]string{
-		"single":      {"workers", "quorum", "worker-timeout"},
+		"single":      {"workers", "quorum", "worker-timeout", "wal-dir", "wal-segment-bytes"},
 		"coordinator": {"pattern", "m", "shards", "seed", "full-budget"},
 	}[mode]
 	set := make(map[string]bool)

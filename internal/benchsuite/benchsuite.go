@@ -22,6 +22,8 @@
 //	         cluster3 (a coordinator broadcasting pooled batches over HTTP to
 //	         3 in-process httptest workers and gathering the combined
 //	         estimate — what the cluster layer pays end to end;
+//	         dense-community only), and cluster3-wal (the same fleet with a
+//	         write-ahead log on the broadcast path — the durability tax;
 //	         dense-community only)
 //
 // Everything is seeded: the streams, the samplers, and the trial protocol,
@@ -36,6 +38,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http/httptest"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -53,6 +56,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/stream"
+	"repro/internal/wal"
 	"repro/internal/weights"
 	"repro/internal/xrand"
 )
@@ -335,6 +339,69 @@ func ingests() []ingestSpec {
 				}
 				// Snapshot quiesces every worker, so the gathered estimate
 				// reflects the whole stream.
+				if _, err := coord.Snapshot(); err != nil {
+					return 0, err
+				}
+				est, err := coord.Estimate()
+				if err != nil {
+					return 0, err
+				}
+				return est.Estimate, nil
+			},
+		},
+		{
+			// cluster3 with the write-ahead log on the broadcast path: every
+			// batch is canonicalized, appended (CRC'd, one write) and only
+			// then fanned out. The cell prices the durability tax against the
+			// cluster3 row — the append itself is allocation-free, so the
+			// delta should stay within the HTTP loopback noise.
+			name:    "cluster3-wal",
+			streams: []string{"dense-community"},
+			run: func(sp streamSpec, s stream.Stream, _ []byte, seed int64) (float64, error) {
+				budgets := shard.SplitBudget(sp.m, 3)
+				urls := make([]string, len(budgets))
+				var closers []func()
+				defer func() {
+					for _, c := range closers {
+						c()
+					}
+				}()
+				for i := range budgets {
+					srv, err := serve.New(serve.Config{
+						Pattern: sp.kind,
+						M:       budgets[i],
+						Shards:  1,
+						Options: []wsd.Option{wsd.WithSeed(seed + int64(i))},
+					})
+					if err != nil {
+						return 0, err
+					}
+					ts := httptest.NewServer(srv.Handler())
+					closers = append(closers, ts.Close, func() { srv.Close() })
+					urls[i] = ts.URL
+				}
+				dir, err := os.MkdirTemp("", "wsdbench-wal-*")
+				if err != nil {
+					return 0, err
+				}
+				log, err := wal.Open(dir, wal.Options{})
+				if err != nil {
+					os.RemoveAll(dir)
+					return 0, err
+				}
+				closers = append(closers, func() { log.Close() }, func() { os.RemoveAll(dir) })
+				coord, err := cluster.New(cluster.Config{Workers: urls, Log: log})
+				if err != nil {
+					return 0, err
+				}
+				var pool stream.BatchPool
+				for lo := 0; lo < len(s); lo += batchSize {
+					b := pool.Get()
+					b.Events = append(b.Events, s[lo:min(lo+batchSize, len(s))]...)
+					if err := coord.SubmitPooled(b); err != nil {
+						return 0, err
+					}
+				}
 				if _, err := coord.Snapshot(); err != nil {
 					return 0, err
 				}

@@ -27,10 +27,28 @@
 // that read (and stays consistent — its state is intact). Every read reports
 // how many workers answered and whether the configured quorum was met, so a
 // degraded cluster serves, visibly, from the survivors.
+//
+// Durability (Config.Log). With a write-ahead log attached, the model above
+// gains a second, cheaper healing path. Every broadcast is appended to the
+// log — canonicalized into the binary wire format, durable before any worker
+// sees it — and the coordinator tracks each worker's acknowledged log
+// position. A worker that misses a broadcast is marked *lagging*, not
+// inconsistent: its state is a correct prefix of the stream, so the
+// coordinator heals it by replaying the log tail from its last ack — at the
+// next broadcast (with backoff), on CatchUp, or after a Restore — and the
+// sampling estimators' determinism (the TRIEST-FD lineage is defined over the
+// ordered stream) makes the healed worker bit-identical to one that never
+// failed. Retention truncates the log below the fleet's minimum ack, so a
+// lagging worker's tail is retained until it catches up. Only a worker whose
+// reported position aligns with no logged frame boundary — restarted empty
+// after retention passed its data, or fed out of band — is inconsistent in
+// the old sense and needs a snapshot Restore, after which the blob's recorded
+// log position lets replay finish the job ("restore from blob + log replay").
 package cluster
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -46,6 +64,7 @@ import (
 
 	"repro/internal/combine"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 // Config describes the worker fleet a coordinator fronts.
@@ -68,6 +87,12 @@ type Config struct {
 	// client with Timeout applied is built; when set, Timeout is ignored and
 	// the supplied client's own limits govern.
 	Client *http.Client
+	// Log, when non-nil, is the write-ahead log every broadcast is appended
+	// to before fan-out, enabling per-worker catch-up by replay (see the
+	// durability notes in the package comment). The coordinator takes
+	// ownership: position tracking, retention truncation, and snapshot
+	// positioning all run through it.
+	Log *wal.Log
 }
 
 // ErrBadStream wraps a body every worker rejected as unparsable: a client
@@ -84,12 +109,35 @@ var ErrNoQuorum = errors.New("cluster: below worker quorum")
 // failed workers are marked inconsistent; retry the restore to heal.
 var ErrPartialRestore = errors.New("cluster: restore incomplete")
 
-// workerRef is one worker endpoint plus its consistency flag.
+// ErrCatchUpIncomplete wraps a CatchUp (or post-restore replay) that left
+// some worker behind the log end: unreachable, mid-replay failure, or
+// inconsistent. Lagging workers are retried automatically at the next
+// broadcast; an inconsistent worker needs a snapshot Restore.
+var ErrCatchUpIncomplete = errors.New("cluster: catch-up incomplete")
+
+// catchUpBackoff spaces automatic catch-up attempts per worker, so a worker
+// that is down does not cost every broadcast a probe round trip.
+const catchUpBackoff = 2 * time.Second
+
+// workerRef is one worker endpoint plus its consistency and catch-up state.
 type workerRef struct {
 	url string
-	// inconsistent is set when the worker misses a broadcast; only a
-	// successful cluster Restore clears it.
+	// inconsistent is set when the worker misses a broadcast (no-log mode) or
+	// when its reported position aligns with no logged frame (log mode); a
+	// successful cluster Restore — or, in log mode, a probe that re-aligns —
+	// clears it.
 	inconsistent atomic.Bool
+	// lagging (log mode only) is set when the worker misses a broadcast whose
+	// frames are on the log: its state is a stream prefix and replay heals it.
+	lagging atomic.Bool
+	// acked/ackedEvents are the newest log position (frame index / cumulative
+	// events) the worker has provably applied. The fleet minimum of acked
+	// anchors retention.
+	acked       atomic.Uint64
+	ackedEvents atomic.Int64
+	// lastCatchUp is the unix-nano time of the last catch-up attempt,
+	// implementing the broadcast-path backoff.
+	lastCatchUp atomic.Int64
 }
 
 // Coordinator fans ingested batches out to every worker and gathers their
@@ -119,6 +167,17 @@ type Coordinator struct {
 	// programmatic submit path.
 	encMu  sync.Mutex
 	encBuf bytes.Buffer
+
+	// log is the optional write-ahead log (Config.Log); replayBuf is the
+	// reused catch-up body buffer, guarded by bcastMu (every replay runs
+	// under it).
+	log       *wal.Log
+	replayBuf []byte
+
+	// decMu serializes the reused ingest-body decode buffer (log mode:
+	// IngestBytes canonicalizes the body before logging it).
+	decMu  sync.Mutex
+	decBuf []stream.Event
 }
 
 // New validates the worker list and returns a coordinator. The workers are
@@ -160,7 +219,7 @@ func New(cfg Config) (*Coordinator, error) {
 		}
 		client = &http.Client{Timeout: timeout}
 	}
-	return &Coordinator{workers: refs, comb: comb, quorum: quorum, client: client}, nil
+	return &Coordinator{workers: refs, comb: comb, quorum: quorum, client: client, log: cfg.Log}, nil
 }
 
 // NormalizeWorkerURL canonicalizes a worker address: trims whitespace and
@@ -185,12 +244,14 @@ func (c *Coordinator) Workers() int { return len(c.workers) }
 // Quorum returns the minimum worker count required to serve.
 func (c *Coordinator) Quorum() int { return c.quorum }
 
-// consistent returns the workers currently eligible for broadcast and
-// gather.
-func (c *Coordinator) consistent() []*workerRef {
+// eligible returns the workers currently eligible for broadcast and gather:
+// consistent and (in log mode) not lagging — a lagging worker's estimate
+// summarizes a stream prefix and must not enter a combined read until replay
+// catches it up.
+func (c *Coordinator) eligible() []*workerRef {
 	out := make([]*workerRef, 0, len(c.workers))
 	for _, w := range c.workers {
-		if !w.inconsistent.Load() {
+		if !w.inconsistent.Load() && !w.lagging.Load() {
 			out = append(out, w)
 		}
 	}
@@ -289,7 +350,45 @@ type IngestResult struct {
 func (c *Coordinator) IngestBytes(raw []byte) (IngestResult, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.broadcast(raw)
+	if c.log == nil {
+		return c.broadcast(raw)
+	}
+	// Log mode canonicalizes before anything touches a worker: the body is
+	// decoded whole (a parse error anywhere rejects it, exactly the workers'
+	// own all-or-nothing validation, without N wasted round trips) and
+	// re-framed, so the frames appended to the log and the frames broadcast
+	// are identical by construction.
+	c.decMu.Lock()
+	defer c.decMu.Unlock()
+	evs, err := c.decodeBody(raw)
+	if err != nil {
+		return IngestResult{Workers: len(c.workers)}, fmt.Errorf("%w: %v", ErrBadStream, err)
+	}
+	return c.submitLogged(evs)
+}
+
+// decodeBody parses an ingest body (text or binary, sniffed like the
+// workers' /ingest) into the reused decode buffer; caller holds decMu.
+func (c *Coordinator) decodeBody(raw []byte) ([]stream.Event, error) {
+	br, isBinary := stream.SniffBinary(bytes.NewReader(raw))
+	if !isBinary {
+		return stream.Read(br)
+	}
+	reader, err := stream.NewBinaryReader(br)
+	if err != nil {
+		return nil, err
+	}
+	evs := c.decBuf[:0]
+	for {
+		evs, err = reader.ReadBatchAppend(evs)
+		if err == io.EOF {
+			c.decBuf = evs
+			return evs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
 }
 
 // broadcast is IngestBytes under a held read lock, shared with the
@@ -299,7 +398,7 @@ func (c *Coordinator) broadcast(raw []byte) (IngestResult, error) {
 	c.bcastMu.Lock()
 	defer c.bcastMu.Unlock()
 	res := IngestResult{Workers: len(c.workers)}
-	live := c.consistent()
+	live := c.eligible()
 	if len(live) < c.quorum {
 		return res, fmt.Errorf("%w: %d consistent of %d (need %d)", ErrNoQuorum, len(live), len(c.workers), c.quorum)
 	}
@@ -361,28 +460,134 @@ func (c *Coordinator) broadcast(raw []byte) (IngestResult, error) {
 // SubmitBatch encodes one event batch in the binary wire format and
 // broadcasts it, the programmatic equivalent of POSTing to every worker. The
 // encode buffer is reused across calls, so steady-state submission allocates
-// only what the HTTP client needs.
+// only what the HTTP client needs. In log mode the batch is appended to the
+// write-ahead log before the fan-out.
 func (c *Coordinator) SubmitBatch(evs []stream.Event) error {
 	if len(evs) == 0 {
 		return nil
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if c.log != nil {
+		_, err := c.submitLogged(evs)
+		return err
+	}
 	c.encMu.Lock()
 	defer c.encMu.Unlock()
-	c.encBuf.Reset()
-	bw, err := stream.NewBinaryWriter(&c.encBuf)
+	body, err := c.encodeBody(evs)
 	if err != nil {
 		return err
 	}
+	_, err = c.broadcast(body)
+	return err
+}
+
+// encodeBody canonicalizes a batch into one binary wire body in the reused
+// encode buffer; caller holds encMu. WriteBatch splits at
+// stream.MaxFrameEvents, the same boundaries the log-mode append uses, so a
+// logged frame and a broadcast frame are always the same bytes.
+func (c *Coordinator) encodeBody(evs []stream.Event) ([]byte, error) {
+	c.encBuf.Reset()
+	bw, err := stream.NewBinaryWriter(&c.encBuf)
+	if err != nil {
+		return nil, err
+	}
 	if err := bw.WriteBatch(evs); err != nil {
-		return err
+		return nil, err
 	}
 	if err := bw.Flush(); err != nil {
-		return err
+		return nil, err
 	}
-	_, err = c.broadcast(c.encBuf.Bytes())
-	return err
+	return c.encBuf.Bytes(), nil
+}
+
+// submitLogged is the log-mode ingest path: canonical encode, append to the
+// log, then fan out — in that order, so a frame no worker has applied yet is
+// already durable and a worker that misses it is healable by replay. Caller
+// holds the read lock.
+func (c *Coordinator) submitLogged(evs []stream.Event) (IngestResult, error) {
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	res := IngestResult{Workers: len(c.workers)}
+	body, err := c.encodeBody(evs)
+	if err != nil {
+		return res, err
+	}
+	c.bcastMu.Lock()
+	defer c.bcastMu.Unlock()
+	// Heal first: a lagging worker past its backoff rejoins before this
+	// batch, so one missed broadcast costs one gap, not permanent exclusion.
+	c.healLagging(false)
+	live := c.eligible()
+	if len(live) < c.quorum {
+		return res, fmt.Errorf("%w: %d serving of %d (need %d)", ErrNoQuorum, len(live), len(c.workers), c.quorum)
+	}
+	for lo := 0; lo < len(evs); lo += stream.MaxFrameEvents {
+		hi := lo + stream.MaxFrameEvents
+		if hi > len(evs) {
+			hi = len(evs)
+		}
+		if _, err := c.log.Append(evs[lo:hi]); err != nil {
+			// Nothing was broadcast: the cluster is consistent and the
+			// client can retry once the log is writable again.
+			return res, fmt.Errorf("cluster: write-ahead log append: %w", err)
+		}
+	}
+	endPos, endEvents := c.log.End(), c.log.Events()
+	accepted := make([]int, len(live))
+	errs := fanout(live, func(i int, w *workerRef) error {
+		var reply struct {
+			Accepted int `json:"accepted"`
+		}
+		if err := c.post(w, "/ingest", body, &reply); err != nil {
+			return err
+		}
+		accepted[i] = reply.Accepted
+		return nil
+	})
+	var firstErr error
+	applied := 0
+	for i, err := range errs {
+		if err == nil {
+			applied++
+			live[i].acked.Store(endPos)
+			live[i].ackedEvents.Store(endEvents)
+			if accepted[i] > res.Accepted {
+				res.Accepted = accepted[i]
+			}
+			continue
+		}
+		// The body is canonical — this coordinator encoded it — so a
+		// rejection is never a bad stream: the worker is out of step, and
+		// because the frames are on the log, replay (not a cluster restore)
+		// heals it.
+		live[i].lagging.Store(true)
+		live[i].lastCatchUp.Store(time.Now().UnixNano())
+		if firstErr == nil {
+			firstErr = fmt.Errorf("worker %s: %w", live[i].url, err)
+		}
+	}
+	res.Applied = applied
+	c.truncateToMinAck()
+	if applied < c.quorum {
+		return res, fmt.Errorf("%w: %d of %d workers applied (need %d): %v", ErrNoQuorum, applied, len(c.workers), c.quorum, firstErr)
+	}
+	return res, nil
+}
+
+// truncateToMinAck retires sealed log segments the whole fleet has passed;
+// bcastMu held. Every worker's ack — lagging included — pins retention, so a
+// lagging worker's replay tail is always retained; only Restore (which
+// re-seeds every ack from the blob's position) moves an irrecoverably
+// behind worker forward. Truncation failures are left for the next attempt.
+func (c *Coordinator) truncateToMinAck() {
+	min := c.workers[0].acked.Load()
+	for _, w := range c.workers[1:] {
+		if a := w.acked.Load(); a < min {
+			min = a
+		}
+	}
+	c.log.TruncateBefore(min)
 }
 
 // SubmitPooled broadcasts a pooled batch (the PR 3 zero-copy ingest
@@ -393,6 +598,152 @@ func (c *Coordinator) SubmitPooled(b *stream.Batch) error {
 	b.Release()
 	return err
 }
+
+// errStopChunk is the internal sentinel replayTo uses to cut a replay body
+// at its size bound.
+var errStopChunk = errors.New("cluster: replay chunk full")
+
+// healLagging attempts catch-up on lagging workers past their backoff;
+// bcastMu held. With force, every worker is probed and re-aligned — the
+// CatchUp/boot/post-restore path, which also repatriates inconsistent
+// workers whose position turns out to align after all (e.g. after the
+// coordinator restarted and lost its ack table).
+func (c *Coordinator) healLagging(force bool) {
+	now := time.Now().UnixNano()
+	for _, w := range c.workers {
+		if !force {
+			if !w.lagging.Load() || w.inconsistent.Load() {
+				continue
+			}
+			if last := w.lastCatchUp.Load(); now-last < int64(catchUpBackoff) {
+				continue
+			}
+		}
+		c.catchUpWorker(w)
+	}
+}
+
+// catchUpWorker heals one worker by log replay; bcastMu held. It probes the
+// worker's absolute stream position, aligns it to a logged frame boundary,
+// and replays the tail above it. Success clears lagging (and inconsistent);
+// a probe or replay failure leaves the worker lagging for the next attempt;
+// a position that aligns with no retained frame marks it inconsistent — only
+// a snapshot restore can bridge that gap.
+func (c *Coordinator) catchUpWorker(w *workerRef) error {
+	w.lastCatchUp.Store(time.Now().UnixNano())
+	raw, err := c.get(w, "/healthz")
+	if err != nil {
+		w.lagging.Store(true)
+		return fmt.Errorf("worker %s: probe: %w", w.url, err)
+	}
+	var probe struct {
+		Position int64 `json:"position"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		w.lagging.Store(true)
+		return fmt.Errorf("worker %s: probe: %w", w.url, err)
+	}
+	pos, ok := c.log.PosForEvents(probe.Position)
+	if !ok {
+		w.inconsistent.Store(true)
+		if probe.Position < c.log.BaseEvents() {
+			return fmt.Errorf("worker %s is at event %d but retention begins at event %d (%v); restore a cluster snapshot to heal", w.url, probe.Position, c.log.BaseEvents(), wal.ErrTruncated)
+		}
+		return fmt.Errorf("worker %s reports position %d, which aligns with no logged frame boundary; restore a cluster snapshot to heal", w.url, probe.Position)
+	}
+	// Alignment certifies the worker's state as a log prefix (the fleet only
+	// ever receives canonical logged frames), so it is healable from here.
+	w.inconsistent.Store(false)
+	w.acked.Store(pos)
+	w.ackedEvents.Store(probe.Position)
+	if err := c.replayTo(w); err != nil {
+		w.lagging.Store(true)
+		return fmt.Errorf("worker %s: replay: %w", w.url, err)
+	}
+	w.lagging.Store(false)
+	return nil
+}
+
+// replayTo streams the log tail above the worker's ack as chunked binary
+// /ingest bodies — stored frame payloads copied verbatim behind a stream
+// header, so the worker applies exactly the frames (and frame boundaries) the
+// live fleet did. The worker's ack advances per applied chunk; bcastMu held.
+func (c *Coordinator) replayTo(w *workerRef) error {
+	const maxReplayBody = 4 << 20
+	for {
+		start := w.acked.Load()
+		if start >= c.log.End() {
+			return nil
+		}
+		body := stream.AppendBinaryHeader(c.replayBuf[:0])
+		var (
+			chunkEnd uint64
+			total    int
+		)
+		err := c.log.ReplayPayloads(start, func(pos uint64, events int, payload []byte) error {
+			body = binary.AppendUvarint(body, uint64(len(payload)))
+			body = append(body, payload...)
+			chunkEnd = pos
+			total += events
+			if len(body) >= maxReplayBody {
+				return errStopChunk
+			}
+			return nil
+		})
+		c.replayBuf = body[:0]
+		if err != nil && !errors.Is(err, errStopChunk) {
+			return err
+		}
+		if chunkEnd == 0 || chunkEnd <= start {
+			return nil // nothing above start survived into this chunk
+		}
+		var reply struct {
+			Accepted int `json:"accepted"`
+		}
+		if err := c.post(w, "/ingest", body, &reply); err != nil {
+			return err
+		}
+		if reply.Accepted != total {
+			return fmt.Errorf("accepted %d of %d replayed events", reply.Accepted, total)
+		}
+		ev, ok := c.log.EventsAt(chunkEnd)
+		if !ok {
+			return fmt.Errorf("%w: position %d left the retained range during replay", wal.ErrTruncated, chunkEnd)
+		}
+		w.acked.Store(chunkEnd)
+		w.ackedEvents.Store(ev)
+	}
+}
+
+// CatchUp probes every worker, re-aligns its acknowledged position from its
+// reported absolute position, and replays whatever tail it is missing — the
+// explicit healing entry point (POST /catchup, coordinator boot, after
+// Restore). It returns nil only when the whole fleet is caught up to the log
+// end; otherwise the error wraps ErrCatchUpIncomplete and the stragglers
+// stay marked for automatic retry.
+func (c *Coordinator) CatchUp() error {
+	if c.log == nil {
+		return fmt.Errorf("cluster: no write-ahead log configured (start the coordinator with -wal-dir)")
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.bcastMu.Lock()
+	defer c.bcastMu.Unlock()
+	var firstErr error
+	for _, w := range c.workers {
+		if err := c.catchUpWorker(w); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.truncateToMinAck()
+	if firstErr != nil {
+		return fmt.Errorf("%w: %v", ErrCatchUpIncomplete, firstErr)
+	}
+	return nil
+}
+
+// Log returns the attached write-ahead log (nil without one).
+func (c *Coordinator) Log() *wal.Log { return c.log }
 
 // Estimate is a combined scatter/gather read over the worker fleet.
 type Estimate struct {
@@ -438,7 +789,7 @@ type workerEstimate struct {
 func (c *Coordinator) Estimate() (*Estimate, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	live := c.consistent()
+	live := c.eligible()
 	replies := make([]*workerEstimate, len(live))
 	fanout(live, func(i int, w *workerRef) error {
 		raw, err := c.get(w, "/estimate")
@@ -515,6 +866,18 @@ func (c *Coordinator) Estimate() (*Estimate, error) {
 type Snapshot struct {
 	ClusterVersion int               `json:"cluster_version"`
 	Workers        []json.RawMessage `json:"workers"`
+	// WAL, present on snapshots taken by a log-mode coordinator, records the
+	// log position the blob describes: restoring it re-seeds every worker's
+	// acknowledged position there, and replaying the log above it brings the
+	// fleet to the present — the "restore from blob + log replay" guarantee.
+	WAL *WALMark `json:"wal,omitempty"`
+}
+
+// WALMark is a stream position as the write-ahead log measures it: a frame
+// index and the cumulative event count through it.
+type WALMark struct {
+	Position uint64 `json:"position"`
+	Events   int64  `json:"events"`
 }
 
 // snapshotVersion guards the cluster snapshot wire format.
@@ -536,10 +899,15 @@ func (c *Coordinator) Snapshot() ([]byte, error) {
 	// concurrent (they take neither lock exclusively).
 	c.bcastMu.Lock()
 	defer c.bcastMu.Unlock()
-	if live := c.consistent(); len(live) < len(c.workers) {
-		return nil, fmt.Errorf("cluster: %d of %d workers are inconsistent; a cluster snapshot needs the whole fleet (restore it first)", len(c.workers)-len(live), len(c.workers))
+	if live := c.eligible(); len(live) < len(c.workers) {
+		return nil, fmt.Errorf("cluster: %d of %d workers are not serving (lagging or inconsistent); a cluster snapshot needs the whole fleet (catch it up or restore it first)", len(c.workers)-len(live), len(c.workers))
 	}
 	snap := Snapshot{ClusterVersion: snapshotVersion, Workers: make([]json.RawMessage, len(c.workers))}
+	if c.log != nil {
+		// Under bcastMu no broadcast is mid-flight and every eligible worker
+		// has acked the log end, so the fleet sits at exactly this position.
+		snap.WAL = &WALMark{Position: c.log.End(), Events: c.log.Events()}
+	}
 	errs := fanout(c.workers, func(i int, w *workerRef) error {
 		raw, err := c.get(w, "/snapshot")
 		if err != nil {
@@ -553,8 +921,19 @@ func (c *Coordinator) Snapshot() ([]byte, error) {
 			return nil, fmt.Errorf("cluster: snapshot worker %s: %w", c.workers[i].url, err)
 		}
 	}
-	if _, err := validateWorkerBlobs(snap.Workers); err != nil {
+	infos, err := validateWorkerBlobs(snap.Workers)
+	if err != nil {
 		return nil, err
+	}
+	if snap.WAL != nil {
+		// The workers' own recorded positions must agree with the log —
+		// a mismatch means some worker's state is not the logged stream, and
+		// a blob that replays wrongly is worse than no blob.
+		for i, info := range infos {
+			if info.Position != snap.WAL.Events {
+				return nil, fmt.Errorf("cluster: worker %s snapshot is at position %d, the log is at %d; the blob does not describe one stream position", c.workers[i].url, info.Position, snap.WAL.Events)
+			}
+		}
 	}
 	return json.Marshal(snap)
 }
@@ -642,6 +1021,37 @@ func (c *Coordinator) Restore(blob []byte) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.bcastMu.Lock()
+	defer c.bcastMu.Unlock()
+	mark := snap.WAL
+	if c.log != nil {
+		// Position the blob against the log before any worker state is
+		// touched: the restore is only useful if the log can carry the fleet
+		// from the blob's position to the present.
+		if mark == nil {
+			// A blob from before the log existed restores only onto a fresh
+			// log: both then measure positions from the restore point.
+			mark = &WALMark{}
+			if c.log.End() != 0 || c.log.Base() != 0 {
+				return fmt.Errorf("cluster: snapshot carries no log position but the log spans (%d, %d]; take a fresh cluster snapshot (which records its position) or start from an empty -wal-dir", c.log.Base(), c.log.End())
+			}
+		}
+		switch {
+		case mark.Position < c.log.Base():
+			return fmt.Errorf("cluster: snapshot is at position %d but retention begins at %d (%v); take a fresh cluster snapshot", mark.Position, c.log.Base(), wal.ErrTruncated)
+		case mark.Position > c.log.End():
+			// Ahead of the log: sound only when the log holds no frames at
+			// all (a fresh directory) — the blob supplies everything through
+			// its mark and the log re-anchors there.
+			if err := c.log.RebaseEmpty(mark.Position, mark.Events); err != nil {
+				return fmt.Errorf("cluster: snapshot is at position %d but the log ends at %d: %v", mark.Position, c.log.End(), err)
+			}
+		default:
+			if ev, ok := c.log.EventsAt(mark.Position); !ok || ev != mark.Events {
+				return fmt.Errorf("cluster: snapshot records %d events at position %d, the log has %d; snapshot and log describe different streams", mark.Events, mark.Position, ev)
+			}
+		}
+	}
 	errs := fanout(c.workers, func(i int, w *workerRef) error {
 		return c.post(w, "/restore", snap.Workers[i], nil)
 	})
@@ -654,20 +1064,65 @@ func (c *Coordinator) Restore(blob []byte) error {
 			}
 		} else {
 			c.workers[i].inconsistent.Store(false)
+			if c.log != nil {
+				c.workers[i].acked.Store(mark.Position)
+				c.workers[i].ackedEvents.Store(mark.Events)
+				c.workers[i].lagging.Store(mark.Position < c.log.End())
+			}
 		}
 	}
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if c.log != nil && mark.Position < c.log.End() {
+		// The blob is behind the log's present: finish the job by replay, so
+		// a successful restore always lands the fleet at the log end. A
+		// replay failure is retried automatically at the next broadcast.
+		var replayErr error
+		for _, w := range c.workers {
+			if err := c.replayTo(w); err != nil {
+				w.lagging.Store(true)
+				if replayErr == nil {
+					replayErr = fmt.Errorf("%w: worker %s: %v", ErrCatchUpIncomplete, w.url, err)
+				}
+				continue
+			}
+			w.lagging.Store(false)
+		}
+		return replayErr
+	}
+	return nil
 }
 
 // WorkerHealth is one worker's slice of a cluster health probe.
 type WorkerHealth struct {
 	URL string `json:"url"`
-	// Consistent is false once the worker has missed a broadcast (it needs
-	// a cluster restore to rejoin).
+	// Consistent is false once the worker's state cannot be healed by log
+	// replay (or, without a log, once it has missed any broadcast); it needs
+	// a cluster restore to rejoin.
 	Consistent bool `json:"consistent"`
 	// Reachable is whether the worker answered this probe.
 	Reachable bool   `json:"reachable"`
 	Error     string `json:"error,omitempty"`
+	// Lagging (log mode) is true while the worker is behind the log and
+	// awaiting catch-up replay; it is excluded from reads meanwhile.
+	Lagging bool `json:"lagging,omitempty"`
+	// Position is the worker's self-reported absolute stream position (log
+	// mode, reachable workers only); Acked is the newest log position the
+	// coordinator has confirmed on it.
+	Position int64  `json:"position,omitempty"`
+	Acked    uint64 `json:"acked,omitempty"`
+}
+
+// WALHealth is the coordinator's view of its write-ahead log.
+type WALHealth struct {
+	Dir string `json:"dir"`
+	// Base..End is the retained position range; Events the cumulative event
+	// count through End; Segments the segment file count.
+	Base     uint64 `json:"base"`
+	End      uint64 `json:"end"`
+	Events   int64  `json:"events"`
+	Segments int    `json:"segments"`
 }
 
 // Health is the coordinator's readiness report: the fleet roster with
@@ -688,6 +1143,8 @@ type Health struct {
 	// serving worker's /healthz (empty/zero when nothing is reachable).
 	Patterns []string `json:"patterns,omitempty"`
 	Shards   int      `json:"shards,omitempty"`
+	// WAL reports the write-ahead log's retained range (log mode only).
+	WAL *WALHealth `json:"wal,omitempty"`
 	// WorkersDetail lists every configured worker.
 	WorkersDetail []WorkerHealth `json:"workers_detail"`
 }
@@ -701,13 +1158,26 @@ type Health struct {
 func (c *Coordinator) Health() Health {
 	h := Health{Workers: len(c.workers), Quorum: c.quorum}
 	h.WorkersDetail = make([]WorkerHealth, len(c.workers))
+	if c.log != nil {
+		h.WAL = &WALHealth{
+			Dir:      c.log.Dir(),
+			Base:     c.log.Base(),
+			End:      c.log.End(),
+			Events:   c.log.Events(),
+			Segments: c.log.Segments(),
+		}
+	}
 	type workerHealthz struct {
 		Patterns []string `json:"patterns"`
 		Shards   int      `json:"shards"`
+		Position int64    `json:"position"`
 	}
 	probes := make([]*workerHealthz, len(c.workers))
 	fanout(c.workers, func(i int, w *workerRef) error {
-		wh := WorkerHealth{URL: w.url, Consistent: !w.inconsistent.Load()}
+		wh := WorkerHealth{URL: w.url, Consistent: !w.inconsistent.Load(), Lagging: w.lagging.Load()}
+		if c.log != nil {
+			wh.Acked = w.acked.Load()
+		}
 		raw, err := c.get(w, "/healthz")
 		if err != nil {
 			wh.Error = err.Error()
@@ -716,6 +1186,9 @@ func (c *Coordinator) Health() Health {
 			var probe workerHealthz
 			if json.Unmarshal(raw, &probe) == nil {
 				probes[i] = &probe
+				if c.log != nil {
+					wh.Position = probe.Position
+				}
 			}
 		}
 		h.WorkersDetail[i] = wh
@@ -725,7 +1198,7 @@ func (c *Coordinator) Health() Health {
 	var ref *workerHealthz
 	for i := range h.WorkersDetail {
 		wh := &h.WorkersDetail[i]
-		if !wh.Consistent || !wh.Reachable {
+		if !wh.Consistent || !wh.Reachable || wh.Lagging {
 			continue
 		}
 		h.Serving++

@@ -57,7 +57,31 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /snapshot", c.handleSnapshot)
 	mux.HandleFunc("POST /restore", c.handleRestore)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("POST /catchup", c.handleCatchUp)
 	return mux
+}
+
+// handleCatchUp triggers an explicit fleet catch-up against the write-ahead
+// log: every worker is probed, re-aligned, and replayed to the log end. 200
+// means the whole fleet is caught up; 502 means some worker still lags (the
+// body says which, and the coordinator keeps retrying at each broadcast);
+// 400 means the coordinator runs without a log.
+func (c *Coordinator) handleCatchUp(w http.ResponseWriter, r *http.Request) {
+	if err := c.coord.CatchUp(); err != nil {
+		if errors.Is(err, cluster.ErrCatchUpIncomplete) {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	log := c.coord.Log()
+	writeJSON(w, map[string]any{
+		"caught_up": true,
+		"workers":   c.coord.Workers(),
+		"position":  log.End(),
+		"events":    log.Events(),
+	})
 }
 
 // readBody reads a whole capped request body, writing the HTTP error itself
@@ -161,7 +185,7 @@ func (c *Coordinator) handleRestore(w http.ResponseWriter, r *http.Request) {
 		// worker is touched — a client error. A partial fan-out means some
 		// workers swapped state and some did not: a gateway error the
 		// operator retries until the fleet heals.
-		if errors.Is(err, cluster.ErrPartialRestore) {
+		if errors.Is(err, cluster.ErrPartialRestore) || errors.Is(err, cluster.ErrCatchUpIncomplete) {
 			http.Error(w, err.Error(), http.StatusBadGateway)
 		} else {
 			http.Error(w, err.Error(), http.StatusBadRequest)

@@ -187,6 +187,10 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	// "position" and "processed" are the same number — the absolute stream
+	// position, which survives checkpoint/restore (the snapshot records it).
+	// A log-mode coordinator reads "position" to align this worker against
+	// its write-ahead log; "processed" stays for pre-log clients.
 	writeJSON(w, map[string]any{
 		"status":    "ok",
 		"pattern":   s.patterns[0].String(),
@@ -194,6 +198,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"shards":    s.ens.Shards(),
 		"m":         s.cfg.M,
 		"processed": s.ens.Processed(),
+		"position":  s.ens.Processed(),
 	})
 }
 

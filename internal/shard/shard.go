@@ -180,6 +180,10 @@ type Ensemble struct {
 	// numEstimates is the per-shard estimate vector width: 1 for plain
 	// counters, the pattern count when every shard is a VectorCounter.
 	numEstimates int
+	// base is the stream position at construction (WithBasePosition):
+	// non-zero for restored ensembles, so Processed reports an absolute
+	// position.
+	base int64
 
 	mu     sync.Mutex
 	closed bool
@@ -191,6 +195,7 @@ type Option func(*config)
 type config struct {
 	buffer  int
 	combine Combiner
+	base    int64
 }
 
 // WithBuffer sets each shard's feed-channel buffer, measured in batches
@@ -202,6 +207,16 @@ func WithBuffer(n int) Option {
 // WithCombiner replaces the default Mean combiner.
 func WithCombiner(fn Combiner) Option {
 	return func(c *config) { c.combine = fn }
+}
+
+// WithBasePosition sets the ensemble's starting stream position: the number
+// of events its counters had already absorbed before construction. Restore
+// paths pass the snapshot's recorded position so Processed stays an absolute
+// position across checkpoint/restore cycles — what lets a cluster coordinator
+// tell a restored worker (position preserved) from one restarted empty
+// (position zero) and replay each from the right log offset.
+func WithBasePosition(n int64) Option {
+	return func(c *config) { c.base = n }
 }
 
 // New starts an ensemble over the given counters, one worker goroutine per
@@ -219,7 +234,7 @@ func New(counters []Counter, opts ...Option) (*Ensemble, error) {
 	if cfg.buffer < 1 {
 		cfg.buffer = 1
 	}
-	e := &Ensemble{combine: cfg.combine, numEstimates: 1}
+	e := &Ensemble{combine: cfg.combine, numEstimates: 1, base: cfg.base}
 	for i, c := range counters {
 		if c == nil {
 			return nil, fmt.Errorf("shard: nil counter")
@@ -360,12 +375,14 @@ func (e *Ensemble) Estimates() []float64 {
 	return xs
 }
 
-// Processed returns the number of events applied by every shard (the minimum
-// across shards): events submitted but still in flight on some shard are not
-// counted.
+// Processed returns the absolute stream position: the base position (zero
+// for fresh ensembles, the snapshot's recorded position for restored ones)
+// plus the number of events applied by every shard since construction (the
+// minimum across shards — events submitted but still in flight on some shard
+// are not counted).
 func (e *Ensemble) Processed() int64 {
 	if len(e.workers) == 0 {
-		return 0
+		return e.base
 	}
 	min := e.workers[0].processed.Load()
 	for _, w := range e.workers[1:] {
@@ -373,7 +390,7 @@ func (e *Ensemble) Processed() int64 {
 			min = n
 		}
 	}
-	return min
+	return e.base + min
 }
 
 // Quiesce drains every batch submitted so far on every shard and then calls
@@ -414,6 +431,12 @@ func (e *Ensemble) Quiesce(fn func(i int, c Counter) error) error {
 type EnsembleSnapshot struct {
 	Version int               `json:"version"`
 	Shards  []json.RawMessage `json:"shards"`
+	// Position is the absolute stream position the snapshot was taken at
+	// (Processed at the quiesce point). Restore seeds the rebuilt ensemble's
+	// base with it, so positions survive checkpoint/restore — the anchor the
+	// cluster write-ahead log replays from. Omitted (zero) in snapshots
+	// predating the field, which restore at position zero as before.
+	Position int64 `json:"position,omitempty"`
 }
 
 // ensembleSnapshotVersion guards the wire format.
@@ -428,6 +451,12 @@ func (e *Ensemble) Snapshot() ([]byte, error) {
 		Shards:  make([]json.RawMessage, len(e.workers)),
 	}
 	err := e.Quiesce(func(i int, c Counter) error {
+		if i == 0 {
+			// Every worker is parked at its barrier here, so the minimum
+			// processed count is exact — the single stream position the whole
+			// snapshot describes.
+			snap.Position = e.Processed()
+		}
 		ck, ok := c.(Checkpointable)
 		if !ok {
 			return fmt.Errorf("shard: counter %d (%T) does not support checkpointing", i, c)
@@ -479,6 +508,10 @@ func Restore(data []byte, build func(i int, shard []byte) (Counter, error), opts
 		}
 		counters[i] = c
 	}
+	// The snapshot's position seeds the base last, so it wins over any
+	// caller-supplied WithBasePosition; the full slice expression keeps the
+	// append from scribbling into the caller's backing array.
+	opts = append(opts[:len(opts):len(opts)], WithBasePosition(snap.Position))
 	return New(counters, opts...)
 }
 

@@ -38,15 +38,19 @@ const (
 	// enough to amortize the length prefix and per-frame call overhead,
 	// small enough that a streaming consumer gets work promptly.
 	DefaultFrameEvents = 4096
-	// maxFrameBytes bounds a frame's declared payload so a corrupt or
+	// MaxFrameBytes bounds a frame's declared payload so a corrupt or
 	// hostile length prefix cannot force a huge allocation. 16 MiB is ~1.6M
-	// worst-case events, far above DefaultFrameEvents frames.
-	maxFrameBytes = 16 << 20
-	// maxFrameEvents is the largest batch WriteBatch packs into one frame;
+	// worst-case events, far above DefaultFrameEvents frames. Exported so the
+	// write-ahead log (internal/wal), which stores frame payloads verbatim,
+	// applies the same bound when reading records back.
+	MaxFrameBytes = 16 << 20
+	// MaxFrameEvents is the largest batch WriteBatch packs into one frame;
 	// bigger batches are split. At the 10-byte worst case per event
-	// (two maximal 32-bit varints) this stays under maxFrameBytes, so a
-	// written frame is always readable.
-	maxFrameEvents = 1 << 20
+	// (two maximal 32-bit varints) this stays under MaxFrameBytes, so a
+	// written frame is always readable. Exported so producers that must agree
+	// on frame boundaries (the cluster coordinator canonicalizing a body and
+	// logging it) split batches exactly where WriteBatch would.
+	MaxFrameEvents = 1 << 20
 )
 
 // BinaryWriter writes a binary event stream frame by frame.
@@ -69,15 +73,15 @@ func NewBinaryWriter(w io.Writer) (*BinaryWriter, error) {
 }
 
 // WriteBatch appends a frame holding the given events; batches above
-// maxFrameEvents are split across frames so no written frame can exceed the
+// MaxFrameEvents are split across frames so no written frame can exceed the
 // reader's size bound. Empty batches are ignored (a zero-event frame is
 // legal to read but never written).
 func (bw *BinaryWriter) WriteBatch(evs []Event) error {
-	for len(evs) > maxFrameEvents {
-		if err := bw.writeFrame(evs[:maxFrameEvents]); err != nil {
+	for len(evs) > MaxFrameEvents {
+		if err := bw.writeFrame(evs[:MaxFrameEvents]); err != nil {
 			return err
 		}
-		evs = evs[maxFrameEvents:]
+		evs = evs[MaxFrameEvents:]
 	}
 	if len(evs) == 0 {
 		return nil
@@ -85,17 +89,26 @@ func (bw *BinaryWriter) WriteBatch(evs []Event) error {
 	return bw.writeFrame(evs)
 }
 
-func (bw *BinaryWriter) writeFrame(evs []Event) error {
-	bw.buf = bw.buf[:0]
-	bw.buf = binary.AppendUvarint(bw.buf, uint64(len(evs)))
+// AppendFramePayload encodes one frame payload — uvarint(eventCount) followed
+// by the varint-packed events — appended to dst, and returns the extended
+// slice. It is the single definition of the payload encoding, shared by
+// writeFrame and by the write-ahead log, whose segment records store exactly
+// these bytes so a logged frame replays verbatim onto the wire.
+func AppendFramePayload(dst []byte, evs []Event) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(evs)))
 	for _, ev := range evs {
 		op := uint64(0)
 		if ev.Op == Delete {
 			op = 1
 		}
-		bw.buf = binary.AppendUvarint(bw.buf, uint64(ev.Edge.U)<<1|op)
-		bw.buf = binary.AppendUvarint(bw.buf, uint64(ev.Edge.V))
+		dst = binary.AppendUvarint(dst, uint64(ev.Edge.U)<<1|op)
+		dst = binary.AppendUvarint(dst, uint64(ev.Edge.V))
 	}
+	return dst
+}
+
+func (bw *BinaryWriter) writeFrame(evs []Event) error {
+	bw.buf = AppendFramePayload(bw.buf[:0], evs)
 	var lenBuf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(lenBuf[:], uint64(len(bw.buf)))
 	if _, err := bw.w.Write(lenBuf[:n]); err != nil {
@@ -162,8 +175,8 @@ func (br *BinaryReader) ReadBatchAppend(dst []Event) ([]Event, error) {
 		}
 		return dst, fmt.Errorf("stream: read frame length: %w", err)
 	}
-	if payloadLen > maxFrameBytes {
-		return dst, fmt.Errorf("stream: frame of %d bytes exceeds the %d-byte limit", payloadLen, maxFrameBytes)
+	if payloadLen > MaxFrameBytes {
+		return dst, fmt.Errorf("stream: frame of %d bytes exceeds the %d-byte limit", payloadLen, MaxFrameBytes)
 	}
 	if uint64(cap(br.buf)) < payloadLen {
 		br.buf = make([]byte, payloadLen)
@@ -172,6 +185,16 @@ func (br *BinaryReader) ReadBatchAppend(dst []Event) ([]Event, error) {
 	if _, err := io.ReadFull(br.r, payload); err != nil {
 		return dst, fmt.Errorf("stream: read frame payload: %w", err)
 	}
+	return DecodeFramePayload(dst, payload)
+}
+
+// DecodeFramePayload decodes one frame payload — the bytes following a
+// frame's length prefix — appending the events to dst and returning the
+// extended slice. It performs the full validation ReadBatchAppend always did
+// (event count vs payload size, per-event varint bounds, trailing bytes), so
+// the write-ahead log verifies logged frames with exactly the wire decoder.
+// On error dst is returned at its original length.
+func DecodeFramePayload(dst []Event, payload []byte) ([]Event, error) {
 	count, n := binary.Uvarint(payload)
 	if n <= 0 {
 		return dst, fmt.Errorf("stream: corrupt frame: bad event count")
@@ -247,6 +270,14 @@ func ReadBinary(r io.Reader) (Stream, error) {
 		}
 		out = append(out, batch...)
 	}
+}
+
+// AppendBinaryHeader appends the binary stream header (magic plus version) to
+// dst. Producers that assemble a binary body from already-encoded frame
+// payloads — the cluster coordinator replaying write-ahead-log records to a
+// lagging worker — use it to build a valid stream without re-encoding events.
+func AppendBinaryHeader(dst []byte) []byte {
+	return append(append(dst, binaryMagic[:]...), binaryVersion)
 }
 
 // SniffBinary peeks at r and reports whether it starts a binary stream. The

@@ -125,7 +125,7 @@ func TestBinaryStreamingBatches(t *testing.T) {
 // TestWriteBatchSplitsOversizedBatches: a single WriteBatch above the
 // per-frame event cap must still produce a stream every reader accepts.
 func TestWriteBatchSplitsOversizedBatches(t *testing.T) {
-	n := maxFrameEvents + 5
+	n := MaxFrameEvents + 5
 	s := make(Stream, n)
 	for i := range s {
 		s[i] = Event{Op: Insert, Edge: graph.NewEdge(graph.VertexID(i), graph.VertexID(i+1))}

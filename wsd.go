@@ -453,6 +453,11 @@ type ShardedSnapshotInfo struct {
 	Patterns []Pattern
 	Shards   int
 	TotalM   int // sum of per-shard budgets (equals m in split-budget mode, m*Shards in full-budget mode)
+	// Position is the absolute stream position the snapshot was taken at
+	// (zero for snapshots predating the field). Restores seed the rebuilt
+	// ensemble's Processed with it, so a deployment's reported position
+	// survives checkpoint/restore.
+	Position int64
 }
 
 // decodeShardedSnapshot decodes an ensemble blob into per-shard core
@@ -475,7 +480,7 @@ func decodeShardedSnapshot(data []byte) ([]*core.Snapshot, ShardedSnapshotInfo, 
 		return nil, ShardedSnapshotInfo{}, err
 	}
 	cores := make([]*core.Snapshot, len(snap.Shards))
-	info := ShardedSnapshotInfo{Shards: len(snap.Shards)}
+	info := ShardedSnapshotInfo{Shards: len(snap.Shards), Position: snap.Position}
 	for i, raw := range snap.Shards {
 		cs, err := core.DecodeSnapshot(raw)
 		if err != nil {
@@ -551,5 +556,5 @@ func RestoreShardedCounterChecked(data []byte, check func(ShardedSnapshotInfo) e
 		}
 		counters[i] = c
 	}
-	return shard.New(counters, shardOptions(&o)...)
+	return shard.New(counters, append(shardOptions(&o), shard.WithBasePosition(info.Position))...)
 }
