@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check race docs-check cluster-smoke wal-smoke bench bench-tables bench-suite bench-compare
+.PHONY: build test vet fmt check race docs-check cluster-smoke wal-smoke partition-smoke bench bench-tables bench-suite bench-compare
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,15 @@ wal-smoke:
 	$(GO) test -race ./internal/wal/
 	$(GO) test -race -run 'WAL|CatchUp|Torn|Retention|Lagging|LogMode|RestoreSeeds' ./internal/cluster/ ./internal/serve/
 	$(GO) test -run xxx -fuzz FuzzWALSegmentDecode -fuzztime 30s ./internal/wal/
+
+# Partitioned ingest and replay idempotence under the race detector: routed
+# partitions vs bit-identical in-process references, per-partition log replay
+# and snapshot restore, the ack-ambiguity fault injections (duplicated
+# delivery, apply-then-lost response), stamped-ingest dedup on the worker,
+# and the ownership/Beta unit suite plus the sum combiner.
+partition-smoke:
+	$(GO) test -race -run 'Partition|SumCombine|AckAmbiguity|Idempotent|Retention|FlagConflict' ./internal/cluster/ ./internal/serve/ ./cmd/wsdserve/
+	$(GO) test -race ./internal/partition/ ./internal/combine/
 
 # Ingestion throughput: single-goroutine pipeline vs sharded ensemble.
 bench:

@@ -5,9 +5,12 @@ import (
 	"math/rand"
 	"testing"
 
+	wsd "repro"
+
 	"repro/internal/exact"
 	"repro/internal/experiment"
 	"repro/internal/gen"
+	"repro/internal/partition"
 	"repro/internal/pattern"
 	"repro/internal/stream"
 )
@@ -103,6 +106,76 @@ func TestAcceptanceEstimatorsVsOracle(t *testing.T) {
 			mre := sum / acceptanceSeeds
 			t.Logf("%s %s %s: exact %.0f, mean relative error over %d seeds: %.4f (bound %.2f)",
 				c.algo, c.pattern, c.scenario, truth, acceptanceSeeds, mre, c.maxMRE)
+			if mre > c.maxMRE {
+				t.Errorf("mean relative error %.4f exceeds bound %.2f", mre, c.maxMRE)
+			}
+		})
+	}
+}
+
+// TestAcceptancePartitionedSumVsOracle runs the partitioned-ingest estimator
+// — the composition a partitioned coordinator serves — through the same
+// statistical harness: each edge is routed to the partitions owning its
+// endpoints, each partition runs an ownership-weighted WSD counter over its
+// substream, and the fleet estimate is the visibility-corrected sum. The
+// bounds carry the same ~2x headroom over the measured means (logged per
+// subtest) and catch regressions in the routing, the ownership weighting, or
+// the Beta correction.
+func TestAcceptancePartitionedSumVsOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical harness skipped in -short mode")
+	}
+	const parts = 3
+	type cell struct {
+		pattern  pattern.Kind
+		scenario string
+		m        int // per-partition reservoir budget
+		maxMRE   float64
+	}
+	cells := []cell{
+		{pattern.Wedge, "massive", 220, 0.08},
+		{pattern.Wedge, "light", 220, 0.08},
+		{pattern.Triangle, "massive", 220, 0.12},
+		{pattern.Triangle, "light", 220, 0.20},
+		{pattern.FourClique, "massive", 450, 0.60},
+		{pattern.FourClique, "light", 450, 0.55},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(c.pattern.String()+"/"+c.scenario, func(t *testing.T) {
+			s := acceptanceStream(t, c.scenario)
+			truth := exactFinal(s, c.pattern)
+			if truth < 50 {
+				t.Fatalf("degenerate test stream: exact %s count %v", c.pattern, truth)
+			}
+			sum := 0.0
+			for seed := 0; seed < acceptanceSeeds; seed++ {
+				counters := make([]wsd.Counter, parts)
+				for i := range counters {
+					counter, err := wsd.NewCounter(c.pattern, c.m,
+						wsd.WithSeed(int64(9000+seed*37+i)), wsd.WithPartition(i, parts))
+					if err != nil {
+						t.Fatal(err)
+					}
+					counters[i] = counter
+				}
+				for _, ev := range s {
+					a, b := partition.Owners(ev.Edge, parts)
+					counters[a].Process(ev)
+					if b != a {
+						counters[b].Process(ev)
+					}
+				}
+				est := 0.0
+				for _, counter := range counters {
+					est += counter.Estimate()
+				}
+				est /= partition.Beta(c.pattern, parts)
+				sum += math.Abs(est-truth) / truth
+			}
+			mre := sum / acceptanceSeeds
+			t.Logf("partitioned-sum %s %s: exact %.0f, mean relative error over %d seeds: %.4f (bound %.2f)",
+				c.pattern, c.scenario, truth, acceptanceSeeds, mre, c.maxMRE)
 			if mre > c.maxMRE {
 				t.Errorf("mean relative error %.4f exceeds bound %.2f", mre, c.maxMRE)
 			}

@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -59,10 +60,17 @@ func main() {
 	fullBudget := flag.Bool("full-budget", false, "give every shard the full budget m (uses shards x memory, 1/shards variance)")
 	mom := flag.Int("mom", 0, "median-of-means groups for the combined estimate (0 = plain mean); in coordinator mode, groups over worker estimates")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: restored on start if it exists, written on SIGINT/SIGTERM (a cluster blob in coordinator mode)")
-	walDir := flag.String("wal-dir", "", "coordinator mode: write-ahead log directory; every broadcast is logged before fan-out and lagging workers are healed by replay (empty = no log)")
+	walDir := flag.String("wal-dir", "", "coordinator mode: write-ahead log directory; every broadcast is logged before fan-out and lagging workers are healed by replay (empty = no log; with -partition, holds one p<N> log per partition)")
 	walSegmentBytes := flag.Int64("wal-segment-bytes", 64<<20, "coordinator mode: write-ahead log segment rotation size in bytes")
+	part := flag.Bool("partition", false, "coordinator mode: route each edge to the workers owning its endpoints instead of broadcasting (ingest scales with the fleet); workers must run with matching -partition-index/-partition-count")
+	partIndex := flag.Int("partition-index", -1, "single mode: this worker's partition slot under a partitioned coordinator (0-based fleet index; set with -partition-count)")
+	partCount := flag.Int("partition-count", 0, "single mode: the partitioned fleet's size this worker belongs to (set with -partition-index)")
 	flag.Parse()
-	rejectModeMismatchedFlags(*mode)
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := flagConflict(*mode, set, *part, *partIndex, *partCount); err != nil {
+		fatal(err)
+	}
 
 	var (
 		handler  http.Handler
@@ -88,6 +96,9 @@ func main() {
 		if len(kinds) > 1 {
 			cfg.Patterns = kinds
 		}
+		if *partCount > 0 {
+			cfg.PartitionIndex, cfg.PartitionCount = *partIndex, *partCount
+		}
 		srv, err := serve.New(cfg)
 		if err != nil {
 			fatal(err)
@@ -102,19 +113,36 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("-workers: %w", err))
 		}
-		ccfg := cluster.Config{Workers: urls, Quorum: *quorum, Timeout: *workerTimeout}
+		ccfg := cluster.Config{Workers: urls, Quorum: *quorum, Timeout: *workerTimeout, Partitioned: *part}
 		if *mom > 0 {
 			ccfg.Combiner = combine.MedianOfMeans(*mom)
 		}
-		var walLog *wal.Log
+		var walLogs []*wal.Log // every opened log, either mode, for closing
 		if *walDir != "" {
-			walLog, err = wal.Open(*walDir, wal.Options{SegmentBytes: *walSegmentBytes})
-			if err != nil {
-				fatal(err)
+			if *part {
+				// One log per partition, in subdirectories p0..p<N-1> of
+				// -wal-dir, index-aligned with -workers.
+				ccfg.Logs = make([]*wal.Log, len(urls))
+				for i := range urls {
+					lg, err := wal.Open(filepath.Join(*walDir, fmt.Sprintf("p%d", i)), wal.Options{SegmentBytes: *walSegmentBytes})
+					if err != nil {
+						fatal(err)
+					}
+					ccfg.Logs[i] = lg
+					walLogs = append(walLogs, lg)
+					log.Printf("wsdserve: partition %d write-ahead log %s at position %d (%d events, %d segments)",
+						i, lg.Dir(), lg.End(), lg.Events(), lg.Segments())
+				}
+			} else {
+				walLog, err := wal.Open(*walDir, wal.Options{SegmentBytes: *walSegmentBytes})
+				if err != nil {
+					fatal(err)
+				}
+				ccfg.Log = walLog
+				walLogs = append(walLogs, walLog)
+				log.Printf("wsdserve: write-ahead log %s at position %d (%d events, %d segments)",
+					*walDir, walLog.End(), walLog.Events(), walLog.Segments())
 			}
-			ccfg.Log = walLog
-			log.Printf("wsdserve: write-ahead log %s at position %d (%d events, %d segments)",
-				*walDir, walLog.End(), walLog.Events(), walLog.Segments())
 		}
 		coord, err := serve.NewCoordinator(serve.CoordinatorConfig{Cluster: ccfg})
 		if err != nil {
@@ -124,14 +152,14 @@ func main() {
 		snapshot = coord.Cluster().Snapshot
 		restore = coord.Cluster().Restore
 		closing = func() {
-			if walLog != nil {
-				if err := walLog.Close(); err != nil {
-					log.Printf("wsdserve: close write-ahead log: %v", err)
+			for _, lg := range walLogs {
+				if err := lg.Close(); err != nil {
+					log.Printf("wsdserve: close write-ahead log %s: %v", lg.Dir(), err)
 				}
 			}
 		}
-		if walLog != nil {
-			// Re-align the fleet against the reopened log before serving
+		if len(walLogs) > 0 {
+			// Re-align the fleet against the reopened log(s) before serving
 			// (after any checkpoint restore): a coordinator restart loses its
 			// in-memory ack table, and a lagging worker heals right here
 			// instead of at the first broadcast. Failures are retried
@@ -140,11 +168,15 @@ func main() {
 				if err := coord.Cluster().CatchUp(); err != nil {
 					log.Printf("wsdserve: catch-up: %v", err)
 				} else {
-					log.Printf("wsdserve: fleet caught up to log position %d", walLog.End())
+					log.Printf("wsdserve: fleet caught up to its log end(s)")
 				}
 			}
 		}
-		log.Printf("wsdserve: coordinating %d workers (quorum %d) on %s", coord.Cluster().Workers(), coord.Cluster().Quorum(), *addr)
+		modeWord := "coordinating"
+		if *part {
+			modeWord = "coordinating (partitioned)"
+		}
+		log.Printf("wsdserve: %s %d workers (quorum %d) on %s", modeWord, coord.Cluster().Workers(), coord.Cluster().Quorum(), *addr)
 	default:
 		fatal(fmt.Errorf("unknown -mode %q (single, coordinator)", *mode))
 	}
@@ -190,24 +222,48 @@ func main() {
 	closing()
 }
 
-// rejectModeMismatchedFlags fails fast when a flag that the selected mode
-// ignores was explicitly set: an operator passing -pattern or -m to a
-// coordinator believes they configured the fleet, but only the workers'
-// flags govern — starting anyway would serve estimates for a deployment the
-// operator did not ask for. The mistake reads as a flag error instead.
-func rejectModeMismatchedFlags(mode string) {
+// flagConflict fails fast on flag combinations the process would otherwise
+// silently ignore: a flag the selected mode does not read (an operator
+// passing -pattern to a coordinator believes they configured the fleet, but
+// only the workers' flags govern), a combining flag under -partition (whose
+// estimates compose by summation over the whole fleet — a -quorum or -mom
+// the coordinator constructor may not even see would be dropped), or half a
+// partition slot (an index without a count would start an ordinary
+// full-weight worker that silently double-counts under its coordinator).
+// set holds the names of explicitly passed flags (flag.Visit).
+func flagConflict(mode string, set map[string]bool, partitioned bool, partIndex, partCount int) error {
 	ignored := map[string][]string{
-		"single":      {"workers", "quorum", "worker-timeout", "wal-dir", "wal-segment-bytes"},
-		"coordinator": {"pattern", "m", "shards", "seed", "full-budget"},
+		"single":      {"workers", "quorum", "worker-timeout", "wal-dir", "wal-segment-bytes", "partition"},
+		"coordinator": {"pattern", "m", "shards", "seed", "full-budget", "partition-index", "partition-count"},
 	}[mode]
-	set := make(map[string]bool)
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	for _, name := range ignored {
 		if set[name] {
-			fatal(fmt.Errorf("-%s does not apply to -mode %s (it configures the %s side); see docs/operations.md",
-				name, mode, map[string]string{"single": "coordinator", "coordinator": "worker"}[mode]))
+			return fmt.Errorf("-%s does not apply to -mode %s (it configures the %s side); see docs/operations.md",
+				name, mode, map[string]string{"single": "coordinator", "coordinator": "worker"}[mode])
 		}
 	}
+	if partitioned {
+		if set["quorum"] {
+			return fmt.Errorf("-quorum does not apply with -partition: every partition holds an irreplaceable share of the count, so the whole fleet is always required")
+		}
+		if set["mom"] {
+			return fmt.Errorf("-mom does not apply with -partition: partitioned estimates compose by visibility-corrected summation, not median-of-means")
+		}
+	}
+	if mode == "single" {
+		if set["partition-index"] != set["partition-count"] {
+			return fmt.Errorf("-partition-index and -partition-count must be set together (a worker needs both its slot and the fleet size to weight its events)")
+		}
+		if set["partition-count"] {
+			if partCount < 1 {
+				return fmt.Errorf("-partition-count %d: need at least 1", partCount)
+			}
+			if partIndex < 0 || partIndex >= partCount {
+				return fmt.Errorf("-partition-index %d is outside the fleet [0, %d)", partIndex, partCount)
+			}
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

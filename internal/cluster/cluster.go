@@ -44,6 +44,24 @@
 // after retention passed its data, or fed out of band — is inconsistent in
 // the old sense and needs a snapshot Restore, after which the blob's recorded
 // log position lets replay finish the job ("restore from blob + log replay").
+//
+// Partitioned mode (Config.Partitioned). Broadcast buys variance reduction
+// but zero ingest scaling — every worker applies every event. Partitioned
+// mode routes instead: each edge goes to the owner(s) of its endpoints
+// (internal/partition — a fixed vertex hash), so worker k samples only its
+// share of the stream and the fleet's ingest scales with N. Estimates
+// compose by summation (combine.Sum): each worker weighs every contribution
+// by the fraction of the completing edge's endpoints it owns, and the
+// coordinator divides the summed per-pattern estimates by the pattern's
+// expected visibility partition.Beta, keeping the total unbiased (see
+// internal/partition for the argument). Reads need the *whole* fleet — a
+// missing partition is a missing share of the count, not a lost vote — so
+// the quorum is pinned to the fleet size and there are no degraded reads.
+// The consistency model generalizes per partition: with Config.Logs, worker
+// k's substream is appended to log k before delivery, every delivery is
+// stamped with its substream position (so replays are idempotent), and
+// catch-up, retention, and restore-from-blob+tail-replay all run per
+// partition exactly as the broadcast log runs fleet-wide.
 package cluster
 
 import (
@@ -55,6 +73,7 @@ import (
 	"io"
 	"net/http"
 	"slices"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -62,7 +81,9 @@ import (
 
 	wsd "repro"
 
+	"repro/internal/cli"
 	"repro/internal/combine"
+	"repro/internal/partition"
 	"repro/internal/stream"
 	"repro/internal/wal"
 )
@@ -91,8 +112,23 @@ type Config struct {
 	// to before fan-out, enabling per-worker catch-up by replay (see the
 	// durability notes in the package comment). The coordinator takes
 	// ownership: position tracking, retention truncation, and snapshot
-	// positioning all run through it.
+	// positioning all run through it. Broadcast mode only; partitioned
+	// coordinators log per partition through Logs.
 	Log *wal.Log
+	// Partitioned switches the coordinator from broadcast to partitioned
+	// ingest: edges are routed to the owners of their endpoints, worker i
+	// serving partition i of the fleet, and estimates compose by visibility-
+	// corrected summation (see the package comment). Combiner must be nil
+	// (the mode owns the math) and Quorum must be unset or the fleet size:
+	// every partition holds an irreplaceable share of the count. Workers
+	// must be configured with the matching serve.Config partition slots.
+	Partitioned bool
+	// Logs, in partitioned mode, are the per-partition write-ahead logs,
+	// index-aligned with Workers (log i records worker i's substream). Nil
+	// means no durability — a failed delivery marks its worker inconsistent,
+	// as in no-log broadcast mode. When set, every entry must be non-nil and
+	// the length must equal the worker count.
+	Logs []*wal.Log
 }
 
 // ErrBadStream wraps a body every worker rejected as unparsable: a client
@@ -122,6 +158,9 @@ const catchUpBackoff = 2 * time.Second
 // workerRef is one worker endpoint plus its consistency and catch-up state.
 type workerRef struct {
 	url string
+	// idx is the worker's fleet slot — in partitioned mode, the partition it
+	// owns and the index of its write-ahead log.
+	idx int
 	// inconsistent is set when the worker misses a broadcast (no-log mode) or
 	// when its reported position aligns with no logged frame (log mode); a
 	// successful cluster Restore — or, in log mode, a probe that re-aligns —
@@ -178,6 +217,15 @@ type Coordinator struct {
 	// IngestBytes canonicalizes the body before logging it).
 	decMu  sync.Mutex
 	decBuf []stream.Event
+
+	// Partitioned mode: logs are the per-partition write-ahead logs (nil
+	// without durability), routeBufs the reused per-worker routing buffers
+	// and partBufs the reused per-worker encode buffers (both guarded by
+	// encMu, like encBuf).
+	partitioned bool
+	logs        []*wal.Log
+	routeBufs   [][]stream.Event
+	partBufs    []bytes.Buffer
 }
 
 // New validates the worker list and returns a coordinator. The workers are
@@ -198,7 +246,7 @@ func New(cfg Config) (*Coordinator, error) {
 			return nil, fmt.Errorf("cluster: worker %s listed twice", u)
 		}
 		seen[u] = true
-		refs = append(refs, &workerRef{url: u})
+		refs = append(refs, &workerRef{url: u, idx: len(refs)})
 	}
 	comb := cfg.Combiner
 	if comb == nil {
@@ -211,6 +259,35 @@ func New(cfg Config) (*Coordinator, error) {
 	if quorum > len(refs) {
 		return nil, fmt.Errorf("cluster: quorum %d exceeds the %d configured workers", quorum, len(refs))
 	}
+	if cfg.Partitioned {
+		// The mode owns the read math: estimates are ownership-weighted
+		// shares, so summation (with the Beta correction at read time) is the
+		// only sound composition, and every partition must answer — averaging
+		// or reading around a missing partition would silently bias the count.
+		if cfg.Combiner != nil {
+			return nil, fmt.Errorf("cluster: partitioned mode composes estimates by visibility-corrected summation; do not set Combiner")
+		}
+		comb = combine.Sum
+		if cfg.Quorum != 0 && cfg.Quorum != len(refs) {
+			return nil, fmt.Errorf("cluster: partitioned reads need the whole fleet (every partition holds an irreplaceable share); quorum %d cannot apply — leave Quorum unset", cfg.Quorum)
+		}
+		quorum = len(refs)
+		if cfg.Log != nil {
+			return nil, fmt.Errorf("cluster: partitioned mode logs per partition; set Logs (one per worker), not Log")
+		}
+		if cfg.Logs != nil {
+			if len(cfg.Logs) != len(refs) {
+				return nil, fmt.Errorf("cluster: %d write-ahead logs for %d workers; Logs must be index-aligned with Workers", len(cfg.Logs), len(refs))
+			}
+			for i, lg := range cfg.Logs {
+				if lg == nil {
+					return nil, fmt.Errorf("cluster: Logs[%d] is nil; every partition needs its own log (or none)", i)
+				}
+			}
+		}
+	} else if cfg.Logs != nil {
+		return nil, fmt.Errorf("cluster: Logs is for partitioned mode; broadcast coordinators take one Log")
+	}
 	client := cfg.Client
 	if client == nil {
 		timeout := cfg.Timeout
@@ -219,7 +296,39 @@ func New(cfg Config) (*Coordinator, error) {
 		}
 		client = &http.Client{Timeout: timeout}
 	}
-	return &Coordinator{workers: refs, comb: comb, quorum: quorum, client: client, log: cfg.Log}, nil
+	c := &Coordinator{workers: refs, comb: comb, quorum: quorum, client: client, log: cfg.Log,
+		partitioned: cfg.Partitioned, logs: cfg.Logs}
+	if cfg.Partitioned {
+		c.routeBufs = make([][]stream.Event, len(refs))
+		c.partBufs = make([]bytes.Buffer, len(refs))
+	}
+	return c, nil
+}
+
+// Partitioned reports whether the coordinator routes by partition instead of
+// broadcasting.
+func (c *Coordinator) Partitioned() bool { return c.partitioned }
+
+// hasWAL reports whether the coordinator has write-ahead durability: one
+// fleet-wide log in broadcast mode, one log per partition in partitioned
+// mode.
+func (c *Coordinator) hasWAL() bool {
+	if c.partitioned {
+		return c.logs != nil
+	}
+	return c.log != nil
+}
+
+// walFor resolves the write-ahead log that records worker w's stream: the
+// shared log in broadcast mode, the worker's own partition log otherwise.
+func (c *Coordinator) walFor(w *workerRef) *wal.Log {
+	if c.partitioned {
+		if c.logs == nil {
+			return nil
+		}
+		return c.logs[w.idx]
+	}
+	return c.log
 }
 
 // NormalizeWorkerURL canonicalizes a worker address: trims whitespace and
@@ -291,7 +400,24 @@ func (e *statusError) client() bool { return e.code >= 400 && e.code < 500 }
 // post sends body to worker path and decodes a JSON reply into out (when
 // non-nil).
 func (c *Coordinator) post(w *workerRef, path string, body []byte, out any) error {
-	resp, err := c.client.Post(w.url+path, "application/octet-stream", bytes.NewReader(body))
+	return c.postStamped(w, path, body, -1, out)
+}
+
+// postStamped is post with an optional stream-position stamp (pos >= 0): the
+// header declares the absolute position of the body's first event, making
+// the delivery idempotent on the worker — a duplicate (a replay racing the
+// original request, or a retry of a request that applied but whose response
+// was lost) is skipped and reported back instead of double-applied.
+func (c *Coordinator) postStamped(w *workerRef, path string, body []byte, pos int64, out any) error {
+	req, err := http.NewRequest(http.MethodPost, w.url+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if pos >= 0 {
+		req.Header.Set(stream.PosHeader, strconv.FormatInt(pos, 10))
+	}
+	resp, err := c.client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -328,11 +454,14 @@ func (c *Coordinator) get(w *workerRef, path string) ([]byte, error) {
 	return raw, nil
 }
 
-// IngestResult reports how a broadcast landed.
+// IngestResult reports how a broadcast (or partitioned submit) landed.
 type IngestResult struct {
-	// Accepted is the event count each applying worker reported.
+	// Accepted is the event count each applying worker reported (broadcast
+	// mode — every worker receives the whole batch) or the batch's event
+	// count (partitioned mode — the batch is split across workers).
 	Accepted int `json:"accepted"`
-	// Applied is how many workers applied the batch.
+	// Applied is how many workers applied the batch (partitioned mode: their
+	// share of it, possibly empty).
 	Applied int `json:"applied"`
 	// Workers is the configured fleet size.
 	Workers int `json:"workers"`
@@ -350,19 +479,23 @@ type IngestResult struct {
 func (c *Coordinator) IngestBytes(raw []byte) (IngestResult, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if c.log == nil {
+	if !c.partitioned && c.log == nil {
 		return c.broadcast(raw)
 	}
-	// Log mode canonicalizes before anything touches a worker: the body is
-	// decoded whole (a parse error anywhere rejects it, exactly the workers'
-	// own all-or-nothing validation, without N wasted round trips) and
-	// re-framed, so the frames appended to the log and the frames broadcast
-	// are identical by construction.
+	// Log and partitioned modes canonicalize before anything touches a
+	// worker: the body is decoded whole (a parse error anywhere rejects it,
+	// exactly the workers' own all-or-nothing validation, without N wasted
+	// round trips) and re-framed, so the frames appended to a log and the
+	// frames delivered are identical by construction — and a partitioned
+	// coordinator needs the events regardless, to route them.
 	c.decMu.Lock()
 	defer c.decMu.Unlock()
 	evs, err := c.decodeBody(raw)
 	if err != nil {
 		return IngestResult{Workers: len(c.workers)}, fmt.Errorf("%w: %v", ErrBadStream, err)
+	}
+	if c.partitioned {
+		return c.submitPartitioned(evs)
 	}
 	return c.submitLogged(evs)
 }
@@ -468,6 +601,10 @@ func (c *Coordinator) SubmitBatch(evs []stream.Event) error {
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if c.partitioned {
+		_, err := c.submitPartitioned(evs)
+		return err
+	}
 	if c.log != nil {
 		_, err := c.submitLogged(evs)
 		return err
@@ -487,8 +624,14 @@ func (c *Coordinator) SubmitBatch(evs []stream.Event) error {
 // stream.MaxFrameEvents, the same boundaries the log-mode append uses, so a
 // logged frame and a broadcast frame are always the same bytes.
 func (c *Coordinator) encodeBody(evs []stream.Event) ([]byte, error) {
-	c.encBuf.Reset()
-	bw, err := stream.NewBinaryWriter(&c.encBuf)
+	return encodeInto(&c.encBuf, evs)
+}
+
+// encodeInto canonicalizes a batch into one binary wire body in the given
+// reused buffer (the partitioned path encodes one body per worker).
+func encodeInto(buf *bytes.Buffer, evs []stream.Event) ([]byte, error) {
+	buf.Reset()
+	bw, err := stream.NewBinaryWriter(buf)
 	if err != nil {
 		return nil, err
 	}
@@ -498,7 +641,7 @@ func (c *Coordinator) encodeBody(evs []stream.Event) ([]byte, error) {
 	if err := bw.Flush(); err != nil {
 		return nil, err
 	}
-	return c.encBuf.Bytes(), nil
+	return buf.Bytes(), nil
 }
 
 // submitLogged is the log-mode ingest path: canonical encode, append to the
@@ -522,6 +665,11 @@ func (c *Coordinator) submitLogged(evs []stream.Event) (IngestResult, error) {
 	if len(live) < c.quorum {
 		return res, fmt.Errorf("%w: %d serving of %d (need %d)", ErrNoQuorum, len(live), len(c.workers), c.quorum)
 	}
+	// The stamp is the stream position before this batch: every delivery of
+	// these frames — this broadcast, a catch-up replay, or a duplicate of
+	// either — declares the same position, so a worker applies the events
+	// exactly once no matter how many copies reach it or in what order.
+	startEvents := c.log.Events()
 	for lo := 0; lo < len(evs); lo += stream.MaxFrameEvents {
 		hi := lo + stream.MaxFrameEvents
 		if hi > len(evs) {
@@ -537,12 +685,15 @@ func (c *Coordinator) submitLogged(evs []stream.Event) (IngestResult, error) {
 	accepted := make([]int, len(live))
 	errs := fanout(live, func(i int, w *workerRef) error {
 		var reply struct {
-			Accepted int `json:"accepted"`
+			Accepted  int `json:"accepted"`
+			Duplicate int `json:"duplicate"`
 		}
-		if err := c.post(w, "/ingest", body, &reply); err != nil {
+		if err := c.postStamped(w, "/ingest", body, startEvents, &reply); err != nil {
 			return err
 		}
-		accepted[i] = reply.Accepted
+		// Duplicates count as covered: the worker already holds those events
+		// (an earlier delivery applied but its response was lost).
+		accepted[i] = reply.Accepted + reply.Duplicate
 		return nil
 	})
 	var firstErr error
@@ -576,16 +727,45 @@ func (c *Coordinator) submitLogged(evs []stream.Event) (IngestResult, error) {
 }
 
 // truncateToMinAck retires sealed log segments the whole fleet has passed;
-// bcastMu held. Every worker's ack — lagging included — pins retention, so a
-// lagging worker's replay tail is always retained; only Restore (which
-// re-seeds every ack from the blob's position) moves an irrecoverably
-// behind worker forward. Truncation failures are left for the next attempt.
+// bcastMu held. Every worker's ack — lagging and inconsistent included —
+// pins retention: a lagging worker's replay tail must be retained until it
+// catches up, and an inconsistent worker's stale ack still brackets where a
+// recent snapshot may sit. Only Restore (which re-seeds every ack from the
+// blob's position) moves an irrecoverably behind worker forward.
+//
+// When *no* consistent worker remains, the minimum ack is a minimum over
+// stale bookmarks only — positions no live state backs. Acks can sit above
+// the last truncation point without any consistent state behind them (a
+// Restore seeds and replays acks without truncating), so truncating to that
+// minimum could retire exactly the tail the healing snapshot restore needs
+// to replay ("restore from blob + tail"). A fully inconsistent fleet
+// therefore pins retention outright: no truncation until a restore brings a
+// worker back. In partitioned mode each partition's log answers to its one
+// worker — the single-worker instance of the same rule: truncate log i to
+// worker i's ack, or not at all while that worker is inconsistent.
+// Truncation failures are left for the next attempt.
 func (c *Coordinator) truncateToMinAck() {
+	if c.partitioned {
+		for _, w := range c.workers {
+			if w.inconsistent.Load() {
+				continue
+			}
+			c.logs[w.idx].TruncateBefore(w.acked.Load())
+		}
+		return
+	}
+	anyConsistent := false
 	min := c.workers[0].acked.Load()
-	for _, w := range c.workers[1:] {
+	for _, w := range c.workers {
+		if !w.inconsistent.Load() {
+			anyConsistent = true
+		}
 		if a := w.acked.Load(); a < min {
 			min = a
 		}
+	}
+	if !anyConsistent {
+		return
 	}
 	c.log.TruncateBefore(min)
 }
@@ -630,6 +810,7 @@ func (c *Coordinator) healLagging(force bool) {
 // a position that aligns with no retained frame marks it inconsistent — only
 // a snapshot restore can bridge that gap.
 func (c *Coordinator) catchUpWorker(w *workerRef) error {
+	lg := c.walFor(w)
 	w.lastCatchUp.Store(time.Now().UnixNano())
 	raw, err := c.get(w, "/healthz")
 	if err != nil {
@@ -643,11 +824,11 @@ func (c *Coordinator) catchUpWorker(w *workerRef) error {
 		w.lagging.Store(true)
 		return fmt.Errorf("worker %s: probe: %w", w.url, err)
 	}
-	pos, ok := c.log.PosForEvents(probe.Position)
+	pos, ok := lg.PosForEvents(probe.Position)
 	if !ok {
 		w.inconsistent.Store(true)
-		if probe.Position < c.log.BaseEvents() {
-			return fmt.Errorf("worker %s is at event %d but retention begins at event %d (%v); restore a cluster snapshot to heal", w.url, probe.Position, c.log.BaseEvents(), wal.ErrTruncated)
+		if probe.Position < lg.BaseEvents() {
+			return fmt.Errorf("worker %s is at event %d but retention begins at event %d (%v); restore a cluster snapshot to heal", w.url, probe.Position, lg.BaseEvents(), wal.ErrTruncated)
 		}
 		return fmt.Errorf("worker %s reports position %d, which aligns with no logged frame boundary; restore a cluster snapshot to heal", w.url, probe.Position)
 	}
@@ -667,20 +848,27 @@ func (c *Coordinator) catchUpWorker(w *workerRef) error {
 // replayTo streams the log tail above the worker's ack as chunked binary
 // /ingest bodies — stored frame payloads copied verbatim behind a stream
 // header, so the worker applies exactly the frames (and frame boundaries) the
-// live fleet did. The worker's ack advances per applied chunk; bcastMu held.
+// live fleet did. Every chunk is stamped with the worker's acknowledged event
+// count (the absolute position of the chunk's first event), so a replay that
+// races a duplicate of an earlier delivery is skipped, not double-applied;
+// events the worker already held come back in the reply's duplicate count and
+// still count as covered. The worker's ack advances per applied chunk;
+// bcastMu held.
 func (c *Coordinator) replayTo(w *workerRef) error {
 	const maxReplayBody = 4 << 20
+	lg := c.walFor(w)
 	for {
 		start := w.acked.Load()
-		if start >= c.log.End() {
+		if start >= lg.End() {
 			return nil
 		}
+		startEvents := w.ackedEvents.Load()
 		body := stream.AppendBinaryHeader(c.replayBuf[:0])
 		var (
 			chunkEnd uint64
 			total    int
 		)
-		err := c.log.ReplayPayloads(start, func(pos uint64, events int, payload []byte) error {
+		err := lg.ReplayPayloads(start, func(pos uint64, events int, payload []byte) error {
 			body = binary.AppendUvarint(body, uint64(len(payload)))
 			body = append(body, payload...)
 			chunkEnd = pos
@@ -698,15 +886,16 @@ func (c *Coordinator) replayTo(w *workerRef) error {
 			return nil // nothing above start survived into this chunk
 		}
 		var reply struct {
-			Accepted int `json:"accepted"`
+			Accepted  int `json:"accepted"`
+			Duplicate int `json:"duplicate"`
 		}
-		if err := c.post(w, "/ingest", body, &reply); err != nil {
+		if err := c.postStamped(w, "/ingest", body, startEvents, &reply); err != nil {
 			return err
 		}
-		if reply.Accepted != total {
-			return fmt.Errorf("accepted %d of %d replayed events", reply.Accepted, total)
+		if reply.Accepted+reply.Duplicate != total {
+			return fmt.Errorf("accepted %d of %d replayed events (%d duplicate)", reply.Accepted, total, reply.Duplicate)
 		}
-		ev, ok := c.log.EventsAt(chunkEnd)
+		ev, ok := lg.EventsAt(chunkEnd)
 		if !ok {
 			return fmt.Errorf("%w: position %d left the retained range during replay", wal.ErrTruncated, chunkEnd)
 		}
@@ -722,7 +911,7 @@ func (c *Coordinator) replayTo(w *workerRef) error {
 // end; otherwise the error wraps ErrCatchUpIncomplete and the stragglers
 // stay marked for automatic retry.
 func (c *Coordinator) CatchUp() error {
-	if c.log == nil {
+	if !c.hasWAL() {
 		return fmt.Errorf("cluster: no write-ahead log configured (start the coordinator with -wal-dir)")
 	}
 	c.mu.RLock()
@@ -742,8 +931,13 @@ func (c *Coordinator) CatchUp() error {
 	return nil
 }
 
-// Log returns the attached write-ahead log (nil without one).
+// Log returns the attached write-ahead log (nil without one, and nil in
+// partitioned mode — see Logs).
 func (c *Coordinator) Log() *wal.Log { return c.log }
+
+// Logs returns the per-partition write-ahead logs of a partitioned
+// coordinator (nil without durability, and nil in broadcast mode — see Log).
+func (c *Coordinator) Logs() []*wal.Log { return c.logs }
 
 // Estimate is a combined scatter/gather read over the worker fleet.
 type Estimate struct {
@@ -827,6 +1021,9 @@ func (c *Coordinator) Estimate() (*Estimate, error) {
 	}
 	vectors := make([][]float64, len(gathered))
 	out.Processed = gathered[0].Processed
+	if c.partitioned {
+		out.Processed = 0
+	}
 	for i, g := range gathered {
 		if !slices.Equal(g.Patterns, patterns) {
 			return out, fmt.Errorf("cluster: workers serve different pattern sets (%v vs %v); the fleet must be configured uniformly", patterns, g.Patterns)
@@ -841,13 +1038,33 @@ func (c *Coordinator) Estimate() (*Estimate, error) {
 		}
 		vectors[i] = vec
 		out.WorkerEstimates = append(out.WorkerEstimates, g.Estimate)
-		if g.Processed < out.Processed {
+		if c.partitioned {
+			// The fleet splits the stream, so fleet progress is the sum of the
+			// partitions' positions. (A two-owner edge is delivered to both
+			// owners and counted by each, so this can exceed the client-side
+			// event count — it measures deliveries, the unit acks and replay
+			// use, not unique edges.)
+			out.Processed += g.Processed
+		} else if g.Processed < out.Processed {
 			out.Processed = g.Processed
 		}
 	}
 	combined, err := combine.Vectors(vectors, c.comb)
 	if err != nil {
 		return out, fmt.Errorf("cluster: %w", err)
+	}
+	if c.partitioned {
+		// The summed per-pattern estimates total the ownership-weighted shares
+		// of the pattern instances each partition can see; dividing by the
+		// expected visibility Beta (a pure function of pattern and fleet size)
+		// restores unbiasedness. See internal/partition for the derivation.
+		for i, p := range patterns {
+			kind, err := cli.ParsePattern(p)
+			if err != nil {
+				return out, fmt.Errorf("cluster: worker reports pattern %q: %w", p, err)
+			}
+			combined[i] /= partition.Beta(kind, len(c.workers))
+		}
 	}
 	out.Patterns = patterns
 	out.Estimate = combined[0]
@@ -871,6 +1088,16 @@ type Snapshot struct {
 	// acknowledged position there, and replaying the log above it brings the
 	// fleet to the present — the "restore from blob + log replay" guarantee.
 	WAL *WALMark `json:"wal,omitempty"`
+	// Partitioned marks a blob taken by a partitioned coordinator. Worker i's
+	// blob holds partition i's sample, which describes a share of the graph
+	// rather than all of it, so a partitioned blob restores only onto a
+	// partitioned coordinator of the same fleet size (and vice versa).
+	Partitioned bool `json:"partitioned,omitempty"`
+	// WALs, present on snapshots taken by a partitioned coordinator with
+	// per-partition logs, records each partition log's position at the blob —
+	// the per-partition analogue of WAL, with the same restore-then-replay
+	// guarantee running independently per partition.
+	WALs []WALMark `json:"wals,omitempty"`
 }
 
 // WALMark is a stream position as the write-ahead log measures it: a frame
@@ -902,11 +1129,18 @@ func (c *Coordinator) Snapshot() ([]byte, error) {
 	if live := c.eligible(); len(live) < len(c.workers) {
 		return nil, fmt.Errorf("cluster: %d of %d workers are not serving (lagging or inconsistent); a cluster snapshot needs the whole fleet (catch it up or restore it first)", len(c.workers)-len(live), len(c.workers))
 	}
-	snap := Snapshot{ClusterVersion: snapshotVersion, Workers: make([]json.RawMessage, len(c.workers))}
+	snap := Snapshot{ClusterVersion: snapshotVersion, Workers: make([]json.RawMessage, len(c.workers)), Partitioned: c.partitioned}
 	if c.log != nil {
 		// Under bcastMu no broadcast is mid-flight and every eligible worker
 		// has acked the log end, so the fleet sits at exactly this position.
 		snap.WAL = &WALMark{Position: c.log.End(), Events: c.log.Events()}
+	}
+	if c.partitioned && c.logs != nil {
+		// Same argument per partition: worker i has acked log i's end.
+		snap.WALs = make([]WALMark, len(c.logs))
+		for i, lg := range c.logs {
+			snap.WALs[i] = WALMark{Position: lg.End(), Events: lg.Events()}
+		}
 	}
 	errs := fanout(c.workers, func(i int, w *workerRef) error {
 		raw, err := c.get(w, "/snapshot")
@@ -932,6 +1166,15 @@ func (c *Coordinator) Snapshot() ([]byte, error) {
 		for i, info := range infos {
 			if info.Position != snap.WAL.Events {
 				return nil, fmt.Errorf("cluster: worker %s snapshot is at position %d, the log is at %d; the blob does not describe one stream position", c.workers[i].url, info.Position, snap.WAL.Events)
+			}
+		}
+	}
+	if snap.WALs != nil {
+		// Per-partition check: worker i's position is its substream position
+		// and must agree with partition log i.
+		for i, info := range infos {
+			if info.Position != snap.WALs[i].Events {
+				return nil, fmt.Errorf("cluster: worker %s snapshot is at position %d, its partition log is at %d; the blob does not describe one stream position", c.workers[i].url, info.Position, snap.WALs[i].Events)
 			}
 		}
 	}
@@ -1019,37 +1262,47 @@ func (c *Coordinator) Restore(blob []byte) error {
 	if len(snap.Workers) != len(c.workers) {
 		return fmt.Errorf("cluster: snapshot holds %d workers, coordinator is configured for %d", len(snap.Workers), len(c.workers))
 	}
+	if snap.Partitioned != c.partitioned {
+		// Worker blobs carry whole-stream samples in broadcast mode and
+		// per-partition shares in partitioned mode; crossing the modes would
+		// restore state that silently estimates the wrong quantity.
+		if snap.Partitioned {
+			return fmt.Errorf("cluster: snapshot was taken by a partitioned coordinator; this coordinator broadcasts")
+		}
+		return fmt.Errorf("cluster: snapshot was taken by a broadcast coordinator; this coordinator is partitioned")
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.bcastMu.Lock()
 	defer c.bcastMu.Unlock()
-	mark := snap.WAL
-	if c.log != nil {
-		// Position the blob against the log before any worker state is
-		// touched: the restore is only useful if the log can carry the fleet
-		// from the blob's position to the present.
-		if mark == nil {
-			// A blob from before the log existed restores only onto a fresh
-			// log: both then measure positions from the restore point.
-			mark = &WALMark{}
-			if c.log.End() != 0 || c.log.Base() != 0 {
-				return fmt.Errorf("cluster: snapshot carries no log position but the log spans (%d, %d]; take a fresh cluster snapshot (which records its position) or start from an empty -wal-dir", c.log.Base(), c.log.End())
-			}
+	// Position the blob against the log(s) before any worker state is
+	// touched: the restore is only useful if the log can carry the fleet from
+	// the blob's position to the present. marks[i] is worker i's mark — the
+	// shared one in broadcast mode, its partition log's in partitioned mode.
+	marks := make([]*WALMark, len(c.workers))
+	if !c.partitioned && c.log != nil {
+		mark, err := positionMark(c.log, snap.WAL)
+		if err != nil {
+			return err
 		}
-		switch {
-		case mark.Position < c.log.Base():
-			return fmt.Errorf("cluster: snapshot is at position %d but retention begins at %d (%v); take a fresh cluster snapshot", mark.Position, c.log.Base(), wal.ErrTruncated)
-		case mark.Position > c.log.End():
-			// Ahead of the log: sound only when the log holds no frames at
-			// all (a fresh directory) — the blob supplies everything through
-			// its mark and the log re-anchors there.
-			if err := c.log.RebaseEmpty(mark.Position, mark.Events); err != nil {
-				return fmt.Errorf("cluster: snapshot is at position %d but the log ends at %d: %v", mark.Position, c.log.End(), err)
+		for i := range marks {
+			marks[i] = mark
+		}
+	}
+	if c.partitioned && c.logs != nil {
+		if snap.WALs != nil && len(snap.WALs) != len(c.logs) {
+			return fmt.Errorf("cluster: snapshot records %d partition log positions, coordinator has %d logs", len(snap.WALs), len(c.logs))
+		}
+		for i, lg := range c.logs {
+			var m *WALMark
+			if snap.WALs != nil {
+				m = &snap.WALs[i]
 			}
-		default:
-			if ev, ok := c.log.EventsAt(mark.Position); !ok || ev != mark.Events {
-				return fmt.Errorf("cluster: snapshot records %d events at position %d, the log has %d; snapshot and log describe different streams", mark.Events, mark.Position, ev)
+			mark, err := positionMark(lg, m)
+			if err != nil {
+				return fmt.Errorf("partition %d: %w", i, err)
 			}
+			marks[i] = mark
 		}
 	}
 	errs := fanout(c.workers, func(i int, w *workerRef) error {
@@ -1057,41 +1310,73 @@ func (c *Coordinator) Restore(blob []byte) error {
 	})
 	var firstErr error
 	for i, err := range errs {
+		w := c.workers[i]
 		if err != nil {
-			c.workers[i].inconsistent.Store(true)
+			w.inconsistent.Store(true)
 			if firstErr == nil {
-				firstErr = fmt.Errorf("%w: worker %s: %v", ErrPartialRestore, c.workers[i].url, err)
+				firstErr = fmt.Errorf("%w: worker %s: %v", ErrPartialRestore, w.url, err)
 			}
 		} else {
-			c.workers[i].inconsistent.Store(false)
-			if c.log != nil {
-				c.workers[i].acked.Store(mark.Position)
-				c.workers[i].ackedEvents.Store(mark.Events)
-				c.workers[i].lagging.Store(mark.Position < c.log.End())
+			w.inconsistent.Store(false)
+			if mark := marks[i]; mark != nil {
+				w.acked.Store(mark.Position)
+				w.ackedEvents.Store(mark.Events)
+				w.lagging.Store(mark.Position < c.walFor(w).End())
 			}
 		}
 	}
 	if firstErr != nil {
 		return firstErr
 	}
-	if c.log != nil && mark.Position < c.log.End() {
-		// The blob is behind the log's present: finish the job by replay, so
-		// a successful restore always lands the fleet at the log end. A
-		// replay failure is retried automatically at the next broadcast.
-		var replayErr error
-		for _, w := range c.workers {
-			if err := c.replayTo(w); err != nil {
-				w.lagging.Store(true)
-				if replayErr == nil {
-					replayErr = fmt.Errorf("%w: worker %s: %v", ErrCatchUpIncomplete, w.url, err)
-				}
-				continue
-			}
-			w.lagging.Store(false)
+	// Where a blob is behind its log's present, finish the job by replay, so
+	// a successful restore always lands the fleet at the log end(s). A replay
+	// failure is retried automatically at the next broadcast.
+	var replayErr error
+	for i, w := range c.workers {
+		mark := marks[i]
+		if mark == nil || mark.Position >= c.walFor(w).End() {
+			continue
 		}
-		return replayErr
+		if err := c.replayTo(w); err != nil {
+			w.lagging.Store(true)
+			if replayErr == nil {
+				replayErr = fmt.Errorf("%w: worker %s: %v", ErrCatchUpIncomplete, w.url, err)
+			}
+			continue
+		}
+		w.lagging.Store(false)
 	}
-	return nil
+	return replayErr
+}
+
+// positionMark validates a snapshot's recorded position against one
+// write-ahead log (see Restore): behind retention is fatal, ahead of the log
+// re-anchors an empty log at the mark, inside the range must align with a
+// frame boundary holding the recorded event count. A nil mark (a blob from
+// before the log existed) is sound only on a fresh log and positions at zero.
+func positionMark(lg *wal.Log, mark *WALMark) (*WALMark, error) {
+	if mark == nil {
+		if lg.End() != 0 || lg.Base() != 0 {
+			return nil, fmt.Errorf("cluster: snapshot carries no log position but the log spans (%d, %d]; take a fresh cluster snapshot (which records its position) or start from an empty -wal-dir", lg.Base(), lg.End())
+		}
+		return &WALMark{}, nil
+	}
+	switch {
+	case mark.Position < lg.Base():
+		return nil, fmt.Errorf("cluster: snapshot is at position %d but retention begins at %d (%v); take a fresh cluster snapshot", mark.Position, lg.Base(), wal.ErrTruncated)
+	case mark.Position > lg.End():
+		// Ahead of the log: sound only when the log holds no frames at all (a
+		// fresh directory) — the blob supplies everything through its mark and
+		// the log re-anchors there.
+		if err := lg.RebaseEmpty(mark.Position, mark.Events); err != nil {
+			return nil, fmt.Errorf("cluster: snapshot is at position %d but the log ends at %d: %v", mark.Position, lg.End(), err)
+		}
+	default:
+		if ev, ok := lg.EventsAt(mark.Position); !ok || ev != mark.Events {
+			return nil, fmt.Errorf("cluster: snapshot records %d events at position %d, the log has %d; snapshot and log describe different streams", mark.Events, mark.Position, ev)
+		}
+	}
+	return mark, nil
 }
 
 // WorkerHealth is one worker's slice of a cluster health probe.
@@ -1143,8 +1428,15 @@ type Health struct {
 	// serving worker's /healthz (empty/zero when nothing is reachable).
 	Patterns []string `json:"patterns,omitempty"`
 	Shards   int      `json:"shards,omitempty"`
-	// WAL reports the write-ahead log's retained range (log mode only).
-	WAL *WALHealth `json:"wal,omitempty"`
+	// Partitioned reports the coordinator's ingest mode; in partitioned mode
+	// each worker's partition slot is verified against its fleet index, so a
+	// mis-deployed worker (wrong -partition-index, or not partitioned at all)
+	// degrades health instead of silently biasing every read.
+	Partitioned bool `json:"partitioned,omitempty"`
+	// WAL reports the write-ahead log's retained range (broadcast log mode);
+	// WALs the per-partition ranges (partitioned log mode, fleet order).
+	WAL  *WALHealth  `json:"wal,omitempty"`
+	WALs []WALHealth `json:"wals,omitempty"`
 	// WorkersDetail lists every configured worker.
 	WorkersDetail []WorkerHealth `json:"workers_detail"`
 }
@@ -1156,7 +1448,7 @@ type Health struct {
 // so orchestrator liveness probes keep answering even while a long Restore
 // holds the write lock.
 func (c *Coordinator) Health() Health {
-	h := Health{Workers: len(c.workers), Quorum: c.quorum}
+	h := Health{Workers: len(c.workers), Quorum: c.quorum, Partitioned: c.partitioned}
 	h.WorkersDetail = make([]WorkerHealth, len(c.workers))
 	if c.log != nil {
 		h.WAL = &WALHealth{
@@ -1167,15 +1459,31 @@ func (c *Coordinator) Health() Health {
 			Segments: c.log.Segments(),
 		}
 	}
+	if c.partitioned && c.logs != nil {
+		h.WALs = make([]WALHealth, len(c.logs))
+		for i, lg := range c.logs {
+			h.WALs[i] = WALHealth{
+				Dir:      lg.Dir(),
+				Base:     lg.Base(),
+				End:      lg.End(),
+				Events:   lg.Events(),
+				Segments: lg.Segments(),
+			}
+		}
+	}
 	type workerHealthz struct {
-		Patterns []string `json:"patterns"`
-		Shards   int      `json:"shards"`
-		Position int64    `json:"position"`
+		Patterns  []string `json:"patterns"`
+		Shards    int      `json:"shards"`
+		Position  int64    `json:"position"`
+		Partition *struct {
+			Index int `json:"index"`
+			Count int `json:"count"`
+		} `json:"partition"`
 	}
 	probes := make([]*workerHealthz, len(c.workers))
 	fanout(c.workers, func(i int, w *workerRef) error {
 		wh := WorkerHealth{URL: w.url, Consistent: !w.inconsistent.Load(), Lagging: w.lagging.Load()}
-		if c.log != nil {
+		if c.hasWAL() {
 			wh.Acked = w.acked.Load()
 		}
 		raw, err := c.get(w, "/healthz")
@@ -1186,7 +1494,7 @@ func (c *Coordinator) Health() Health {
 			var probe workerHealthz
 			if json.Unmarshal(raw, &probe) == nil {
 				probes[i] = &probe
-				if c.log != nil {
+				if c.hasWAL() {
 					wh.Position = probe.Position
 				}
 			}
@@ -1205,6 +1513,22 @@ func (c *Coordinator) Health() Health {
 		probe := probes[i]
 		if probe == nil {
 			continue
+		}
+		// Partition slots are per-worker config, not fleet-wide: worker i must
+		// serve partition i of exactly this fleet size under a partitioned
+		// coordinator (its sampling weights depend on it), and must not weight
+		// by partition at all under a broadcast one.
+		if c.partitioned {
+			if probe.Partition == nil {
+				uniform = false
+				wh.Error = "worker is not configured for partitioned ingest (no partition slot in /healthz); start it with -partition-index and -partition-count"
+			} else if probe.Partition.Index != i || probe.Partition.Count != len(c.workers) {
+				uniform = false
+				wh.Error = fmt.Sprintf("worker serves partition %d of %d but holds fleet slot %d of %d; fix its -partition-index/-partition-count", probe.Partition.Index, probe.Partition.Count, i, len(c.workers))
+			}
+		} else if probe.Partition != nil {
+			uniform = false
+			wh.Error = fmt.Sprintf("worker weights events for partition %d of %d but this coordinator broadcasts; remove its partition flags", probe.Partition.Index, probe.Partition.Count)
 		}
 		if ref == nil {
 			ref = probe

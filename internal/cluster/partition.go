@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/partition"
+	"repro/internal/stream"
+)
+
+// submitPartitioned is the partitioned-mode ingest path: route each event to
+// the owner(s) of its endpoints, then deliver each worker only its share.
+// Caller holds the read lock.
+//
+// Ordering is the same global-order argument broadcast mode makes, per
+// partition: bcastMu is held across the whole fan-out, so worker i receives
+// its sub-batches in submission order, and an insert/delete pair can never
+// arrive swapped. A two-owner edge is delivered to both owners; each weights
+// its contributions by its owned-endpoint fraction (serve.Config's partition
+// slot), so the fleet counts every completing edge with total weight one.
+//
+// With per-partition logs, each sub-batch is appended to its partition's log
+// before any delivery (durable-then-deliver, as in broadcast log mode) and
+// every delivery is stamped with its substream position, so duplicates and
+// replays are idempotent. A failed delivery marks the worker lagging
+// (healable by replay); without logs it marks it inconsistent.
+func (c *Coordinator) submitPartitioned(evs []stream.Event) (IngestResult, error) {
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	res := IngestResult{Workers: len(c.workers)}
+	n := len(c.workers)
+	for i := range c.routeBufs {
+		c.routeBufs[i] = c.routeBufs[i][:0]
+	}
+	for _, ev := range evs {
+		a, b := partition.Owners(ev.Edge, n)
+		c.routeBufs[a] = append(c.routeBufs[a], ev)
+		if b != a {
+			c.routeBufs[b] = append(c.routeBufs[b], ev)
+		}
+	}
+	c.bcastMu.Lock()
+	defer c.bcastMu.Unlock()
+	if c.logs != nil {
+		// Heal first, as in broadcast log mode: a lagging partition past its
+		// backoff rejoins before this batch.
+		c.healLagging(false)
+	}
+	if live := c.eligible(); len(live) < c.quorum {
+		// The quorum is the fleet size (New pins it), so any missing partition
+		// blocks ingest: events for its vertices have nowhere sound to go.
+		return res, fmt.Errorf("%w: %d serving of %d (partitioned ingest needs every partition)", ErrNoQuorum, len(live), len(c.workers))
+	}
+	// Durable before delivered: append every non-empty share to its partition
+	// log, recording each log's pre-append position as the delivery stamp.
+	startEvents := make([]int64, n)
+	endPos := make([]uint64, n)
+	endEvents := make([]int64, n)
+	if c.logs != nil {
+		for i, lg := range c.logs {
+			sub := c.routeBufs[i]
+			startEvents[i] = lg.Events()
+			for lo := 0; lo < len(sub); lo += stream.MaxFrameEvents {
+				hi := lo + stream.MaxFrameEvents
+				if hi > len(sub) {
+					hi = len(sub)
+				}
+				if _, err := lg.Append(sub[lo:hi]); err != nil {
+					// Earlier partitions' logs already hold their shares but no
+					// worker has seen them: mark those workers lagging so replay
+					// delivers the durable tail, and report the failure.
+					for j := 0; j < i; j++ {
+						if len(c.routeBufs[j]) > 0 {
+							c.workers[j].lagging.Store(true)
+						}
+					}
+					return res, fmt.Errorf("cluster: partition %d write-ahead log append: %w", i, err)
+				}
+			}
+			endPos[i], endEvents[i] = lg.End(), lg.Events()
+		}
+	}
+	errs := fanout(c.workers, func(i int, w *workerRef) error {
+		sub := c.routeBufs[i]
+		if len(sub) == 0 {
+			return nil // no share this batch; the worker's position is unchanged
+		}
+		body, err := encodeInto(&c.partBufs[i], sub)
+		if err != nil {
+			return err
+		}
+		var reply struct {
+			Accepted  int `json:"accepted"`
+			Duplicate int `json:"duplicate"`
+		}
+		stamp := int64(-1)
+		if c.logs != nil {
+			stamp = startEvents[i]
+		}
+		if err := c.postStamped(w, "/ingest", body, stamp, &reply); err != nil {
+			return err
+		}
+		if reply.Accepted+reply.Duplicate != len(sub) {
+			return fmt.Errorf("applied %d of %d routed events (%d duplicate)", reply.Accepted, len(sub), reply.Duplicate)
+		}
+		return nil
+	})
+	var firstErr error
+	applied := 0
+	for i, err := range errs {
+		w := c.workers[i]
+		if err == nil {
+			applied++
+			if c.logs != nil {
+				w.acked.Store(endPos[i])
+				w.ackedEvents.Store(endEvents[i])
+			}
+			continue
+		}
+		if c.logs != nil {
+			// The share is on the worker's partition log; replay heals it.
+			w.lagging.Store(true)
+			w.lastCatchUp.Store(time.Now().UnixNano())
+		} else {
+			// Without durability a missed share is unrecoverable: the worker's
+			// sample no longer summarizes its substream.
+			w.inconsistent.Store(true)
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("worker %s: %w", w.url, err)
+		}
+	}
+	res.Accepted = len(evs)
+	res.Applied = applied
+	if c.logs != nil {
+		c.truncateToMinAck()
+	}
+	if applied < c.quorum {
+		return res, fmt.Errorf("%w: %d of %d partitions applied their share: %v", ErrNoQuorum, applied, len(c.workers), firstErr)
+	}
+	return res, nil
+}

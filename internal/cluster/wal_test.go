@@ -34,8 +34,12 @@ type restartableWorker struct {
 	addr   string
 	budget int
 	seed   int64
-	ts     *httptest.Server
-	srv    *serve.Server
+	// partitionIndex/partitionCount, when count > 0, give the worker a
+	// partition slot (the partitioned suite's fleets); a restart keeps the
+	// slot, as a redeployed pod would.
+	partitionIndex, partitionCount int
+	ts                             *httptest.Server
+	srv                            *serve.Server
 }
 
 func newRestartableWorker(t *testing.T, budget int, seed int64) *restartableWorker {
@@ -58,10 +62,12 @@ func newRestartableWorker(t *testing.T, budget int, seed int64) *restartableWork
 func (w *restartableWorker) start(t *testing.T, l net.Listener) {
 	t.Helper()
 	srv, err := serve.New(serve.Config{
-		Pattern: wsd.TrianglePattern,
-		M:       w.budget,
-		Shards:  1,
-		Options: []wsd.Option{wsd.WithSeed(w.seed)},
+		Pattern:        wsd.TrianglePattern,
+		M:              w.budget,
+		Shards:         1,
+		Options:        []wsd.Option{wsd.WithSeed(w.seed)},
+		PartitionIndex: w.partitionIndex,
+		PartitionCount: w.partitionCount,
 	})
 	if err != nil {
 		t.Fatal(err)

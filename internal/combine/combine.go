@@ -32,6 +32,18 @@ func Mean(estimates []float64) float64 {
 	return sum / float64(len(estimates))
 }
 
+// Sum adds the member estimates. It is the combiner for partitioned
+// ensembles: when each member estimates a disjoint ownership-weighted share
+// of the same count — rather than K independent estimates of the whole —
+// the total is recovered by linearity of expectation, not by averaging.
+func Sum(estimates []float64) float64 {
+	total := 0.0
+	for _, e := range estimates {
+		total += e
+	}
+	return total
+}
+
 // MedianOfMeans returns a combiner that partitions the member estimates into
 // the given number of contiguous groups, averages within each group, and
 // takes the median of the group means. groups <= 1 degenerates to Mean;

@@ -25,6 +25,52 @@ func TestMean(t *testing.T) {
 	}
 }
 
+func TestSumCombine(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 7},
+		{"partitions", []float64{10, 20, 30}, 60},
+		{"negative", []float64{-3, 3}, 0},
+	}
+	for _, c := range cases {
+		if got := Sum(c.in); got != c.want {
+			t.Errorf("%s: Sum(%v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+// TestSumCombineVectorsRejectionParity: the width-mismatch and empty-member
+// guards in Vectors are combiner-independent — Sum must reject exactly the
+// inputs Mean and MedianOfMeans reject, because a partitioned fleet mixing
+// pattern sets is just as wrong as a broadcast one.
+func TestSumCombineVectorsRejectionParity(t *testing.T) {
+	bad := [][][]float64{
+		{{1, 2, 3}, {1, 2}},
+		nil,
+		{},
+	}
+	for i, members := range bad {
+		for name, fn := range map[string]Func{"sum": Sum, "mean": Mean, "mom": MedianOfMeans(2)} {
+			if _, err := Vectors(members, fn); err == nil {
+				t.Errorf("case %d: Vectors must reject bad members under %s", i, name)
+			}
+		}
+	}
+	// And on valid input Sum composes index by index like the others.
+	members := [][]float64{{10, 100}, {20, 200}, {30, 300}}
+	out, err := Vectors(members, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 60 || out[1] != 600 {
+		t.Errorf("Vectors(Sum) = %v, want [60 600]", out)
+	}
+}
+
 func TestMedianOfMeansDegenerateCases(t *testing.T) {
 	in := []float64{5, 1, 9, 3}
 	if got := MedianOfMeans(0)(in); got != Mean(in) {

@@ -36,6 +36,10 @@ type MultiConfig struct {
 	// SkipTemporal, as in Config: skip the primary pattern's temporal state
 	// features when nothing consumes them.
 	SkipTemporal bool
+	// EventWeight, as in Config: scales every pattern's contributions for an
+	// event by a per-edge factor (partitioned deployments split attribution
+	// across endpoint owners). Nil means full weight.
+	EventWeight func(e graph.Edge) float64
 }
 
 func (c *MultiConfig) validate() error {
@@ -319,8 +323,12 @@ func (c *MultiCounter) insert(e graph.Edge) {
 	// are observed against the same reservoir state, with the clique kinds
 	// sharing the common-neighborhood collection.
 	c.multi.ForEach(c.res, e.U, e.V, c.insertFns)
+	scale := 1.0
+	if c.cfg.EventWeight != nil {
+		scale = c.cfg.EventWeight(e)
+	}
 	for i := range c.pats {
-		c.pats[i].estimate += sumSorted(c.pats[i].prods)
+		c.pats[i].estimate += scale * sumSorted(c.pats[i].prods)
 	}
 	instances := c.pats[0].instances
 	if !c.cfg.SkipTemporal {
@@ -376,8 +384,12 @@ func (c *MultiCounter) delete(e graph.Edge) {
 	}
 	c.curEdge = e
 	c.multi.ForEach(c.res, e.U, e.V, c.deleteFns)
+	scale := 1.0
+	if c.cfg.EventWeight != nil {
+		scale = c.cfg.EventWeight(e)
+	}
 	for i := range c.pats {
-		c.pats[i].estimate -= sumSorted(c.pats[i].prods)
+		c.pats[i].estimate -= scale * sumSorted(c.pats[i].prods)
 	}
 	c.res.Remove(e)
 }

@@ -70,6 +70,13 @@ type Config struct {
 	// not retain). Extensions such as local (per-vertex) counting build on
 	// this hook.
 	OnInstance func(sign, contribution float64, eventEdge graph.Edge, others []graph.Edge)
+	// EventWeight, when non-nil, scales every contribution the given event's
+	// edge triggers — both formations on insert and destructions on delete.
+	// Partitioned deployments use it to split an instance's attribution
+	// across the partitions owning the completing edge's endpoints
+	// (internal/partition.EventWeight), so summed per-partition estimates
+	// stay unbiased. Nil means every contribution counts at full weight.
+	EventWeight func(e graph.Edge) float64
 }
 
 func (c *Config) validate() error {
@@ -287,7 +294,11 @@ func (c *Counter) insert(e graph.Edge) {
 	c.curEdge = e
 	c.comp.ForEach(c.res, e.U, e.V, c.insertVisit)
 	instances := c.instances
-	c.estimate += c.sumProds()
+	sum := c.sumProds()
+	if c.cfg.EventWeight != nil {
+		sum *= c.cfg.EventWeight(e)
+	}
+	c.estimate += sum
 	if !c.cfg.SkipTemporal {
 		if c.cfg.TemporalAgg == AggAvg {
 			for j := 0; j < h-1; j++ {
@@ -359,7 +370,11 @@ func (c *Counter) delete(e graph.Edge) {
 	c.prods = c.prods[:0]
 	c.curEdge = e
 	c.comp.ForEach(c.res, e.U, e.V, c.deleteVisit)
-	c.estimate -= c.sumProds()
+	sum := c.sumProds()
+	if c.cfg.EventWeight != nil {
+		sum *= c.cfg.EventWeight(e)
+	}
+	c.estimate -= sum
 	// Case 3: drop e from the reservoir if sampled; tau_p and tau_q are
 	// retained.
 	c.res.Remove(e)

@@ -1,0 +1,110 @@
+// Package partition assigns stream edges to worker partitions by vertex
+// ownership and supplies the correction factors that keep summed
+// per-partition estimates unbiased.
+//
+// Routing: every vertex has exactly one owner, chosen by a fixed (seedless)
+// hash of its id, and an edge {u,v} is delivered to the owner of u and the
+// owner of v — one copy when both endpoints share an owner, two otherwise.
+// The hash must be identical on the coordinator and every worker, which is
+// why it takes no seed.
+//
+// Counting: a pattern instance J is visible at partition k iff every edge of
+// J has at least one k-owned endpoint, so an instance may be visible at
+// zero, one, or several partitions. Each partition scales the contribution
+// of an event by EventWeight — the fraction of the event edge's endpoints it
+// owns, 1/2 or 1 — so an instance completed at several partitions splits its
+// attribution instead of double counting. Summing the per-partition
+// estimates (combine.Sum) then yields an estimator whose expectation, over
+// the uniform ownership of the instance's vertex ids, is Beta(kind, n)
+// times the true count; the coordinator divides the sum by Beta to undo it.
+//
+// Beta is exact under the model that each vertex's owner is an independent
+// uniform draw over the n partitions — the idealization of a well-mixing
+// hash — and is computed from the instance's last-arriving edge: only the
+// owners of that edge's endpoints can complete J, each needs the rest of J
+// visible, and each earns its owned-endpoint fraction of the edge. Both
+// formation and destruction of an instance use the same visibility set
+// (ownership is static), so deletion contributions telescope and the
+// correction is unaffected by deletions.
+package partition
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// mix is the splitmix64 finalizer — a fixed, seedless avalanche over the
+// vertex id. Fixed on purpose: coordinator and workers must agree on
+// ownership without coordination.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Owner returns the partition index in [0,n) that owns vertex v. With n <= 1
+// there is a single partition owning everything.
+func Owner(v graph.VertexID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(mix(uint64(v)) % uint64(n))
+}
+
+// Owners returns the owners of the edge's two endpoints, in U, V order. The
+// two may be equal, in which case the edge is delivered once.
+func Owners(e graph.Edge, n int) (int, int) {
+	return Owner(e.U, n), Owner(e.V, n)
+}
+
+// EventWeight returns the contribution scale partition self applies to each
+// event in an n-way deployment: the fraction of the edge's endpoints it
+// owns — 1 when it owns both, 1/2 when it owns one, 0 for a misrouted edge
+// it owns neither end of.
+func EventWeight(self, n int) func(graph.Edge) float64 {
+	return func(e graph.Edge) float64 {
+		w := 0.0
+		if Owner(e.U, n) == self {
+			w += 0.5
+		}
+		if Owner(e.V, n) == self {
+			w += 0.5
+		}
+		return w
+	}
+}
+
+// Beta is the expected fraction of an instance's unit count captured by the
+// summed n-partition estimator, under independent uniform vertex ownership
+// with p = 1/n. The coordinator divides the summed estimate by Beta(kind, n).
+// Closed forms (derived from the last-arriving edge of each pattern; the
+// expectation is the same whichever edge arrives last):
+//
+//	wedge:     1/2 + p - p^2/2
+//	triangle:  2p - p^2
+//	4-cycle:   p + p^2 - p^3
+//	4-clique:  3p^2 - 2p^3
+//	5-clique:  4p^3 - 3p^4
+//
+// All equal 1 at n = 1.
+func Beta(k pattern.Kind, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	p := 1 / float64(n)
+	switch k {
+	case pattern.Wedge:
+		return 0.5 + p - p*p/2
+	case pattern.Triangle:
+		return 2*p - p*p
+	case pattern.FourCycle:
+		return p + p*p - p*p*p
+	case pattern.FourClique:
+		return 3*p*p - 2*p*p*p
+	case pattern.FiveClique:
+		return 4*p*p*p - 3*p*p*p*p
+	default:
+		return 1
+	}
+}

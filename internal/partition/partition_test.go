@@ -1,0 +1,164 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// patternEdges is the canonical vertex/edge template of each pattern,
+// independent of the production enumeration code: the Monte-Carlo check
+// below recomputes Beta from first principles against these.
+func patternEdges(k pattern.Kind) (vertices int, edges [][2]int) {
+	clique := func(n int) [][2]int {
+		var es [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				es = append(es, [2]int{i, j})
+			}
+		}
+		return es
+	}
+	switch k {
+	case pattern.Wedge:
+		return 3, [][2]int{{0, 1}, {1, 2}}
+	case pattern.Triangle:
+		return 3, clique(3)
+	case pattern.FourCycle:
+		return 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}}
+	case pattern.FourClique:
+		return 4, clique(4)
+	case pattern.FiveClique:
+		return 5, clique(5)
+	}
+	panic("unknown kind")
+}
+
+// phi is the total weight the summed estimator credits one instance under a
+// concrete ownership assignment: each owner of the last-arriving edge's
+// endpoints that can see the whole instance earns its owned fraction of
+// that edge.
+func phi(owner []int, edges [][2]int, last int) float64 {
+	a, b := owner[edges[last][0]], owner[edges[last][1]]
+	ks := []int{a}
+	if b != a {
+		ks = append(ks, b)
+	}
+	total := 0.0
+	for _, k := range ks {
+		visible := true
+		for _, e := range edges {
+			if owner[e[0]] != k && owner[e[1]] != k {
+				visible = false
+				break
+			}
+		}
+		if !visible {
+			continue
+		}
+		w := 0.0
+		if a == k {
+			w += 0.5
+		}
+		if b == k {
+			w += 0.5
+		}
+		total += w
+	}
+	return total
+}
+
+// TestBetaMatchesMonteCarlo recomputes Beta by simulation, separately for
+// every possible last-arriving edge: the closed forms must match each one,
+// which also validates the claim that the expectation does not depend on
+// which instance edge arrives last (and hence that deletions, which may
+// attribute the instance to a different edge, telescope in expectation).
+func TestBetaMatchesMonteCarlo(t *testing.T) {
+	const trials = 200_000
+	for _, n := range []int{2, 3, 5} {
+		for _, k := range pattern.Kinds() {
+			nv, edges := patternEdges(k)
+			want := Beta(k, n)
+			for last := range edges {
+				rng := rand.New(rand.NewSource(int64(17*n + 1000*last)))
+				owner := make([]int, nv)
+				sum := 0.0
+				for i := 0; i < trials; i++ {
+					for v := range owner {
+						owner[v] = rng.Intn(n)
+					}
+					sum += phi(owner, edges, last)
+				}
+				got := sum / trials
+				if math.Abs(got-want) > 0.01 {
+					t.Errorf("%v n=%d last-edge=%d: Beta closed form %.5f, Monte-Carlo %.5f", k, n, last, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestBetaIdentityAtOnePartition(t *testing.T) {
+	for _, k := range pattern.Kinds() {
+		for _, n := range []int{0, 1} {
+			if got := Beta(k, n); got != 1 {
+				t.Errorf("Beta(%v, %d) = %v, want 1", k, n, got)
+			}
+		}
+	}
+}
+
+func TestOwnerRangeAndDeterminism(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7} {
+		seen := make([]int, n)
+		for v := graph.VertexID(0); v < 10_000; v++ {
+			o := Owner(v, n)
+			if o < 0 || o >= n {
+				t.Fatalf("Owner(%d, %d) = %d out of range", v, n, o)
+			}
+			if o != Owner(v, n) {
+				t.Fatalf("Owner(%d, %d) not deterministic", v, n)
+			}
+			seen[o]++
+		}
+		// A well-mixing hash should not starve any partition.
+		for k, c := range seen {
+			if c < 10_000/(4*n) {
+				t.Errorf("n=%d partition %d owns only %d of 10000 vertices", n, k, c)
+			}
+		}
+	}
+}
+
+// TestEventWeightsSumToOne: across the fleet, each edge's weights must total
+// exactly 1 — the invariant that stops split instances from double counting.
+func TestEventWeightsSumToOne(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5} {
+		fns := make([]func(graph.Edge) float64, n)
+		for k := range fns {
+			fns[k] = EventWeight(k, n)
+		}
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 1000; i++ {
+			e := graph.Edge{U: graph.VertexID(rng.Uint32()), V: graph.VertexID(rng.Uint32())}
+			total := 0.0
+			for k := range fns {
+				w := fns[k](e)
+				if w != 0 && w != 0.5 && w != 1 {
+					t.Fatalf("n=%d weight %v not in {0, 1/2, 1}", n, w)
+				}
+				ou, ov := Owners(e, n)
+				if w > 0 && ou != k && ov != k {
+					t.Fatalf("n=%d partition %d weighs edge it does not own", n, k)
+				}
+				total += w
+			}
+			if total != 1 {
+				t.Fatalf("n=%d edge %v: fleet weights sum to %v, want 1", n, e, total)
+			}
+		}
+	}
+}

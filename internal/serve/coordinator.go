@@ -75,13 +75,27 @@ func (c *Coordinator) handleCatchUp(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	log := c.coord.Log()
-	writeJSON(w, map[string]any{
+	reply := map[string]any{
 		"caught_up": true,
 		"workers":   c.coord.Workers(),
-		"position":  log.End(),
-		"events":    log.Events(),
-	})
+	}
+	if logs := c.coord.Logs(); logs != nil {
+		// Partitioned mode: one position per partition log, fleet order.
+		type mark struct {
+			Position uint64 `json:"position"`
+			Events   int64  `json:"events"`
+		}
+		marks := make([]mark, len(logs))
+		for i, lg := range logs {
+			marks[i] = mark{Position: lg.End(), Events: lg.Events()}
+		}
+		reply["partitions"] = marks
+	} else {
+		log := c.coord.Log()
+		reply["position"] = log.End()
+		reply["events"] = log.Events()
+	}
+	writeJSON(w, reply)
 }
 
 // readBody reads a whole capped request body, writing the HTTP error itself

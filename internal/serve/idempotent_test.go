@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// postStamped sends one /ingest body with the stream-position header and
+// returns the HTTP status plus the decoded JSON reply (nil on a non-200).
+func postStamped(t *testing.T, url string, body []byte, pos int64) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/ingest", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(StreamPosHeader, strconv.FormatInt(pos, 10))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad JSON reply %q: %v", raw, err)
+	}
+	return resp.StatusCode, out
+}
+
+func binaryBody(t *testing.T, s stream.Stream) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := stream.WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func textBody(t *testing.T, s stream.Stream) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := stream.Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// wantCounts pins one stamped reply's accepted/duplicate accounting.
+func wantCounts(t *testing.T, reply map[string]any, accepted, duplicate int) {
+	t.Helper()
+	if got := int(reply["accepted"].(float64)); got != accepted {
+		t.Fatalf("accepted %d, want %d (reply %v)", got, accepted, reply)
+	}
+	if got := int(reply["duplicate"].(float64)); got != duplicate {
+		t.Fatalf("duplicate %d, want %d (reply %v)", got, duplicate, reply)
+	}
+}
+
+// TestIngestIdempotentByStreamPos pins the stamped-ingest contract that makes
+// coordinator replay safe: a body whose stamp says it starts at or before the
+// server's position has its already-accepted prefix skipped (reported as
+// "duplicate", never re-applied), a full duplicate is a no-op, and a stamp
+// past the server's position is a 409 gap. The final state must be
+// bit-identical to a server that received every event exactly once.
+func TestIngestIdempotentByStreamPos(t *testing.T) {
+	srv, ts := testServer(t)
+	ref, refTS := testServer(t)
+	s := testStream(t, 91, 400)
+
+	// In-order stamped delivery.
+	status, reply := postStamped(t, ts.URL, binaryBody(t, s[:128]), 0)
+	if status != http.StatusOK {
+		t.Fatalf("first stamped ingest: %d", status)
+	}
+	wantCounts(t, reply, 128, 0)
+
+	// Exact redelivery (the retransmit behind an ambiguous ack): fully
+	// skipped, fully accounted.
+	if _, reply = postStamped(t, ts.URL, binaryBody(t, s[:128]), 0); reply == nil {
+		t.Fatal("duplicate ingest rejected")
+	}
+	wantCounts(t, reply, 0, 128)
+
+	// Overlapping redelivery (a replay chunk straddling the position): the
+	// seen prefix is skipped, the new suffix applied.
+	if _, reply = postStamped(t, ts.URL, binaryBody(t, s[64:192]), 64); reply == nil {
+		t.Fatal("overlapping ingest rejected")
+	}
+	wantCounts(t, reply, 64, 64)
+
+	// A stamp past the server's position is a gap: applying it would silently
+	// drop events 192..249, so the server must refuse, not accept.
+	if status, _ := postStamped(t, ts.URL, binaryBody(t, s[250:]), 250); status != http.StatusConflict {
+		t.Fatalf("gapped ingest: %d, want %d", status, http.StatusConflict)
+	}
+
+	// The refused gap must not have moved the position: the aligned tail goes
+	// through in full.
+	if _, reply = postStamped(t, ts.URL, binaryBody(t, s[192:300]), 192); reply == nil {
+		t.Fatal("aligned tail rejected")
+	}
+	wantCounts(t, reply, 108, 0)
+
+	// The text path skips by position too (format never changes semantics).
+	if _, reply = postStamped(t, ts.URL, textBody(t, s[250:]), 250); reply == nil {
+		t.Fatal("text overlap rejected")
+	}
+	wantCounts(t, reply, len(s)-300, 50)
+
+	// A malformed stamp is rejected before any state is touched.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/ingest", bytes.NewReader(textBody(t, s[:1])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(StreamPosHeader, "not-a-position")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed stamp: %d, want %d", resp.StatusCode, http.StatusBadRequest)
+	}
+
+	// Every event exactly once, despite two redeliveries and a refused gap:
+	// bit-identical to the once-only reference.
+	if err := ref.ens.SubmitBatch(s); err != nil {
+		t.Fatal(err)
+	}
+	get(t, ts.URL+"/snapshot") // quiesce both so the estimates are final
+	get(t, refTS.URL+"/snapshot")
+	if got, want := srv.ens.Estimate(), ref.ens.Estimate(); got != want {
+		t.Fatalf("estimate after redeliveries %v, once-only reference %v", got, want)
+	}
+	if got := srv.ens.Processed(); got != int64(len(s)) {
+		t.Fatalf("processed %d events, want %d", got, len(s))
+	}
+}
+
+// TestIngestIdempotentUnstampedUnchanged pins that requests without the
+// position header keep their original at-least-once behavior: no duplicate
+// accounting, no gap check — ordinary clients are untouched by the stamping
+// protocol.
+func TestIngestIdempotentUnstampedUnchanged(t *testing.T) {
+	srv, ts := testServer(t)
+	s := testStream(t, 97, 200)
+	reply := post(t, ts.URL+"/ingest", binaryBody(t, s))
+	if _, ok := reply["duplicate"]; ok {
+		t.Fatalf("unstamped reply carries duplicate accounting: %v", reply)
+	}
+	// An unstamped redelivery double-applies by design (the client asked for
+	// exactly that); the position advances with it.
+	post(t, ts.URL+"/ingest", binaryBody(t, s))
+	get(t, ts.URL+"/snapshot") // quiesce so the processed count is final
+	if got := srv.ens.Processed(); got != int64(2*len(s)) {
+		t.Fatalf("processed %d events, want %d", got, 2*len(s))
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 
 	wsd "repro"
@@ -57,6 +58,15 @@ type Config struct {
 	Options []wsd.Option
 	// MaxBodyBytes caps request bodies; 0 means 64 MiB.
 	MaxBodyBytes int64
+	// PartitionCount, when > 0, declares this worker partition PartitionIndex
+	// of a PartitionCount-way partitioned fleet: the counter weighs each
+	// event by its owned-endpoint fraction (wsd.WithPartition), /healthz
+	// reports the slot so a partitioned coordinator can verify its routing
+	// matches the fleet, and the assignment survives /restore.
+	PartitionCount int
+	// PartitionIndex is this worker's slot in [0, PartitionCount); ignored
+	// when PartitionCount is 0.
+	PartitionIndex int
 }
 
 const defaultMaxBodyBytes = 64 << 20
@@ -81,7 +91,25 @@ type Server struct {
 	// into pooled batches that the shard workers release after applying, so
 	// steady-state binary ingestion allocates nothing per frame.
 	batches stream.BatchPool
+
+	// posMu orders ingests and guards streamPos: the count of events this
+	// server has accepted (submitted in order) since stream start, the
+	// position a coordinator stamps replayed frames against. It counts
+	// submission, not application — the ensemble applies submitted batches
+	// in order, so an event past streamPos is guaranteed new and one before
+	// it is guaranteed already en route. Lock order: posMu before mu.
+	posMu     sync.Mutex
+	streamPos int64
 }
+
+// StreamPosHeader is the request header a coordinator sets on /ingest to
+// declare the absolute stream position of the body's first event. A stamped
+// request is idempotent: events at positions the server has already accepted
+// are skipped and reported back as "duplicate", so a replay after an
+// ambiguous ack (the request applied but the response was lost) cannot
+// double-count. A stamped position ahead of the server's own is a gap — the
+// server refuses it with 409 rather than corrupt its stream order.
+const StreamPosHeader = stream.PosHeader
 
 // New builds the counter and returns a ready server.
 func New(cfg Config) (*Server, error) {
@@ -90,6 +118,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if cfg.PartitionCount > 0 {
+		// Clip before appending so the caller's slice is never mutated; the
+		// option lands in cfg.Options so /restore rebuilds the same weighting.
+		opts := cfg.Options[:len(cfg.Options):len(cfg.Options)]
+		cfg.Options = append(opts, wsd.WithPartition(cfg.PartitionIndex, cfg.PartitionCount))
 	}
 	var (
 		ens *wsd.ShardedCounter
@@ -160,10 +194,16 @@ func (s *Server) Restore(blob []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	s.posMu.Lock()
 	s.mu.Lock()
 	old := s.ens
 	s.ens = restored
+	// The restored ensemble's position is exact — nothing is in flight yet —
+	// so the idempotence counter re-anchors to it: a coordinator replaying
+	// the log tail after this restore stamps against the snapshot position.
+	s.streamPos = restored.Processed()
 	s.mu.Unlock()
+	s.posMu.Unlock()
 	old.Close()
 	return restored.Shards(), nil
 }
@@ -191,7 +231,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// position, which survives checkpoint/restore (the snapshot records it).
 	// A log-mode coordinator reads "position" to align this worker against
 	// its write-ahead log; "processed" stays for pre-log clients.
-	writeJSON(w, map[string]any{
+	health := map[string]any{
 		"status":    "ok",
 		"pattern":   s.patterns[0].String(),
 		"patterns":  s.patternNames(),
@@ -199,7 +239,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"m":         s.cfg.M,
 		"processed": s.ens.Processed(),
 		"position":  s.ens.Processed(),
-	})
+	}
+	if s.cfg.PartitionCount > 0 {
+		// A partitioned coordinator verifies this against its own routing:
+		// a worker in the wrong slot would weigh the wrong edges.
+		health["partition"] = map[string]int{
+			"index": s.cfg.PartitionIndex,
+			"count": s.cfg.PartitionCount,
+		}
+	}
+	writeJSON(w, health)
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -217,17 +266,52 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// A stamped request declares the absolute stream position of its first
+	// event; parse it before taking any lock so a malformed stamp is a cheap
+	// 400.
+	stamped := false
+	var stampPos int64
+	if h := r.Header.Get(StreamPosHeader); h != "" {
+		pos, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || pos < 0 {
+			http.Error(w, fmt.Sprintf("serve: bad %s header %q", StreamPosHeader, h), http.StatusBadRequest)
+			return
+		}
+		stamped, stampPos = true, pos
+	}
+
+	// posMu orders ingests into one stream position sequence (stamped or
+	// not — a mixed deployment still needs one order to dedup against).
 	// Binary bodies are submitted frame by frame — the wire format's frames
 	// map 1:1 onto SubmitPooled batches — while text bodies are parsed whole.
+	s.posMu.Lock()
+	defer s.posMu.Unlock()
+	skip := int64(0)
+	if stamped {
+		if stampPos > s.streamPos {
+			// The body starts past what this server has seen: applying it
+			// would silently drop the gap. The coordinator heals by replaying
+			// from this server's actual position instead.
+			http.Error(w, fmt.Sprintf("serve: stream position gap: request starts at %d, server is at %d", stampPos, s.streamPos),
+				http.StatusConflict)
+			return
+		}
+		skip = s.streamPos - stampPos
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	accepted, err := ingest(s.ens, &s.batches, bytes.NewReader(raw))
+	accepted, duplicate, err := ingestSkip(s.ens, &s.batches, bytes.NewReader(raw), skip)
 	if err != nil {
 		if errors.Is(err, shard.ErrClosed) {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.streamPos += int64(accepted)
+	if stamped {
+		writeJSON(w, map[string]any{"accepted": accepted, "duplicate": duplicate})
 		return
 	}
 	writeJSON(w, map[string]any{"accepted": accepted})
@@ -239,22 +323,26 @@ func isBodyTooLarge(err error) bool {
 	return errors.As(err, &mbe)
 }
 
-// ingest parses and submits one request body, returning the event count.
-// The whole body is decoded before the first submit, so a parse error
-// anywhere (a corrupt trailing frame, a malformed line) rejects the request
-// without having applied a prefix of it — clients can safely retry a 400
-// without double-counting. Binary frames are decoded into pooled batches and
-// submitted frame by frame through the refcounted broadcast, preserving the
-// wire format's 1:1 frame-to-batch mapping without copying the events per
-// shard; the pool makes steady-state binary ingestion allocation-free once
-// its buffers have grown to the request's frame sizes.
-func ingest(ens *wsd.ShardedCounter, pool *stream.BatchPool, body io.Reader) (int, error) {
+// ingestSkip parses and submits one request body, dropping its first skip
+// events as already-accepted duplicates, and returns the counts of events
+// submitted and skipped. The whole body is decoded before the first submit,
+// so a parse error anywhere (a corrupt trailing frame, a malformed line)
+// rejects the request without having applied a prefix of it — clients can
+// safely retry a 400 without double-counting. Binary frames are decoded into
+// pooled batches and submitted frame by frame through the refcounted
+// broadcast, preserving the wire format's 1:1 frame-to-batch mapping without
+// copying the events per shard; the pool makes steady-state binary ingestion
+// allocation-free once its buffers have grown to the request's frame sizes.
+// Duplicates are dropped by shifting each batch's surviving suffix to the
+// front (fully-duplicate batches are released outright), so the pooled
+// buffers keep their backing arrays.
+func ingestSkip(ens *wsd.ShardedCounter, pool *stream.BatchPool, body io.Reader, skip int64) (accepted, duplicate int, err error) {
 	br, isBinary := stream.SniffBinary(body)
 	total := 0
 	if isBinary {
 		reader, err := stream.NewBinaryReader(br)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		var pending []*stream.Batch
 		release := func() {
@@ -272,33 +360,56 @@ func ingest(ens *wsd.ShardedCounter, pool *stream.BatchPool, body io.Reader) (in
 			if err != nil {
 				b.Release()
 				release()
-				return 0, err
+				return 0, 0, err
 			}
 			pending = append(pending, b)
 			total += len(b.Events)
 		}
+		remaining := skip
+		kept := pending[:0]
+		for _, b := range pending {
+			switch n := int64(len(b.Events)); {
+			case remaining >= n:
+				remaining -= n
+				duplicate += int(n)
+				b.Release()
+			case remaining > 0:
+				copy(b.Events, b.Events[remaining:])
+				b.Events = b.Events[:n-remaining]
+				duplicate += int(remaining)
+				remaining = 0
+				kept = append(kept, b)
+			default:
+				kept = append(kept, b)
+			}
+		}
+		pending = kept
 		for i, b := range pending {
 			if err := ens.SubmitPooled(b); err != nil {
 				// Only Close can fail a submit; the service is shutting
 				// down. SubmitPooled released b; drop the rest too.
 				pending = pending[i+1:]
 				release()
-				return 0, err
+				return 0, 0, err
 			}
 		}
-		return total, nil
+		return total - duplicate, duplicate, nil
 	}
 	evs, err := stream.Read(br)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
+	if skip > int64(len(evs)) {
+		skip = int64(len(evs))
+	}
+	duplicate = int(skip)
+	evs = evs[skip:]
 	if len(evs) > 0 {
 		if err := ens.SubmitBatch(evs); err != nil {
-			return 0, err
+			return 0, duplicate, err
 		}
-		total = len(evs)
 	}
-	return total, nil
+	return len(evs), duplicate, nil
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {

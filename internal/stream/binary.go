@@ -53,6 +53,15 @@ const (
 	MaxFrameEvents = 1 << 20
 )
 
+// PosHeader is the HTTP header that stamps an ingest body with the absolute
+// stream position of its first event, making the request idempotent: a
+// server that has already accepted events at or past the stamped positions
+// skips them as duplicates instead of double-applying a replayed or
+// duplicated delivery. It lives here — with the wire format — because the
+// producer (internal/cluster) and the consumer (internal/serve) must agree
+// on it but cannot import each other.
+const PosHeader = "X-Wsd-Stream-Pos"
+
 // BinaryWriter writes a binary event stream frame by frame.
 type BinaryWriter struct {
 	w   *bufio.Writer

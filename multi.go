@@ -39,12 +39,17 @@ func NewMultiCounter(patterns []Pattern, m int, opts ...Option) (*MultiCounter, 
 	if err != nil {
 		return nil, err
 	}
+	ew, err := partitionWeight(&o)
+	if err != nil {
+		return nil, err
+	}
 	inner, err := core.NewMulti(core.MultiConfig{
 		M:            m,
 		Patterns:     patterns,
 		Weight:       w,
 		Rng:          xrand.New(o.seed),
 		SkipTemporal: skipTemporal(&o),
+		EventWeight:  ew,
 	})
 	if err != nil {
 		return nil, err
@@ -104,12 +109,16 @@ func RestoreMultiCounter(data []byte, opts ...Option) (*MultiCounter, error) {
 	if err != nil {
 		return nil, err
 	}
+	ew, err := partitionWeight(&o)
+	if err != nil {
+		return nil, err
+	}
 	snap, err := core.DecodeSnapshot(data)
 	if err != nil {
 		return nil, err
 	}
 	inner, err := core.RestoreMulti(snap, core.MultiConfig{
-		Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skipTemporal(&o),
+		Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skipTemporal(&o), EventWeight: ew,
 	})
 	if err != nil {
 		return nil, err
@@ -138,6 +147,10 @@ func NewShardedMultiCounter(patterns []Pattern, m, shards int, opts ...Option) (
 	if err != nil {
 		return nil, err
 	}
+	ew, err := partitionWeight(&o)
+	if err != nil {
+		return nil, err
+	}
 	budgets := shard.SplitBudget(m, shards)
 	counters := make([]shard.Counter, shards)
 	for i := range counters {
@@ -162,6 +175,7 @@ func NewShardedMultiCounter(patterns []Pattern, m, shards int, opts ...Option) (
 			Weight:       wi,
 			Rng:          xrand.NewSequence(o.seed, int64(i)),
 			SkipTemporal: skipTemporal(&o),
+			EventWeight:  ew,
 		})
 		if err != nil {
 			return nil, err
@@ -181,11 +195,15 @@ func restoreShardCounter(snap *core.Snapshot, w WeightFunc, o *options, i int) (
 		// Policy closures carry per-call scratch state; one per shard worker.
 		wi = o.policy.Func()
 	}
+	ew, err := partitionWeight(o)
+	if err != nil {
+		return nil, err
+	}
 	rng := xrand.NewSequence(o.seed, int64(i))
 	if snap.Multi() {
-		return core.RestoreMulti(snap, core.MultiConfig{Weight: wi, Rng: rng, SkipTemporal: skipTemporal(o)})
+		return core.RestoreMulti(snap, core.MultiConfig{Weight: wi, Rng: rng, SkipTemporal: skipTemporal(o), EventWeight: ew})
 	}
-	return core.Restore(snap, core.Config{Weight: wi, Rng: rng, SkipTemporal: skipTemporal(o)})
+	return core.Restore(snap, core.Config{Weight: wi, Rng: rng, SkipTemporal: skipTemporal(o), EventWeight: ew})
 }
 
 // MultiPatterns is a convenience constructor for the patterns argument:

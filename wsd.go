@@ -31,6 +31,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/graph"
 	"repro/internal/local"
+	"repro/internal/partition"
 	"repro/internal/pattern"
 	"repro/internal/pipeline"
 	"repro/internal/rl"
@@ -103,6 +104,11 @@ type options struct {
 	momGroups   int
 	fullBudget  bool
 	shardBuffer int
+
+	// Partitioned-deployment options (WithPartition); partitionCount == 0
+	// means not partitioned.
+	partitionIndex int
+	partitionCount int
 }
 
 // Option configures a counter constructor.
@@ -148,6 +154,30 @@ func WithShardBuffer(n int) Option {
 	return func(o *options) { o.shardBuffer = n }
 }
 
+// WithPartition declares the counter to be partition index of a count-way
+// partitioned fleet: the coordinator routes each edge to the owners of its
+// endpoints (internal/partition.Owner — a fixed vertex hash), and this
+// counter scales every contribution by the fraction of the completing edge's
+// endpoints it owns (1/2 or 1), so the fleet's summed estimates — divided by
+// the pattern's visibility factor partition.Beta — stay unbiased. Applies to
+// every constructor and restore; must match the coordinator's fleet size and
+// this worker's slot in it.
+func WithPartition(index, count int) Option {
+	return func(o *options) { o.partitionIndex, o.partitionCount = index, count }
+}
+
+// partitionWeight reduces the WithPartition option to the per-edge
+// contribution scale, or nil when not partitioned.
+func partitionWeight(o *options) (func(graph.Edge) float64, error) {
+	if o.partitionCount == 0 && o.partitionIndex == 0 {
+		return nil, nil
+	}
+	if o.partitionCount < 1 || o.partitionIndex < 0 || o.partitionIndex >= o.partitionCount {
+		return nil, fmt.Errorf("wsd: WithPartition(%d, %d): index must be in [0, count)", o.partitionIndex, o.partitionCount)
+	}
+	return partition.EventWeight(o.partitionIndex, o.partitionCount), nil
+}
+
 // resolveWeight reduces the weight-related options to the effective weight
 // function, defaulting to the paper's WSD-H heuristic.
 func resolveWeight(o *options) (WeightFunc, error) {
@@ -183,12 +213,17 @@ func NewCounter(p Pattern, m int, opts ...Option) (Counter, error) {
 	if err != nil {
 		return nil, err
 	}
+	ew, err := partitionWeight(&o)
+	if err != nil {
+		return nil, err
+	}
 	return core.New(core.Config{
 		M:            m,
 		Pattern:      p,
 		Weight:       w,
 		Rng:          xrand.New(o.seed),
 		SkipTemporal: skipTemporal(&o),
+		EventWeight:  ew,
 	})
 }
 
@@ -264,12 +299,17 @@ func NewLocalCounter(p Pattern, m int, opts ...Option) (*LocalCounter, error) {
 	if err != nil {
 		return nil, err
 	}
+	ew, err := partitionWeight(&o)
+	if err != nil {
+		return nil, err
+	}
 	return local.New(core.Config{
 		M:            m,
 		Pattern:      p,
 		Weight:       w,
 		Rng:          xrand.New(o.seed),
 		SkipTemporal: skipTemporal(&o),
+		EventWeight:  ew,
 	})
 }
 
@@ -330,6 +370,10 @@ func NewShardedCounter(p Pattern, m, shards int, opts ...Option) (*ShardedCounte
 	if err != nil {
 		return nil, err
 	}
+	ew, err := partitionWeight(&o)
+	if err != nil {
+		return nil, err
+	}
 	budgets := shard.SplitBudget(m, shards)
 	counters := make([]shard.Counter, shards)
 	for i := range counters {
@@ -352,6 +396,7 @@ func NewShardedCounter(p Pattern, m, shards int, opts ...Option) (*ShardedCounte
 			Weight:       wi,
 			Rng:          xrand.NewSequence(o.seed, int64(i)),
 			SkipTemporal: skipTemporal(&o),
+			EventWeight:  ew,
 		})
 		if err != nil {
 			return nil, err
@@ -414,11 +459,15 @@ func RestoreCounter(data []byte, opts ...Option) (Counter, error) {
 	if err != nil {
 		return nil, err
 	}
+	ew, err := partitionWeight(&o)
+	if err != nil {
+		return nil, err
+	}
 	snap, err := core.DecodeSnapshot(data)
 	if err != nil {
 		return nil, err
 	}
-	return core.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skipTemporal(&o)})
+	return core.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skipTemporal(&o), EventWeight: ew})
 }
 
 // RestoreLocalCounter revives a local counter from a Checkpoint blob produced
@@ -432,11 +481,15 @@ func RestoreLocalCounter(data []byte, opts ...Option) (*LocalCounter, error) {
 	if err != nil {
 		return nil, err
 	}
+	ew, err := partitionWeight(&o)
+	if err != nil {
+		return nil, err
+	}
 	snap, err := local.DecodeSnapshot(data)
 	if err != nil {
 		return nil, err
 	}
-	return local.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skipTemporal(&o)})
+	return local.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skipTemporal(&o), EventWeight: ew})
 }
 
 // ShardedSnapshotInfo summarizes a ShardedCounter snapshot blob without
