@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check race docs-check cluster-smoke wal-smoke partition-smoke bench bench-tables bench-suite bench-compare
+.PHONY: build test vet fmt check race docs-check cluster-smoke wal-smoke partition-smoke enum-smoke bench bench-tables bench-suite bench-compare
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,18 @@ wal-smoke:
 partition-smoke:
 	$(GO) test -race -run 'Partition|SumCombine|AckAmbiguity|Idempotent|Retention|FlagConflict' ./internal/cluster/ ./internal/serve/ ./cmd/wsdserve/
 	$(GO) test -race ./internal/partition/ ./internal/combine/
+
+# The enumeration layer under the race detector: the differential
+# property/fuzz suite (the mark-array/merge clique intersection must emit
+# the identical instance multiset as the naive probe-based reference across
+# all five kinds, plain and Live views, random histories), the reservoir
+# intersection regression tests, a short fuzz pass, then the
+# dense-community core cell end to end with -race on — the workload whose
+# throughput the intersection layer owns.
+enum-smoke:
+	$(GO) test -race -run 'Differential|PairAmong|Common|AdjacentIn' ./internal/pattern/ ./internal/reservoir/
+	$(GO) test -run xxx -fuzz FuzzDifferentialEnumeration -fuzztime 20s ./internal/pattern/
+	$(GO) run -race ./cmd/wsdbench -exp suite -only core/dense -trials 1
 
 # Ingestion throughput: single-goroutine pipeline vs sharded ensemble.
 bench:

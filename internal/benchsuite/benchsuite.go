@@ -340,9 +340,10 @@ func ingests() []ingestSpec {
 						return 0, err
 					}
 				}
-				// Snapshot quiesces every worker, so the gathered estimate
-				// reflects the whole stream.
-				if _, err := coord.Snapshot(); err != nil {
+				// Flush drains every worker, so the gathered estimate
+				// reflects the whole stream — without Snapshot's state
+				// serialization, which is not what the cell prices.
+				if err := coord.Flush(); err != nil {
 					return 0, err
 				}
 				est, err := coord.Estimate()
@@ -403,9 +404,10 @@ func ingests() []ingestSpec {
 						return 0, err
 					}
 				}
-				// Snapshot quiesces every worker, so the gathered estimate
-				// reflects the whole stream.
-				if _, err := coord.Snapshot(); err != nil {
+				// Flush drains every worker, so the gathered estimate
+				// reflects the whole stream — without Snapshot's state
+				// serialization, which is not what the cell prices.
+				if err := coord.Flush(); err != nil {
 					return 0, err
 				}
 				est, err := coord.Estimate()
@@ -468,7 +470,7 @@ func ingests() []ingestSpec {
 						return 0, err
 					}
 				}
-				if _, err := coord.Snapshot(); err != nil {
+				if err := coord.Flush(); err != nil {
 					return 0, err
 				}
 				est, err := coord.Estimate()

@@ -1110,6 +1110,28 @@ type WALMark struct {
 // snapshotVersion guards the cluster snapshot wire format.
 const snapshotVersion = 1
 
+// Flush fans POST /flush out to the whole fleet and blocks until every
+// worker has applied every batch delivered before the call: a fleet-wide
+// position barrier. Broadcasts are excluded while it runs (same locking as
+// Snapshot), so when Flush returns nil a subsequent Estimate reflects every
+// completed submission. Unlike Snapshot it moves no state — this is the
+// barrier to use when the caller wants read-your-writes, not a checkpoint.
+func (c *Coordinator) Flush() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.bcastMu.Lock()
+	defer c.bcastMu.Unlock()
+	errs := fanout(c.workers, func(i int, w *workerRef) error {
+		return c.post(w, "/flush", nil, nil)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("cluster: flush worker %s: %w", c.workers[i].url, err)
+		}
+	}
+	return nil
+}
+
 // Snapshot fans GET /snapshot out to the whole fleet and returns one
 // versioned cluster blob. Every configured worker must contribute: a
 // snapshot missing a worker could not restore the full cluster, so a

@@ -76,7 +76,7 @@ func feed(t *testing.T, c *cluster.Coordinator, s stream.Stream) {
 // estimates reflect every ingested event) and then gathers.
 func quiescedEstimate(t *testing.T, c *cluster.Coordinator) *cluster.Estimate {
 	t.Helper()
-	if _, err := c.Snapshot(); err != nil {
+	if err := c.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	est, err := c.Estimate()
@@ -469,4 +469,32 @@ func contains(xs []string, want string) bool {
 		}
 	}
 	return false
+}
+
+// TestFlushIsAFleetBarrier: after Flush returns, every worker reports the
+// full stream applied — without the state serialization Snapshot pays — and
+// a degraded fleet (dead worker) fails the barrier instead of lying.
+func TestFlushIsAFleetBarrier(t *testing.T) {
+	s := testStream(t, 33, 400)
+	budgets := shard.SplitBudget(600, 3)
+	urls, servers := testFleet(t, budgets, []int64{201, 202, 203})
+	coord, err := cluster.New(cluster.Config{Workers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, coord, s)
+	if err := coord.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	est, err := coord.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Processed != int64(len(s)) {
+		t.Fatalf("after Flush, processed %d of %d", est.Processed, len(s))
+	}
+	servers[1].Close()
+	if err := coord.Flush(); err == nil {
+		t.Fatal("Flush with a dead worker must fail")
+	}
 }

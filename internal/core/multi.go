@@ -71,6 +71,9 @@ type multiEstimator struct {
 	estimate  float64
 	prods     []float64
 	instances int
+	// sinkSum accumulates this pattern's contributions when the event runs on
+	// the CliqueSink fast path (clique kinds only; see MultiCounter.sink).
+	sinkSum float64
 }
 
 // MultiCounter is the multi-pattern WSD counter: one reservoir-maintained
@@ -110,6 +113,19 @@ type MultiCounter struct {
 	count    []int64
 	arrivals []float64
 
+	// CliqueSink fast path, mirroring Counter's: the clique kinds in the set
+	// are folded straight into their estimators' sinkSum without materializing
+	// instances, using the same per-common factor cache and accumulation order
+	// as the single-pattern counter — the two must stay bit-identical, since
+	// deployments compare a MultiCounter's primary estimate against a Counter
+	// run on the same stream and seed. triIdx/fourIdx/fiveIdx map each sink
+	// callback to its pattern slot (-1 when that kind is not in the set).
+	sink                     pattern.CliqueSink
+	gFac                     []float64
+	arrA, arrB               []float64
+	sinkTemporal             bool
+	triIdx, fourIdx, fiveIdx int
+
 	lastState weights.State
 }
 
@@ -138,8 +154,17 @@ func NewMulti(cfg MultiConfig) (*MultiCounter, error) {
 	}
 	c.insertFns = make([]func([]graph.Edge, []any) bool, len(cfg.Patterns))
 	c.deleteFns = make([]func([]graph.Edge, []any) bool, len(cfg.Patterns))
+	c.triIdx, c.fourIdx, c.fiveIdx = -1, -1, -1
 	for i, p := range cfg.Patterns {
 		c.pats[i].kind = p
+		switch p {
+		case pattern.Triangle:
+			c.triIdx = i
+		case pattern.FourClique:
+			c.fourIdx = i
+		case pattern.FiveClique:
+			c.fiveIdx = i
+		}
 		i := i
 		c.insertFns[i] = func(others []graph.Edge, payloads []any) bool {
 			return c.observeInsert(i, others, payloads)
@@ -148,6 +173,7 @@ func NewMulti(cfg MultiConfig) (*MultiCounter, error) {
 			return c.observeDelete(i, others, payloads)
 		}
 	}
+	c.sink = (*multiSink)(c)
 	return c, nil
 }
 
@@ -321,14 +347,31 @@ func (c *MultiCounter) insert(e graph.Edge) {
 	c.curEdge = e
 	// One enumeration pass over the shared sample: every pattern's instances
 	// are observed against the same reservoir state, with the clique kinds
-	// sharing the common-neighborhood collection.
-	c.multi.ForEach(c.res, e.U, e.V, c.insertFns)
+	// sharing the common-neighborhood collection. When the reservoir supports
+	// sorted intersection (always, for the counter's own reservoir), the
+	// clique kinds run on the zero-materialization sink path; wedge and
+	// 4-cycle always go through their insertFns.
+	c.sinkTemporal = !c.cfg.SkipTemporal && c.pats[0].kind.IsClique()
+	c.gFac, c.arrA, c.arrB = c.gFac[:0], c.arrA[:0], c.arrB[:0]
+	for i := range c.pats {
+		c.pats[i].sinkSum = 0
+	}
+	usedSink := c.multi.ForEachWithSink(c.res, e.U, e.V, c.insertFns, c.sink)
+	if !usedSink {
+		c.multi.ForEach(c.res, e.U, e.V, c.insertFns)
+	}
 	scale := 1.0
 	if c.cfg.EventWeight != nil {
 		scale = c.cfg.EventWeight(e)
 	}
 	for i := range c.pats {
-		c.pats[i].estimate += scale * sumSorted(c.pats[i].prods)
+		var sum float64
+		if usedSink && c.pats[i].kind.IsClique() {
+			sum = c.pats[i].sinkSum
+		} else {
+			sum = sumSorted(c.pats[i].prods)
+		}
+		c.pats[i].estimate += scale * sum
 	}
 	instances := c.pats[0].instances
 	if !c.cfg.SkipTemporal {
@@ -381,15 +424,128 @@ func (c *MultiCounter) insert(e graph.Edge) {
 func (c *MultiCounter) delete(e graph.Edge) {
 	for i := range c.pats {
 		c.pats[i].prods = c.pats[i].prods[:0]
+		c.pats[i].sinkSum = 0
 	}
 	c.curEdge = e
-	c.multi.ForEach(c.res, e.U, e.V, c.deleteFns)
+	c.sinkTemporal = false
+	c.gFac = c.gFac[:0]
+	usedSink := c.multi.ForEachWithSink(c.res, e.U, e.V, c.deleteFns, c.sink)
+	if !usedSink {
+		c.multi.ForEach(c.res, e.U, e.V, c.deleteFns)
+	}
 	scale := 1.0
 	if c.cfg.EventWeight != nil {
 		scale = c.cfg.EventWeight(e)
 	}
 	for i := range c.pats {
-		c.pats[i].estimate -= scale * sumSorted(c.pats[i].prods)
+		var sum float64
+		if usedSink && c.pats[i].kind.IsClique() {
+			sum = c.pats[i].sinkSum
+		} else {
+			sum = sumSorted(c.pats[i].prods)
+		}
+		c.pats[i].estimate -= scale * sum
 	}
 	c.res.Remove(e)
+}
+
+// multiSink is MultiCounter's pattern.CliqueSink implementation, the
+// multi-pattern mirror of counterSink: one OnCommon pass caches the shared
+// per-common factors, then each clique kind's instances are folded into its
+// own estimator's sinkSum as the shared enumeration discovers them. The
+// per-instance arithmetic and accumulation order are identical to
+// counterSink's, so a MultiCounter's clique estimates stay bit-identical to a
+// Counter's on the same stream.
+type multiSink MultiCounter
+
+func (s *multiSink) OnCommon(i int, w graph.VertexID, payA, payB any) {
+	c := (*MultiCounter)(s)
+	ia := payA.(*reservoir.Item)
+	ib := payB.(*reservoir.Item)
+	tq := c.tauQ
+	g := 1.0
+	if x := tq * ia.InvWeight(); x > 1 {
+		g *= x
+	}
+	if x := tq * ib.InvWeight(); x > 1 {
+		g *= x
+	}
+	c.gFac = append(c.gFac, g)
+	if c.sinkTemporal {
+		c.arrA = append(c.arrA, float64(ia.Arrival))
+		c.arrB = append(c.arrB, float64(ib.Arrival))
+	}
+}
+
+func (s *multiSink) OnTriangle(i int) bool {
+	c := (*MultiCounter)(s)
+	p := &c.pats[c.triIdx]
+	p.sinkSum += c.gFac[i]
+	p.instances++
+	if c.sinkTemporal && c.triIdx == 0 {
+		c.foldArrivals(append(c.arrivals[:0], c.arrA[i], c.arrB[i]))
+	}
+	return true
+}
+
+func (s *multiSink) OnPair(i, j int, payIJ any) bool {
+	c := (*MultiCounter)(s)
+	p := &c.pats[c.fourIdx]
+	it := payIJ.(*reservoir.Item)
+	prod := c.gFac[i] * c.gFac[j]
+	if x := c.tauQ * it.InvWeight(); x > 1 {
+		prod *= x
+	}
+	p.sinkSum += prod
+	p.instances++
+	if c.sinkTemporal && c.fourIdx == 0 {
+		c.foldArrivals(append(c.arrivals[:0],
+			c.arrA[i], c.arrB[i], c.arrA[j], c.arrB[j], float64(it.Arrival)))
+	}
+	return true
+}
+
+func (s *multiSink) OnTriple(i, j, k int, payIJ, payIK, payJK any) bool {
+	c := (*MultiCounter)(s)
+	p := &c.pats[c.fiveIdx]
+	iij := payIJ.(*reservoir.Item)
+	iik := payIK.(*reservoir.Item)
+	ijk := payJK.(*reservoir.Item)
+	tq := c.tauQ
+	prod := c.gFac[i] * c.gFac[j] * c.gFac[k]
+	if x := tq * iij.InvWeight(); x > 1 {
+		prod *= x
+	}
+	if x := tq * iik.InvWeight(); x > 1 {
+		prod *= x
+	}
+	if x := tq * ijk.InvWeight(); x > 1 {
+		prod *= x
+	}
+	p.sinkSum += prod
+	p.instances++
+	if c.sinkTemporal && c.fiveIdx == 0 {
+		c.foldArrivals(append(c.arrivals[:0],
+			c.arrA[i], c.arrB[i], c.arrA[j], c.arrB[j], c.arrA[k], c.arrB[k],
+			float64(iij.Arrival), float64(iik.Arrival), float64(ijk.Arrival)))
+	}
+	return true
+}
+
+// foldArrivals sorts one instance's arrival indexes and aggregates them into
+// the primary pattern's temporal state features, exactly as observeInsert's
+// inline path (and Counter.foldArrivals).
+func (c *MultiCounter) foldArrivals(arr []float64) {
+	sort.Float64s(arr)
+	for j, a := range arr {
+		switch c.cfg.TemporalAgg {
+		case AggMax:
+			if a > c.temporal[j] {
+				c.temporal[j] = a
+			}
+		case AggAvg:
+			c.temporal[j] += a
+		}
+		c.count[j]++
+	}
 }

@@ -128,6 +128,22 @@ type Counter struct {
 	curEdge     graph.Edge
 	instances   int
 
+	// Clique fast-path state (the CliqueSink route): sink is non-nil when the
+	// pattern is in the clique family and no OnInstance hook needs the
+	// materialized instances. gFac[i] caches the combined inverse-probability
+	// factor of common neighbor i's two event-edge-incident edges, so an
+	// instance's product is a few multiplications instead of one clamped
+	// division per edge; arrA/arrB cache the matching arrival indexes for the
+	// temporal features; sinkSum accumulates contributions directly in the
+	// canonical (ascending common-ID) enumeration order, which is
+	// deterministic for a given reservoir content — restore rebuilds the same
+	// sorted adjacency, so checkpoint/resume stays bit-identical.
+	sink         pattern.CliqueSink
+	gFac         []float64
+	arrA, arrB   []float64
+	sinkSum      float64
+	sinkTemporal bool
+
 	// lastState records the most recent MDP state handed to the weight
 	// function; exposed for the RL environment and for policy analysis.
 	lastState weights.State
@@ -152,6 +168,9 @@ func New(cfg Config) (*Counter, error) {
 	}
 	c.insertVisit = c.observeInsert
 	c.deleteVisit = c.observeDelete
+	if cfg.Pattern.IsClique() && cfg.OnInstance == nil {
+		c.sink = (*counterSink)(c)
+	}
 	return c, nil
 }
 
@@ -292,9 +311,23 @@ func (c *Counter) insert(e graph.Edge) {
 	c.instances = 0
 	c.prods = c.prods[:0]
 	c.curEdge = e
-	c.comp.ForEach(c.res, e.U, e.V, c.insertVisit)
+	var sum float64
+	if c.sink != nil {
+		c.sinkSum, c.sinkTemporal = 0, !c.cfg.SkipTemporal
+		c.gFac, c.arrA, c.arrB = c.gFac[:0], c.arrA[:0], c.arrB[:0]
+		if c.comp.ForEachClique(c.res, e.U, e.V, c.sink) {
+			sum = c.sinkSum
+		} else {
+			// The view stopped supporting intersection (never the counter's
+			// own reservoir); fall back to the materializing path.
+			c.comp.ForEach(c.res, e.U, e.V, c.insertVisit)
+			sum = c.sumProds()
+		}
+	} else {
+		c.comp.ForEach(c.res, e.U, e.V, c.insertVisit)
+		sum = c.sumProds()
+	}
 	instances := c.instances
-	sum := c.sumProds()
 	if c.cfg.EventWeight != nil {
 		sum *= c.cfg.EventWeight(e)
 	}
@@ -369,8 +402,20 @@ func (c *Counter) delete(e graph.Edge) {
 	// reservoir just before the deletion is applied.
 	c.prods = c.prods[:0]
 	c.curEdge = e
-	c.comp.ForEach(c.res, e.U, e.V, c.deleteVisit)
-	sum := c.sumProds()
+	var sum float64
+	if c.sink != nil {
+		c.sinkSum, c.sinkTemporal = 0, false
+		c.gFac = c.gFac[:0]
+		if c.comp.ForEachClique(c.res, e.U, e.V, c.sink) {
+			sum = c.sinkSum
+		} else {
+			c.comp.ForEach(c.res, e.U, e.V, c.deleteVisit)
+			sum = c.sumProds()
+		}
+	} else {
+		c.comp.ForEach(c.res, e.U, e.V, c.deleteVisit)
+		sum = c.sumProds()
+	}
 	if c.cfg.EventWeight != nil {
 		sum *= c.cfg.EventWeight(e)
 	}
@@ -386,6 +431,106 @@ func (c *Counter) delete(e graph.Edge) {
 // estimates differ in their last ULP between identical runs, which the
 // bit-identical checkpoint/resume tests would catch as divergence.
 func (c *Counter) sumProds() float64 { return sumSorted(c.prods) }
+
+// counterSink is Counter's pattern.CliqueSink implementation (a type alias
+// trick: methods live on a converted *Counter, keeping the sink callbacks off
+// Counter's public API). It folds each clique instance into sinkSum as the
+// enumerator discovers it — no per-instance edge slices, payload slices, or
+// prods append — using the per-common factors cached by OnCommon.
+type counterSink Counter
+
+// OnCommon caches common neighbor i's combined inverse-probability factor
+// max(1, tau_q/w_a)·max(1, tau_q/w_b) (Lemma 1, one clamped division per
+// incident edge) and, when the temporal features are being extracted, the two
+// arrival indexes.
+func (s *counterSink) OnCommon(i int, w graph.VertexID, payA, payB any) {
+	c := (*Counter)(s)
+	ia := payA.(*reservoir.Item)
+	ib := payB.(*reservoir.Item)
+	tq := c.tauQ
+	g := 1.0
+	if x := tq * ia.InvWeight(); x > 1 {
+		g *= x
+	}
+	if x := tq * ib.InvWeight(); x > 1 {
+		g *= x
+	}
+	c.gFac = append(c.gFac, g)
+	if c.sinkTemporal {
+		c.arrA = append(c.arrA, float64(ia.Arrival))
+		c.arrB = append(c.arrB, float64(ib.Arrival))
+	}
+}
+
+func (s *counterSink) OnTriangle(i int) bool {
+	c := (*Counter)(s)
+	c.sinkSum += c.gFac[i]
+	c.instances++
+	if c.sinkTemporal {
+		c.foldArrivals(append(c.arrivals[:0], c.arrA[i], c.arrB[i]))
+	}
+	return true
+}
+
+func (s *counterSink) OnPair(i, j int, payIJ any) bool {
+	c := (*Counter)(s)
+	it := payIJ.(*reservoir.Item)
+	prod := c.gFac[i] * c.gFac[j]
+	if x := c.tauQ * it.InvWeight(); x > 1 {
+		prod *= x
+	}
+	c.sinkSum += prod
+	c.instances++
+	if c.sinkTemporal {
+		c.foldArrivals(append(c.arrivals[:0],
+			c.arrA[i], c.arrB[i], c.arrA[j], c.arrB[j], float64(it.Arrival)))
+	}
+	return true
+}
+
+func (s *counterSink) OnTriple(i, j, k int, payIJ, payIK, payJK any) bool {
+	c := (*Counter)(s)
+	iij := payIJ.(*reservoir.Item)
+	iik := payIK.(*reservoir.Item)
+	ijk := payJK.(*reservoir.Item)
+	tq := c.tauQ
+	prod := c.gFac[i] * c.gFac[j] * c.gFac[k]
+	if x := tq * iij.InvWeight(); x > 1 {
+		prod *= x
+	}
+	if x := tq * iik.InvWeight(); x > 1 {
+		prod *= x
+	}
+	if x := tq * ijk.InvWeight(); x > 1 {
+		prod *= x
+	}
+	c.sinkSum += prod
+	c.instances++
+	if c.sinkTemporal {
+		c.foldArrivals(append(c.arrivals[:0],
+			c.arrA[i], c.arrB[i], c.arrA[j], c.arrB[j], c.arrA[k], c.arrB[k],
+			float64(iij.Arrival), float64(iik.Arrival), float64(ijk.Arrival)))
+	}
+	return true
+}
+
+// foldArrivals sorts one instance's arrival indexes and aggregates them into
+// the temporal state features (Eq. 20), exactly as observeInsert's inline
+// path.
+func (c *Counter) foldArrivals(arr []float64) {
+	sort.Float64s(arr)
+	for j, a := range arr {
+		switch c.cfg.TemporalAgg {
+		case AggMax:
+			if a > c.temporal[j] {
+				c.temporal[j] = a
+			}
+		case AggAvg:
+			c.temporal[j] += a
+		}
+		c.count[j]++
+	}
+}
 
 // sumSorted sorts prods in place and returns their sum: the order-independent
 // fold shared by the single- and multi-pattern counters (see sumProds).

@@ -1,6 +1,10 @@
 package pattern
 
-import "repro/internal/graph"
+import (
+	"math/bits"
+
+	"repro/internal/graph"
+)
 
 // ItemView extends View for graphs whose edges carry an opaque per-edge
 // payload (the sampled reservoir's *reservoir.Item). Enumeration running
@@ -19,6 +23,70 @@ type ItemView interface {
 	// of edge {u, v}, until fn returns false.
 	ForEachNeighborItem(u graph.VertexID, fn func(v graph.VertexID, payload any) bool)
 }
+
+// IntersectView extends ItemView for stores that keep each adjacency list
+// sorted by neighbor ID (the reservoir), exposing the two intersection
+// primitives clique enumeration is built from. With these, common-neighborhood
+// collection and pair/triple adjacency checks become merge walks over sorted
+// slices instead of per-candidate hash probes — the dominant cost of dense
+// enumeration.
+type IntersectView interface {
+	ItemView
+	// ForEachCommonItem enumerates the common neighbors w of a and b in
+	// ascending vertex-ID order, excluding a and b themselves, with the
+	// payloads of (a, w) and (b, w), until fn returns false.
+	ForEachCommonItem(a, b graph.VertexID, fn func(w graph.VertexID, payA, payB any) bool)
+	// ForEachAdjacentIn enumerates, in ascending order, the indexes j in
+	// [from, len(cands)) whose vertex cands[j] is adjacent to u, with the
+	// payload of edge {u, cands[j]}, until fn returns false. cands must be
+	// sorted ascending.
+	ForEachAdjacentIn(u graph.VertexID, cands []graph.VertexID, from int, fn func(j int, payload any) bool)
+	// ForEachPairAmong enumerates every pair i < j of sorted candidate IDs
+	// connected by a stored edge, in ascending (i, j) order, with the payload
+	// of edge {cands[i], cands[j]}, until fn returns false. It reports false
+	// — having enumerated nothing — when the store cannot serve the request
+	// (e.g. candidate IDs outside its mark-array range); the caller then
+	// falls back to one ForEachAdjacentIn per candidate, which enumerates
+	// the same pairs in the same order.
+	ForEachPairAmong(cands []graph.VertexID, fn func(i, j int, payload any) bool) bool
+}
+
+// CliqueSink is the zero-materialization receiver for clique enumeration:
+// instead of assembling each instance's []graph.Edge and []any slices, the
+// enumerator hands the sink the common-neighborhood positions and the only
+// payloads it has not already seen. Estimators that fold instances into a
+// running sum (the per-event completion of Eqs. 11-13) precompute per-common
+// factors in OnCommon and combine them per instance, skipping the instance
+// slices, the edge construction, and the payload re-reads entirely.
+//
+// Index arguments refer to positions in the common-neighbor collection order
+// (ascending vertex ID): OnCommon(i, ...) is called for every common neighbor
+// first, then OnTriangle/OnPair/OnTriple fire per instance with i < j < k.
+// Returning false from an instance callback stops that kind's enumeration.
+type CliqueSink interface {
+	// OnCommon reports common neighbor i: vertex w with the payloads of
+	// (a, w) and (b, w).
+	OnCommon(i int, w graph.VertexID, payA, payB any)
+	// OnTriangle reports the triangle through common neighbor i.
+	OnTriangle(i int) bool
+	// OnPair reports the 4-clique on common neighbors i and j, with the
+	// payload of the cross edge {common[i], common[j]}.
+	OnPair(i, j int, payIJ any) bool
+	// OnTriple reports the 5-clique on common neighbors i, j and k, with the
+	// payloads of the three cross edges.
+	OnTriple(i, j, k int, payIJ, payIK, payJK any) bool
+}
+
+// bitsetMinCommon and bitsetMaxCommon bound the common-neighborhood size for
+// which 5-clique triple discovery builds dense bitset rows (one bit per common
+// neighbor) and intersects them with word-wide ANDs instead of two-pointer
+// merges. Below the minimum the masks cost more than they save; above the
+// maximum the quadratic mask storage stops paying for itself. Variables, not
+// constants, so tests can force the bitset regime on small inputs.
+var (
+	bitsetMinCommon = 32
+	bitsetMaxCommon = 2048
+)
 
 // Completer enumerates pattern completions with reusable scratch: the
 // neighbor buffers, the instance slices, and every internal iteration closure
@@ -40,19 +108,47 @@ type Completer struct {
 	payA   []any
 	payB   []any
 
+	// Row scratch for 5-clique triple discovery: rowJ/rowPay hold, for each
+	// common neighbor i in turn, the indexes j > i adjacent to it and the
+	// cross-edge payloads, with rowStart[i]..rowStart[i+1] delimiting row i.
+	// masks optionally holds maskW words of adjacency bits per common
+	// neighbor (the dense-bitset fast path).
+	rowJ     []int32
+	rowPay   []any
+	rowStart []int32
+	masks    []uint64
+	maskW    int
+
 	// Per-call state read by the prebound closures.
 	view   ItemView
+	isect  IntersectView // non-nil when view supports sorted intersection
+	sink   CliqueSink    // non-nil on the ForEachClique fast path
 	a, b   graph.VertexID
 	hi     graph.VertexID // probe side while collecting common neighbors
 	hiIsB  bool           // whether hi == b (payload ordering)
 	apex   graph.VertexID // wedge: endpoint whose neighborhood is iterated
 	x      graph.VertexID // 4-cycle: first path vertex
 	payAX  any            // 4-cycle: payload of (a, x)
+	curI   int            // 4-clique/row build: outer common index
 	fn     func(others []graph.Edge, payloads []any) bool
 	stop   bool
 	adapt  plainAdapter // wraps non-ItemView views
 	shared func(v graph.VertexID, payload any) bool
 	inner  func(v graph.VertexID, payload any) bool
+	// Intersection-path closures, prebound like shared/inner.
+	collectMerge  func(w graph.VertexID, payA, payB any) bool
+	pairEmit      func(j int, payload any) bool
+	pairSink      func(j int, payload any) bool
+	rowAppend     func(j int, payload any) bool
+	pairAmongEmit func(i, j int, payload any) bool
+	rowAppendPair func(i, j int, payload any) bool
+	// boundSink/boundOnPair cache a method-value binding of the current
+	// sink's OnPair: its signature matches ForEachPairAmong's callback
+	// exactly, so the 4-clique hot loop can call it with no adapter in
+	// between, and caching the binding keeps the path allocation-free when
+	// the same sink (the owning counter's) arrives every event.
+	boundSink   CliqueSink
+	boundOnPair func(i, j int, payload any) bool
 }
 
 // NewCompleter returns a reusable enumerator for pattern k.
@@ -80,6 +176,63 @@ func NewCompleter(k Kind) *Completer {
 	c.inner = func(v graph.VertexID, payload any) bool {
 		return c.visitCycleInner(v, payload)
 	}
+	c.collectMerge = func(w graph.VertexID, payA, payB any) bool {
+		c.common = append(c.common, w)
+		c.payA = append(c.payA, payA)
+		c.payB = append(c.payB, payB)
+		if c.sink != nil {
+			c.sink.OnCommon(len(c.common)-1, w, payA, payB)
+		}
+		return true
+	}
+	c.pairEmit = func(j int, pwx any) bool {
+		i := c.curI
+		w, x := c.common[i], c.common[j]
+		c.others[0], c.payloads[0] = graph.NewEdge(c.a, w), c.payA[i]
+		c.others[1], c.payloads[1] = graph.NewEdge(c.b, w), c.payB[i]
+		c.others[2], c.payloads[2] = graph.NewEdge(c.a, x), c.payA[j]
+		c.others[3], c.payloads[3] = graph.NewEdge(c.b, x), c.payB[j]
+		c.others[4], c.payloads[4] = graph.NewEdge(w, x), pwx
+		return c.emit(5)
+	}
+	c.pairSink = func(j int, pwx any) bool {
+		if !c.sink.OnPair(c.curI, j, pwx) {
+			c.stop = true
+			return false
+		}
+		return true
+	}
+	c.rowAppend = func(j int, pay any) bool {
+		c.rowJ = append(c.rowJ, int32(j))
+		c.rowPay = append(c.rowPay, pay)
+		if w := c.maskW; w > 0 {
+			i := c.curI
+			c.masks[i*w+j>>6] |= 1 << uint(j&63)
+			c.masks[j*w+i>>6] |= 1 << uint(i&63)
+		}
+		return true
+	}
+	c.pairAmongEmit = func(i, j int, pwx any) bool {
+		c.curI = i
+		return c.pairEmit(j, pwx)
+	}
+	// rowAppendPair is rowAppend fed by the single-pass pair enumeration:
+	// pairs arrive in ascending (i, j) order, so rows stay contiguous and
+	// curI tracks the row being filled, closing rowStart for skipped
+	// (empty) rows as i advances.
+	c.rowAppendPair = func(i, j int, pay any) bool {
+		for c.curI < i {
+			c.curI++
+			c.rowStart[c.curI] = int32(len(c.rowJ))
+		}
+		c.rowJ = append(c.rowJ, int32(j))
+		c.rowPay = append(c.rowPay, pay)
+		if w := c.maskW; w > 0 {
+			c.masks[i*w+j>>6] |= 1 << uint(j&63)
+			c.masks[j*w+i>>6] |= 1 << uint(i&63)
+		}
+		return true
+	}
 	return c
 }
 
@@ -96,6 +249,8 @@ func (c *Completer) ForEach(v View, a, b graph.VertexID, fn func(others []graph.
 	if !ok {
 		c.adapt.View = v
 		iv = &c.adapt
+	} else if is, ok := v.(IntersectView); ok {
+		c.isect = is
 	}
 	c.view, c.a, c.b, c.fn, c.stop = iv, a, b, fn, false
 	switch c.kind {
@@ -114,8 +269,31 @@ func (c *Completer) ForEach(v View, a, b graph.VertexID, fn func(others []graph.
 		panic("pattern: unknown kind")
 	}
 	// Drop references so retained Completers don't pin the view or callback.
-	c.view, c.fn = nil, nil
+	c.view, c.isect, c.fn = nil, nil, nil
 	c.adapt.View = nil
+}
+
+// ForEachClique is the zero-materialization clique fast path: it enumerates
+// the completer's clique instances into sink's typed callbacks instead of
+// assembling per-instance edge and payload slices. It reports false — having
+// enumerated nothing — when the kind is not in the clique family or the view
+// does not support sorted intersection; the caller then falls back to
+// ForEach. Like ForEach it is allocation-free after warm-up and not
+// reentrant.
+func (c *Completer) ForEachClique(v View, a, b graph.VertexID, sink CliqueSink) bool {
+	if !isClique(c.kind) || sink == nil {
+		return false
+	}
+	is, ok := v.(IntersectView)
+	if !ok {
+		return false
+	}
+	c.view, c.isect, c.sink = is, is, sink
+	c.a, c.b, c.stop = a, b, false
+	c.collect(is, a, b)
+	c.emitCliquesIntersect()
+	c.view, c.isect, c.sink = nil, nil, nil
+	return true
 }
 
 // Count returns the number of instances completed by {a, b}, allocation-free.
@@ -208,15 +386,21 @@ func (c *Completer) collectAndEmit(iv ItemView, a, b graph.VertexID) {
 // collect fills the common-neighborhood scratch (common, payA, payB) for the
 // event edge {a, b}: the collection phase of every clique pattern, split out
 // so a MultiCompleter can run it once and share the result across the clique
-// kinds in its set.
+// kinds in its set. Against an IntersectView the collection is a single merge
+// of the two sorted endpoint lists and yields common in ascending vertex-ID
+// order; the fallback iterates the smaller side probing the larger.
 func (c *Completer) collect(iv ItemView, a, b graph.VertexID) {
+	c.common = c.common[:0]
+	c.payA = c.payA[:0]
+	c.payB = c.payB[:0]
+	if c.isect != nil {
+		c.isect.ForEachCommonItem(a, b, c.collectMerge)
+		return
+	}
 	lo, hi := a, b
 	if iv.Degree(lo) > iv.Degree(hi) {
 		lo, hi = hi, lo
 	}
-	c.common = c.common[:0]
-	c.payA = c.payA[:0]
-	c.payB = c.payB[:0]
 	c.hi, c.hiIsB = hi, hi == b
 	iv.ForEachNeighborItem(lo, c.shared)
 }
@@ -225,15 +409,13 @@ func (c *Completer) collect(iv ItemView, a, b graph.VertexID) {
 // common-neighborhood scratch, which may alias another Completer's collection
 // (the MultiCompleter sharing path).
 func (c *Completer) emitCliques(iv ItemView, a, b graph.VertexID) {
+	if c.isect != nil {
+		c.emitCliquesIntersect()
+		return
+	}
 	switch c.kind {
 	case Triangle:
-		for i, w := range c.common {
-			c.others[0], c.payloads[0] = graph.NewEdge(a, w), c.payA[i]
-			c.others[1], c.payloads[1] = graph.NewEdge(b, w), c.payB[i]
-			if !c.emit(2) {
-				return
-			}
-		}
+		c.emitTriangles()
 	case FourClique:
 		for i := 0; i < len(c.common); i++ {
 			for j := i + 1; j < len(c.common); j++ {
@@ -242,12 +424,8 @@ func (c *Completer) emitCliques(iv ItemView, a, b graph.VertexID) {
 				if !ok {
 					continue
 				}
-				c.others[0], c.payloads[0] = graph.NewEdge(a, w), c.payA[i]
-				c.others[1], c.payloads[1] = graph.NewEdge(b, w), c.payB[i]
-				c.others[2], c.payloads[2] = graph.NewEdge(a, x), c.payA[j]
-				c.others[3], c.payloads[3] = graph.NewEdge(b, x), c.payB[j]
-				c.others[4], c.payloads[4] = graph.NewEdge(w, x), pwx
-				if !c.emit(5) {
+				c.curI = i
+				if !c.pairEmit(j, pwx) {
 					return
 				}
 			}
@@ -260,31 +438,214 @@ func (c *Completer) emitCliques(iv ItemView, a, b graph.VertexID) {
 					continue
 				}
 				for k := j + 1; k < len(c.common); k++ {
-					w, x, y := c.common[i], c.common[j], c.common[k]
-					pik, ok := iv.ProbeEdge(w, y)
+					pik, ok := iv.ProbeEdge(c.common[i], c.common[k])
 					if !ok {
 						continue
 					}
-					pjk, ok := iv.ProbeEdge(x, y)
+					pjk, ok := iv.ProbeEdge(c.common[j], c.common[k])
 					if !ok {
 						continue
 					}
-					c.others[0], c.payloads[0] = graph.NewEdge(a, w), c.payA[i]
-					c.others[1], c.payloads[1] = graph.NewEdge(b, w), c.payB[i]
-					c.others[2], c.payloads[2] = graph.NewEdge(a, x), c.payA[j]
-					c.others[3], c.payloads[3] = graph.NewEdge(b, x), c.payB[j]
-					c.others[4], c.payloads[4] = graph.NewEdge(a, y), c.payA[k]
-					c.others[5], c.payloads[5] = graph.NewEdge(b, y), c.payB[k]
-					c.others[6], c.payloads[6] = graph.NewEdge(w, x), pij
-					c.others[7], c.payloads[7] = graph.NewEdge(w, y), pik
-					c.others[8], c.payloads[8] = graph.NewEdge(x, y), pjk
-					if !c.emit(9) {
+					if !c.emitTriple(i, j, k, pij, pik, pjk) {
 						return
 					}
 				}
 			}
 		}
 	}
+}
+
+// emitCliquesIntersect emits the clique instances using the sorted-adjacency
+// intersection primitives: pair adjacency among common comes from merging
+// each common vertex's adjacency with the common suffix, and triple adjacency
+// from intersecting precomputed rows (optionally as dense bitsets). Instances
+// go to the sink's typed callbacks when one is installed, otherwise to the
+// generic fn.
+func (c *Completer) emitCliquesIntersect() {
+	n := len(c.common)
+	switch c.kind {
+	case Triangle:
+		if c.sink != nil {
+			for i := 0; i < n; i++ {
+				if !c.sink.OnTriangle(i) {
+					c.stop = true
+					return
+				}
+			}
+			return
+		}
+		c.emitTriangles()
+	case FourClique:
+		visit := c.pairAmongEmit
+		if c.sink != nil {
+			if c.boundSink != c.sink {
+				c.boundSink = c.sink
+				c.boundOnPair = c.sink.OnPair
+			}
+			visit = c.boundOnPair
+		}
+		if !c.isect.ForEachPairAmong(c.common, visit) {
+			rowVisit := c.pairEmit
+			if c.sink != nil {
+				rowVisit = c.pairSink
+			}
+			for i := 0; i+1 < n && !c.stop; i++ {
+				c.curI = i
+				c.isect.ForEachAdjacentIn(c.common[i], c.common, i+1, rowVisit)
+			}
+		}
+	case FiveClique:
+		if n < 3 {
+			return
+		}
+		c.buildRows(n)
+		c.emitTriples(n)
+	}
+}
+
+// emitTriangles runs the (collection-order) linear triangle emission into the
+// generic callback.
+func (c *Completer) emitTriangles() {
+	for i, w := range c.common {
+		c.others[0], c.payloads[0] = graph.NewEdge(c.a, w), c.payA[i]
+		c.others[1], c.payloads[1] = graph.NewEdge(c.b, w), c.payB[i]
+		if !c.emit(2) {
+			return
+		}
+	}
+}
+
+// buildRows fills the row scratch: for each common index i, the indexes j > i
+// adjacent to common[i] with the cross-edge payloads. When n is inside the
+// bitset window it also builds the symmetric adjacency masks the triple loop
+// ANDs together.
+func (c *Completer) buildRows(n int) {
+	if cap(c.rowStart) < n+1 {
+		c.rowStart = make([]int32, n+1)
+	}
+	c.rowStart = c.rowStart[:n+1]
+	c.rowJ = c.rowJ[:0]
+	c.rowPay = c.rowPay[:0]
+	c.maskW = 0
+	if n >= bitsetMinCommon && n <= bitsetMaxCommon {
+		words := (n + 63) >> 6
+		need := n * words
+		if cap(c.masks) < need {
+			c.masks = make([]uint64, need)
+		} else {
+			c.masks = c.masks[:need]
+			clear(c.masks)
+		}
+		c.maskW = words
+	}
+	c.rowStart[0] = 0
+	c.curI = 0
+	if c.isect.ForEachPairAmong(c.common, c.rowAppendPair) {
+		for i := c.curI + 1; i <= n; i++ {
+			c.rowStart[i] = int32(len(c.rowJ))
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		c.rowStart[i] = int32(len(c.rowJ))
+		c.curI = i
+		c.isect.ForEachAdjacentIn(c.common[i], c.common, i+1, c.rowAppend)
+	}
+	c.rowStart[n] = int32(len(c.rowJ))
+}
+
+// emitTriples enumerates 5-clique triples i < j < k by intersecting row i's
+// suffix past j with row j — two sorted index lists — either by two-pointer
+// merge or, inside the bitset window, by ANDing adjacency masks and walking
+// the set bits with monotone payload cursors.
+func (c *Completer) emitTriples(n int) {
+	for i := 0; i+2 < n; i++ {
+		ri1 := int(c.rowStart[i+1])
+		for p := int(c.rowStart[i]); p < ri1; p++ {
+			j := int(c.rowJ[p])
+			payIJ := c.rowPay[p]
+			if c.maskW > 0 {
+				if !c.emitTriplesBits(i, j, p, payIJ) {
+					return
+				}
+				continue
+			}
+			x, y := p+1, int(c.rowStart[j])
+			rj1 := int(c.rowStart[j+1])
+			for x < ri1 && y < rj1 {
+				kx, ky := c.rowJ[x], c.rowJ[y]
+				switch {
+				case kx < ky:
+					x++
+				case ky < kx:
+					y++
+				default:
+					if !c.emitTriple(i, j, int(kx), payIJ, c.rowPay[x], c.rowPay[y]) {
+						return
+					}
+					x++
+					y++
+				}
+			}
+		}
+	}
+}
+
+// emitTriplesBits is the dense-bitset triple loop for a fixed (i, j) pair:
+// every set bit past j in masks[i] AND masks[j] is a k completing the
+// 5-clique; the payloads come from monotone cursors over rows i and j, which
+// the mask guarantees contain k.
+func (c *Completer) emitTriplesBits(i, j, p int, payIJ any) bool {
+	w := c.maskW
+	bi, bj := i*w, j*w
+	x, y := p+1, int(c.rowStart[j])
+	ri1, rj1 := int(c.rowStart[i+1]), int(c.rowStart[j+1])
+	start := j + 1
+	for wi := start >> 6; wi < w; wi++ {
+		word := c.masks[bi+wi] & c.masks[bj+wi]
+		if wi == start>>6 {
+			word &= ^uint64(0) << uint(start&63)
+		}
+		for word != 0 {
+			k := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			for x < ri1 && int(c.rowJ[x]) < k {
+				x++
+			}
+			for y < rj1 && int(c.rowJ[y]) < k {
+				y++
+			}
+			if !c.emitTriple(i, j, k, payIJ, c.rowPay[x], c.rowPay[y]) {
+				return false
+			}
+			x++
+			y++
+		}
+	}
+	return true
+}
+
+// emitTriple delivers one 5-clique instance to the sink or the generic
+// callback, returning false when enumeration must stop.
+func (c *Completer) emitTriple(i, j, k int, payIJ, payIK, payJK any) bool {
+	if c.sink != nil {
+		if !c.sink.OnTriple(i, j, k, payIJ, payIK, payJK) {
+			c.stop = true
+			return false
+		}
+		return true
+	}
+	w, x, y := c.common[i], c.common[j], c.common[k]
+	c.others[0], c.payloads[0] = graph.NewEdge(c.a, w), c.payA[i]
+	c.others[1], c.payloads[1] = graph.NewEdge(c.b, w), c.payB[i]
+	c.others[2], c.payloads[2] = graph.NewEdge(c.a, x), c.payA[j]
+	c.others[3], c.payloads[3] = graph.NewEdge(c.b, x), c.payB[j]
+	c.others[4], c.payloads[4] = graph.NewEdge(c.a, y), c.payA[k]
+	c.others[5], c.payloads[5] = graph.NewEdge(c.b, y), c.payB[k]
+	c.others[6], c.payloads[6] = graph.NewEdge(w, x), payIJ
+	c.others[7], c.payloads[7] = graph.NewEdge(w, y), payIK
+	c.others[8], c.payloads[8] = graph.NewEdge(x, y), payJK
+	return c.emit(9)
 }
 
 // plainAdapter lifts a plain View to ItemView with nil payloads, so the

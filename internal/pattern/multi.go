@@ -27,6 +27,10 @@ type MultiCompleter struct {
 	kinds []Kind
 	comps []*Completer
 	adapt plainAdapter
+	// counts and countFns are the prebuilt per-kind counting callbacks used
+	// by Counts, so counting stays allocation-free per call like ForEach.
+	counts   []int
+	countFns []func(others []graph.Edge, payloads []any) bool
 }
 
 // NewMultiCompleter returns a reusable multi-pattern enumerator over kinds,
@@ -50,6 +54,15 @@ func NewMultiCompleter(kinds []Kind) (*MultiCompleter, error) {
 		}
 		seen[k] = true
 		m.comps[i] = NewCompleter(k)
+	}
+	m.counts = make([]int, len(kinds))
+	m.countFns = make([]func([]graph.Edge, []any) bool, len(kinds))
+	for i := range kinds {
+		i := i
+		m.countFns[i] = func([]graph.Edge, []any) bool {
+			m.counts[i]++
+			return true
+		}
 	}
 	m.adapt.init()
 	return m, nil
@@ -82,12 +95,13 @@ func (m *MultiCompleter) ForEach(v View, a, b graph.VertexID, fns []func(others 
 		m.adapt.View = v
 		iv = &m.adapt
 	}
+	is, _ := v.(IntersectView)
 	var collector *Completer
 	for i, c := range m.comps {
 		if fns[i] == nil {
 			continue
 		}
-		c.view, c.a, c.b, c.fn, c.stop = iv, a, b, fns[i], false
+		c.view, c.isect, c.a, c.b, c.fn, c.stop = iv, is, a, b, fns[i], false
 		switch c.kind {
 		case Wedge:
 			c.apex = a
@@ -106,26 +120,80 @@ func (m *MultiCompleter) ForEach(v View, a, b graph.VertexID, fns []func(others 
 				c.common, c.payA, c.payB = collector.common, collector.payA, collector.payB
 			}
 			c.emitCliques(iv, a, b)
+			if c != collector {
+				// Drop the aliased scratch like view/fn: a later
+				// single-Completer call on this sharer must not append into
+				// the collector's backing arrays.
+				c.common, c.payA, c.payB = nil, nil, nil
+			}
 		}
-		c.view, c.fn = nil, nil
+		c.view, c.isect, c.fn = nil, nil, nil
 	}
 	m.adapt.View = nil
 }
 
-// Counts returns, for each kind in the set, the number of instances completed
-// by {a, b}, reusing dst when it has the capacity. Convenience for tests and
-// weight heuristics; estimators use ForEach.
-func (m *MultiCompleter) Counts(v View, a, b graph.VertexID, dst []int) []int {
-	dst = dst[:0]
-	counts := make([]int, len(m.comps))
-	fns := make([]func([]graph.Edge, []any) bool, len(m.comps))
-	for i := range m.comps {
-		i := i
-		fns[i] = func([]graph.Edge, []any) bool {
-			counts[i]++
-			return true
-		}
+// ForEachWithSink enumerates like ForEach but routes every clique-family kind
+// in the set through sink's typed callbacks (the zero-materialization fast
+// path of Completer.ForEachClique), collecting the shared common neighborhood
+// once: OnCommon fires once per common neighbor, then each clique kind's
+// instances arrive via OnTriangle/OnPair/OnTriple. Non-clique kinds still use
+// their fns entries, whose clique-position entries are ignored. It reports
+// false — having enumerated nothing — when the view does not support sorted
+// intersection or sink is nil; the caller then falls back to ForEach.
+func (m *MultiCompleter) ForEachWithSink(v View, a, b graph.VertexID, fns []func(others []graph.Edge, payloads []any) bool, sink CliqueSink) bool {
+	if len(fns) != len(m.comps) {
+		panic(fmt.Sprintf("pattern: MultiCompleter.ForEachWithSink got %d callbacks for %d kinds", len(fns), len(m.kinds)))
 	}
-	m.ForEach(v, a, b, fns)
-	return append(dst, counts...)
+	is, ok := v.(IntersectView)
+	if !ok || sink == nil {
+		return false
+	}
+	var collector *Completer
+	for i, c := range m.comps {
+		if !isClique(c.kind) {
+			if fns[i] == nil {
+				continue
+			}
+			c.view, c.isect, c.a, c.b, c.fn, c.stop = is, is, a, b, fns[i], false
+			switch c.kind {
+			case Wedge:
+				c.apex = a
+				is.ForEachNeighborItem(a, c.shared)
+				if !c.stop {
+					c.apex = b
+					is.ForEachNeighborItem(b, c.shared)
+				}
+			case FourCycle:
+				is.ForEachNeighborItem(a, c.shared)
+			}
+			c.view, c.isect, c.fn = nil, nil, nil
+			continue
+		}
+		c.view, c.isect, c.sink = is, is, sink
+		c.a, c.b, c.stop = a, b, false
+		if collector == nil {
+			c.collect(is, a, b)
+			collector = c
+		} else {
+			c.common, c.payA, c.payB = collector.common, collector.payA, collector.payB
+		}
+		c.emitCliquesIntersect()
+		if c != collector {
+			c.common, c.payA, c.payB = nil, nil, nil
+		}
+		c.view, c.isect, c.sink = nil, nil, nil
+	}
+	return true
+}
+
+// Counts returns, for each kind in the set, the number of instances completed
+// by {a, b}, reusing dst when it has the capacity. The counting callbacks are
+// prebuilt at construction, so a call is allocation-free when dst has room.
+// Convenience for tests and weight heuristics; estimators use ForEach.
+func (m *MultiCompleter) Counts(v View, a, b graph.VertexID, dst []int) []int {
+	for i := range m.counts {
+		m.counts[i] = 0
+	}
+	m.ForEach(v, a, b, m.countFns)
+	return append(dst[:0], m.counts...)
 }

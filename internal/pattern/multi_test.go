@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/reservoir"
 )
 
 // canon sorts an instance list (and each instance's edges) into a canonical
@@ -193,5 +194,105 @@ func TestMultiCompleterRejectsBadSets(t *testing.T) {
 		if _, err := NewMultiCompleter(kinds); err == nil {
 			t.Errorf("%s kind set accepted", name)
 		}
+	}
+}
+
+// reservoirGraph loads a random graph into a real reservoir so the tests run
+// against the IntersectView hot path.
+func reservoirGraph(n, edges int, rng *rand.Rand) *reservoir.Reservoir {
+	res := reservoir.New(edges)
+	for res.Len() < edges {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		e := graph.NewEdge(u, v)
+		if _, ok := res.Get(e); ok {
+			continue
+		}
+		res.PushValue(e, 1, rng.Float64(), int64(res.Len()))
+	}
+	return res
+}
+
+// TestMultiCompleterSharerScratchCleared: after a multi-pass enumeration, the
+// sharer completers must not keep aliasing the collector's common-neighborhood
+// backing arrays (the regression: a later single-Completer call on a sharer
+// appended into the collector's array). Interleaves multi- and single-completer
+// calls on the same instances and cross-checks every result against fresh
+// completers.
+func TestMultiCompleterSharerScratchCleared(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	res := reservoirGraph(20, 120, rng)
+	kinds := []Kind{Triangle, FourClique, FiveClique}
+	mc, err := NewMultiCompleter(kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := make([]func([]graph.Edge, []any) bool, len(kinds))
+	counts := make([]int, len(kinds))
+	for i := range fns {
+		i := i
+		fns[i] = func([]graph.Edge, []any) bool { counts[i]++; return true }
+	}
+	fresh := map[Kind]*Completer{}
+	for _, k := range kinds {
+		fresh[k] = NewCompleter(k)
+	}
+	for trial := 0; trial < 30; trial++ {
+		a := graph.VertexID(rng.Intn(20))
+		b := graph.VertexID(rng.Intn(20))
+		if a == b {
+			continue
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		mc.ForEach(res, a, b, fns)
+		// The sharers must have dropped the collector's scratch.
+		for i, c := range mc.comps[1:] {
+			if c.common != nil || c.payA != nil || c.payB != nil {
+				t.Fatalf("trial %d: sharer %s retains aliased scratch after ForEach", trial, kinds[i+1])
+			}
+		}
+		// Interleave: drive each sharer directly on a different edge, which
+		// pre-fix appended into the collector's backing array.
+		a2 := graph.VertexID(rng.Intn(20))
+		b2 := graph.VertexID(rng.Intn(20))
+		for i, k := range kinds {
+			if a2 == b2 {
+				continue
+			}
+			if got, want := mc.comps[i].Count(res, a2, b2), fresh[k].Count(res, a2, b2); got != want {
+				t.Fatalf("trial %d: interleaved single %s count = %d, want %d", trial, k, got, want)
+			}
+		}
+		// The multi-pass counts must agree with fresh completers despite the
+		// interleaving.
+		for i, k := range kinds {
+			if want := fresh[k].Count(res, a, b); counts[i] != want {
+				t.Fatalf("trial %d: multi %s count = %d, want %d", trial, k, counts[i], want)
+			}
+		}
+	}
+}
+
+// TestMultiCompleterCountsAllocFree: Counts must be allocation-free per call
+// when dst has capacity — the counting callbacks are prebuilt at construction.
+func TestMultiCompleterCountsAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	res := reservoirGraph(20, 120, rng)
+	mc, err := NewMultiCompleter([]Kind{Wedge, Triangle, FourCycle, FourClique, FiveClique})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, 0, 5)
+	dst = mc.Counts(res, 1, 2, dst) // warm the enumeration scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = mc.Counts(res, 3, 4, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("Counts allocates %v per call, want 0", allocs)
 	}
 }

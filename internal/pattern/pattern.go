@@ -85,6 +85,11 @@ func Kinds() []Kind { return []Kind{Wedge, Triangle, FourCycle, FourClique, Five
 // panic on unknown kinds.
 func (k Kind) Valid() bool { return k >= Wedge && k <= FiveClique }
 
+// IsClique reports whether k belongs to the clique family, whose enumeration
+// starts from the event edge's common neighborhood and is eligible for the
+// CliqueSink fast path.
+func (k Kind) IsClique() bool { return isClique(k) }
+
 // ForEachCompletion enumerates the instances of pattern k that the edge
 // {u, v} completes against view: for each instance, fn receives the other
 // Size()-1 edges (every edge except {u, v} itself), all of which are present

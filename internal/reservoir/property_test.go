@@ -11,10 +11,11 @@ import (
 // an operation:
 //
 //   - min-heap order on ranks, with every item's heapIdx matching its slot
-//   - the edge index and the heap hold exactly the same items
-//   - the adjacency lists mirror the edge set: each item appears in both
-//     endpoints' lists at its recorded indexes, entries point back at their
-//     items, and no list holds anything else
+//   - every heap item is reachable through Get (the sorted-adjacency index)
+//   - the adjacency lists mirror the edge set: each list is sorted ascending
+//     by neighbor ID, each entry points at a live heap item for exactly that
+//     edge, and no list holds anything else
+//   - the per-vertex tagged counts match a recount of DEL-tagged entries
 //   - size never exceeds capacity
 func checkInvariants(t *testing.T, r *Reservoir) {
 	t.Helper()
@@ -28,45 +29,64 @@ func checkInvariants(t *testing.T, r *Reservoir) {
 		if parent := (i - 1) / 2; i > 0 && r.heap[parent].Rank > it.Rank {
 			t.Fatalf("heap order violated at %d: parent rank %v > %v", i, r.heap[parent].Rank, it.Rank)
 		}
-		got, ok := r.byEdge[it.Edge]
+		got, ok := r.Get(it.Edge)
 		if !ok || got != it {
-			t.Fatalf("heap item %v not indexed by edge", it.Edge)
+			t.Fatalf("heap item %v not reachable via Get", it.Edge)
 		}
-	}
-	if len(r.byEdge) != len(r.heap) {
-		t.Fatalf("edge index holds %d items, heap %d", len(r.byEdge), len(r.heap))
 	}
 	entries := 0
-	for u, list := range r.adj {
-		if len(list) == 0 {
+	taggedCount := map[graph.VertexID]int{}
+	r.forEachList(func(u graph.VertexID, l adjList) {
+		if len(l.vs) == 0 {
 			t.Fatalf("vertex %d kept with empty adjacency", u)
 		}
-		entries += len(list)
-		for i, e := range list {
-			if e.it == nil {
+		if len(l.vs) != len(l.its) {
+			t.Fatalf("adj[%d] parallel slices out of sync: %d IDs, %d items", u, len(l.vs), len(l.its))
+		}
+		entries += len(l.vs)
+		for i, v := range l.vs {
+			it := l.its[i]
+			if it == nil {
 				t.Fatalf("adj[%d][%d] has nil item", u, i)
 			}
-			if got := r.byEdge[graph.NewEdge(u, e.v)]; got != e.it {
-				t.Fatalf("adj[%d][%d] points at wrong item for edge {%d,%d}", u, i, u, e.v)
+			if i > 0 && l.vs[i-1] >= v {
+				t.Fatalf("adj[%d] not strictly sorted at %d: %d then %d", u, i, l.vs[i-1], v)
 			}
-			idx := e.it.adjIdxU
-			if e.it.Edge.V == u {
-				idx = e.it.adjIdxV
+			if it.Edge != graph.NewEdge(u, v) {
+				t.Fatalf("adj[%d][%d] points at item %v, want edge {%d,%d}", u, i, it.Edge, u, v)
 			}
-			if idx != i {
-				t.Fatalf("item %v records index %d in adj[%d], found at %d", e.it.Edge, idx, u, i)
+			if it.heapIdx >= len(r.heap) || r.heap[it.heapIdx] != it {
+				t.Fatalf("adj[%d][%d] points at an item no longer in the heap", u, i)
+			}
+			if it.Deleted {
+				taggedCount[u]++
 			}
 		}
-	}
+	})
 	if entries != 2*len(r.heap) {
 		t.Fatalf("adjacency holds %d entries for %d items", entries, len(r.heap))
 	}
-	// Degree agrees with the adjacency it reports.
-	for u, list := range r.adj {
-		if r.Degree(u) != len(list) {
-			t.Fatalf("Degree(%d) = %d, adjacency has %d", u, r.Degree(u), len(list))
+	// The incremental tagged counts agree with a full recount, with no stale
+	// zero entries kept alive.
+	for u, n := range taggedCount {
+		if r.tagged[u] != n {
+			t.Fatalf("tagged[%d] = %d, recount %d", u, r.tagged[u], n)
 		}
 	}
+	for u, n := range r.tagged {
+		if n == 0 || taggedCount[u] != n {
+			t.Fatalf("tagged[%d] = %d, recount %d", u, n, taggedCount[u])
+		}
+	}
+	// Degree and LiveDegree agree with the adjacency they report.
+	r.forEachList(func(u graph.VertexID, l adjList) {
+		if r.Degree(u) != len(l.vs) {
+			t.Fatalf("Degree(%d) = %d, adjacency has %d", u, r.Degree(u), len(l.vs))
+		}
+		if want := len(l.vs) - taggedCount[u]; r.LiveDegree(u) != want {
+			t.Fatalf("LiveDegree(%d) = %d, want %d", u, r.LiveDegree(u), want)
+		}
+	})
 }
 
 // TestPropertyRandomOps drives the reservoir through random
@@ -137,6 +157,12 @@ func TestPropertyRandomOps(t *testing.T) {
 					}
 					delete(model, got.Edge)
 				}
+			}
+			// Toggle DEL tags on random items so removals and the tagged
+			// counts interact the way GPS-A churn drives them.
+			if r.Len() > 0 && rng.Intn(4) == 0 {
+				it := r.heap[rng.Intn(r.Len())]
+				r.SetDeleted(it, !it.Deleted)
 			}
 			checkInvariants(t, r)
 

@@ -1,8 +1,8 @@
 // Package reservoir implements the fixed-capacity rank-keyed sample storage
 // shared by the weighted sampling frameworks (GPS, GPS-A, WSD). It combines a
 // min-priority queue on edge ranks (for threshold maintenance and eviction)
-// with a hash index and an adjacency index (for O(1) membership and neighbor
-// enumeration during subgraph counting).
+// with a sorted adjacency index (for O(log d) membership and merge-style
+// common-neighborhood intersection during subgraph counting).
 package reservoir
 
 import (
@@ -20,16 +20,28 @@ type Item struct {
 	Weight  float64
 	Rank    float64
 	Arrival int64 // index t_k of the insertion event that sampled this edge
-	Deleted bool  // GPS-A "DEL" tag; WSD never sets it
+	// Deleted is the GPS-A "DEL" tag; WSD never sets it. Once the item is
+	// stored in a Reservoir, flip it via Reservoir.SetDeleted so the
+	// per-vertex live-degree counts stay consistent.
+	Deleted bool
 
 	heapIdx int
-	// adjIdxU and adjIdxV locate this item's entry in the adjacency list of
-	// Edge.U and Edge.V respectively, for O(1) swap-removal.
-	adjIdxU, adjIdxV int
+	// invW caches 1/Weight, maintained by Push: the estimators' inner loops
+	// apply the inverse inclusion probability max(1, tau_q/w) once per edge
+	// of every completed instance, and a cached reciprocal turns each of
+	// those divisions into a multiplication.
+	invW float64
 }
 
-// Reservoir is a bounded min-priority queue of Items keyed by Rank with edge
-// and adjacency indexes. The zero value is not usable; construct with New.
+// InvWeight returns the cached reciprocal 1/Weight. It is only valid for
+// items stored in a reservoir (Push computes it).
+func (it *Item) InvWeight() float64 { return it.invW }
+
+// Reservoir is a bounded min-priority queue of Items keyed by Rank with a
+// sorted adjacency index. Each vertex's incident-edge list is kept ordered by
+// neighbor ID, so membership is a binary search and common-neighborhood
+// enumeration is a linear merge of two sorted lists — no hash probes on the
+// counting hot path. The zero value is not usable; construct with New.
 //
 // Reservoir implements pattern.View over all stored items (the WSD view). Use
 // Live for the view that excludes DEL-tagged items (the GPS-A estimator
@@ -37,30 +49,64 @@ type Item struct {
 type Reservoir struct {
 	capacity int
 	heap     []*Item
-	byEdge   map[graph.Edge]*Item
-	// adj maps each live vertex to its incident items as a slice: neighbor
-	// enumeration — the innermost loop of every completion search — walks a
-	// contiguous slice instead of iterating a hash map, and each entry carries
-	// the *Item so enumeration yields per-edge state without extra lookups.
-	// Removal is O(1) by swap-remove via the indexes stored on the Item.
-	adj map[graph.VertexID][]adjEntry
+	// adjDense indexes each vertex's adjacency list directly by vertex ID for
+	// IDs below maxMarkID — the same dense-ID assumption the mark array makes —
+	// so the intersection loops reach a row with one bounds check instead of a
+	// hash probe. It grows to the largest linked ID. Vertices with larger
+	// (sparse, hashed) IDs live in the adjFar map instead.
+	adjDense []adjList
+	adjFar   map[graph.VertexID]adjList
+	// tagged counts, per vertex, the incident edges currently carrying the
+	// DEL tag, so LiveView.Degree can report the live degree without a scan.
+	// Entries are removed when they reach zero; WSD workloads never populate
+	// the map at all.
+	tagged map[graph.VertexID]int
 	// free recycles removed Item allocations for PushValue, keeping the
 	// steady-state sampler loop allocation-free. Bounded by the capacity so
 	// even a mass deletion followed by a refill — the deletion-churn shape —
 	// recycles every item, while idle memory stays within one reservoir's
 	// worth of items.
 	free []*Item
+	// chunk is the tail of the current PushValue allocation block; see
+	// itemChunkSize.
+	chunk []Item
 	// freeAdj recycles the backing arrays of emptied adjacency lists: under
 	// churn, vertices constantly drop to degree zero and come back, and
 	// reallocating their lists each time would dominate steady-state
 	// allocations. Bounded like free.
-	freeAdj [][]adjEntry
+	freeAdj []adjList
+	// marks is the epoch-stamped scratch behind ForEachPairAmong: marks[v]
+	// holds markEpoch<<32|index while v is a candidate of the current call, so
+	// an adjacency walk classifies each neighbor with one array load instead
+	// of a merge step. Stale entries are invalidated by bumping the epoch;
+	// the array only grows to the largest candidate ID seen (the fast path
+	// declines IDs above maxMarkID rather than allocate unboundedly).
+	marks     []uint64
+	markEpoch uint32
 }
 
-// adjEntry is one incident edge in a vertex's adjacency list.
-type adjEntry struct {
-	v  graph.VertexID
-	it *Item
+// adjList is one vertex's incident edges as two parallel slices sorted
+// ascending by neighbor ID (structure-of-arrays layout): the merge and
+// mark-walk loops scan the 4-byte IDs at full cache-line density and load the
+// corresponding *Item only on a match.
+type adjList struct {
+	vs  []graph.VertexID
+	its []*Item
+}
+
+// searchAdj returns the smallest index i with vs[i] >= v, i.e. the position
+// where v is or would be inserted.
+func searchAdj(vs []graph.VertexID, v graph.VertexID) int {
+	lo, hi := 0, len(vs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if vs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // New returns an empty reservoir with the given capacity M. It panics if
@@ -72,8 +118,65 @@ func New(capacity int) *Reservoir {
 	return &Reservoir{
 		capacity: capacity,
 		heap:     make([]*Item, 0, capacity),
-		byEdge:   make(map[graph.Edge]*Item, capacity),
-		adj:      make(map[graph.VertexID][]adjEntry),
+		tagged:   make(map[graph.VertexID]int),
+	}
+}
+
+// list returns u's adjacency list (possibly empty).
+func (r *Reservoir) list(u graph.VertexID) adjList {
+	if int(u) < len(r.adjDense) {
+		return r.adjDense[u]
+	}
+	if int(u) < maxMarkID {
+		return adjList{}
+	}
+	return r.adjFar[u]
+}
+
+// setList stores u's adjacency list, growing the dense index or falling back
+// to the sparse map for IDs beyond the dense range. An empty list is stored as
+// the zero adjList (and removed from the sparse map) so list() reports degree
+// zero and listFor() knows to seed from the recycler.
+func (r *Reservoir) setList(u graph.VertexID, l adjList) {
+	if int(u) >= maxMarkID {
+		if len(l.vs) == 0 {
+			delete(r.adjFar, u)
+			return
+		}
+		if r.adjFar == nil {
+			r.adjFar = make(map[graph.VertexID]adjList)
+		}
+		r.adjFar[u] = l
+		return
+	}
+	if int(u) >= len(r.adjDense) {
+		// Amortized doubling: streams tend to introduce vertex IDs in
+		// ascending order, and exact-size growth would recopy the whole
+		// index on every new vertex (O(V^2) on vertex-heavy streams).
+		n := int(u) + 1
+		if c := 2 * len(r.adjDense); c > n {
+			n = c
+		}
+		if n > maxMarkID {
+			n = maxMarkID
+		}
+		grown := make([]adjList, n)
+		copy(grown, r.adjDense)
+		r.adjDense = grown
+	}
+	r.adjDense[u] = l
+}
+
+// forEachList calls fn for every vertex that currently has incident edges.
+// Diagnostic/test helper, not a hot path.
+func (r *Reservoir) forEachList(fn func(u graph.VertexID, l adjList)) {
+	for u, l := range r.adjDense {
+		if len(l.vs) > 0 {
+			fn(graph.VertexID(u), l)
+		}
+	}
+	for u, l := range r.adjFar {
+		fn(u, l)
 	}
 }
 
@@ -94,10 +197,18 @@ func (r *Reservoir) Min() *Item {
 	return r.heap[0]
 }
 
-// Get returns the item for edge e, if present.
+// Get returns the item for edge e, if present, by binary-searching the
+// shorter endpoint's adjacency list.
 func (r *Reservoir) Get(e graph.Edge) (*Item, bool) {
-	it, ok := r.byEdge[e]
-	return it, ok
+	l, target := r.list(e.U), e.V
+	if other := r.list(e.V); len(other.vs) < len(l.vs) {
+		l, target = other, e.U
+	}
+	i := searchAdj(l.vs, target)
+	if i < len(l.vs) && l.vs[i] == target {
+		return l.its[i], true
+	}
+	return nil, false
 }
 
 // Push inserts a new item. It panics if the reservoir is full or already
@@ -106,12 +217,12 @@ func (r *Reservoir) Push(it *Item) {
 	if r.Full() {
 		panic("reservoir: push into full reservoir")
 	}
-	if _, ok := r.byEdge[it.Edge]; ok {
+	if _, ok := r.Get(it.Edge); ok {
 		panic(fmt.Sprintf("reservoir: duplicate push of edge %v", it.Edge))
 	}
+	it.invW = 1 / it.Weight
 	it.heapIdx = len(r.heap)
 	r.heap = append(r.heap, it)
-	r.byEdge[it.Edge] = it
 	r.linkAdj(it)
 	r.siftUp(it.heapIdx)
 }
@@ -125,13 +236,24 @@ func (r *Reservoir) PushValue(e graph.Edge, weight, rank float64, arrival int64)
 	if n := len(r.free); n > 0 {
 		it = r.free[n-1]
 		r.free = r.free[:n-1]
-		*it = Item{Edge: e, Weight: weight, Rank: rank, Arrival: arrival}
 	} else {
-		it = &Item{Edge: e, Weight: weight, Rank: rank, Arrival: arrival}
+		if len(r.chunk) == 0 {
+			// Carve fresh items from a block: the fill phase pushes up to M
+			// items before the recycler has anything to hand back, and one
+			// allocation per block instead of per item keeps that phase from
+			// dominating the allocs-per-event accounting.
+			r.chunk = make([]Item, itemChunkSize)
+		}
+		it = &r.chunk[0]
+		r.chunk = r.chunk[1:]
 	}
+	*it = Item{Edge: e, Weight: weight, Rank: rank, Arrival: arrival}
 	r.Push(it)
 	return it
 }
+
+// itemChunkSize is the block size PushValue carves new Items from.
+const itemChunkSize = 64
 
 // PopMin removes and returns the minimum-rank item. It returns nil if the
 // reservoir is empty. The returned item is only valid until the next
@@ -147,11 +269,35 @@ func (r *Reservoir) PopMin() *Item {
 // returned item is only valid until the next PushValue, which may recycle its
 // allocation.
 func (r *Reservoir) Remove(e graph.Edge) *Item {
-	it, ok := r.byEdge[e]
+	it, ok := r.Get(e)
 	if !ok {
 		return nil
 	}
 	return r.removeAt(it.heapIdx)
+}
+
+// SetDeleted flips the DEL tag on a stored item, keeping the per-vertex
+// live-degree counts consistent. It is a no-op when the tag already has the
+// requested value.
+func (r *Reservoir) SetDeleted(it *Item, deleted bool) {
+	if it.Deleted == deleted {
+		return
+	}
+	it.Deleted = deleted
+	d := 1
+	if !deleted {
+		d = -1
+	}
+	r.addTag(it.Edge.U, d)
+	r.addTag(it.Edge.V, d)
+}
+
+func (r *Reservoir) addTag(u graph.VertexID, d int) {
+	if n := r.tagged[u] + d; n == 0 {
+		delete(r.tagged, u)
+	} else {
+		r.tagged[u] = n
+	}
 }
 
 func (r *Reservoir) removeAt(i int) *Item {
@@ -165,7 +311,6 @@ func (r *Reservoir) removeAt(i int) *Item {
 			r.siftUp(i)
 		}
 	}
-	delete(r.byEdge, it.Edge)
 	r.unlinkAdj(it)
 	if len(r.free) < r.capacity {
 		r.free = append(r.free, it)
@@ -174,54 +319,77 @@ func (r *Reservoir) removeAt(i int) *Item {
 }
 
 func (r *Reservoir) linkAdj(it *Item) {
-	it.adjIdxU = len(r.adj[it.Edge.U])
-	r.adj[it.Edge.U] = append(r.listFor(it.Edge.U), adjEntry{v: it.Edge.V, it: it})
-	it.adjIdxV = len(r.adj[it.Edge.V])
-	r.adj[it.Edge.V] = append(r.listFor(it.Edge.V), adjEntry{v: it.Edge.U, it: it})
+	r.linkAt(it.Edge.U, it.Edge.V, it)
+	r.linkAt(it.Edge.V, it.Edge.U, it)
+	if it.Deleted {
+		r.addTag(it.Edge.U, 1)
+		r.addTag(it.Edge.V, 1)
+	}
 }
 
-// listFor returns u's adjacency list, seeding a fresh vertex with a recycled
-// backing array when one is available.
-func (r *Reservoir) listFor(u graph.VertexID) []adjEntry {
-	if list, ok := r.adj[u]; ok {
-		return list
+// linkAt inserts neighbor v (with its item) into u's sorted adjacency list,
+// shifting the tails of both parallel slices.
+func (r *Reservoir) linkAt(u, v graph.VertexID, it *Item) {
+	l := r.listFor(u)
+	i := searchAdj(l.vs, v)
+	l.vs = append(l.vs, 0)
+	copy(l.vs[i+1:], l.vs[i:])
+	l.vs[i] = v
+	l.its = append(l.its, nil)
+	copy(l.its[i+1:], l.its[i:])
+	l.its[i] = it
+	r.setList(u, l)
+}
+
+// listFor returns u's adjacency list, seeding a fresh vertex with recycled
+// backing arrays when available, else with small pre-sized ones: the parallel
+// slices double in lockstep, so starting at a few entries halves the number
+// of growth reallocations a filling vertex pays compared to growing from nil.
+func (r *Reservoir) listFor(u graph.VertexID) adjList {
+	l := r.list(u)
+	if l.vs == nil {
+		if n := len(r.freeAdj); n > 0 {
+			l = r.freeAdj[n-1]
+			r.freeAdj = r.freeAdj[:n-1]
+		} else {
+			l = adjList{vs: make([]graph.VertexID, 0, 8), its: make([]*Item, 0, 8)}
+		}
 	}
-	if n := len(r.freeAdj); n > 0 {
-		list := r.freeAdj[n-1]
-		r.freeAdj = r.freeAdj[:n-1]
-		return list
-	}
-	return nil
+	return l
 }
 
 func (r *Reservoir) unlinkAdj(it *Item) {
-	r.unlinkAt(it.Edge.U, it.adjIdxU)
-	r.unlinkAt(it.Edge.V, it.adjIdxV)
+	r.unlinkAt(it.Edge.U, it.Edge.V, it)
+	r.unlinkAt(it.Edge.V, it.Edge.U, it)
+	if it.Deleted {
+		r.addTag(it.Edge.U, -1)
+		r.addTag(it.Edge.V, -1)
+	}
 }
 
-// unlinkAt swap-removes entry i from u's adjacency list, fixing the moved
-// entry's back-index on its item.
-func (r *Reservoir) unlinkAt(u graph.VertexID, i int) {
-	list := r.adj[u]
-	last := len(list) - 1
-	if i != last {
-		moved := list[last]
-		list[i] = moved
-		if moved.it.Edge.U == u {
-			moved.it.adjIdxU = i
-		} else {
-			moved.it.adjIdxV = i
-		}
+// unlinkAt removes the entry for item it under neighbor ID v from u's sorted
+// adjacency list, shifting the tails down.
+func (r *Reservoir) unlinkAt(u, v graph.VertexID, it *Item) {
+	l := r.list(u)
+	i := searchAdj(l.vs, v)
+	// A self-loop stores two identical-key entries; advance to the one that
+	// holds this item.
+	for l.its[i] != it {
+		i++
 	}
-	list = list[:last]
-	if len(list) == 0 {
-		if cap(list) > 0 && len(r.freeAdj) < r.capacity {
-			r.freeAdj = append(r.freeAdj, list)
+	copy(l.vs[i:], l.vs[i+1:])
+	copy(l.its[i:], l.its[i+1:])
+	last := len(l.vs) - 1
+	l.its[last] = nil
+	l.vs = l.vs[:last]
+	l.its = l.its[:last]
+	if last == 0 {
+		if cap(l.vs) > 0 && len(r.freeAdj) < r.capacity {
+			r.freeAdj = append(r.freeAdj, l)
 		}
-		delete(r.adj, u)
-	} else {
-		r.adj[u] = list
+		l = adjList{}
 	}
+	r.setList(u, l)
 }
 
 func (r *Reservoir) swap(i, j int) {
@@ -266,19 +434,23 @@ func (r *Reservoir) siftDown(i int) bool {
 
 // HasEdge implements pattern.View over all stored items.
 func (r *Reservoir) HasEdge(u, v graph.VertexID) bool {
-	_, ok := r.byEdge[graph.NewEdge(u, v)]
+	_, ok := r.Get(graph.NewEdge(u, v))
 	return ok
 }
 
 // Degree implements pattern.View over all stored items.
-func (r *Reservoir) Degree(u graph.VertexID) int { return len(r.adj[u]) }
+func (r *Reservoir) Degree(u graph.VertexID) int { return len(r.list(u).vs) }
 
-// ForEachNeighbor implements pattern.View over all stored items. Iteration
-// order is the adjacency list's insertion order; fn must not mutate the
-// reservoir.
+// LiveDegree returns the number of non-DEL-tagged edges incident to u.
+func (r *Reservoir) LiveDegree(u graph.VertexID) int {
+	return len(r.list(u).vs) - r.tagged[u]
+}
+
+// ForEachNeighbor implements pattern.View over all stored items. Iteration is
+// in ascending neighbor-ID order; fn must not mutate the reservoir.
 func (r *Reservoir) ForEachNeighbor(u graph.VertexID, fn func(v graph.VertexID) bool) {
-	for _, e := range r.adj[u] {
-		if !fn(e.v) {
+	for _, v := range r.list(u).vs {
+		if !fn(v) {
 			return
 		}
 	}
@@ -286,7 +458,7 @@ func (r *Reservoir) ForEachNeighbor(u graph.VertexID, fn func(v graph.VertexID) 
 
 // ProbeEdge implements pattern.ItemView: HasEdge returning the *Item payload.
 func (r *Reservoir) ProbeEdge(u, v graph.VertexID) (any, bool) {
-	it, ok := r.byEdge[graph.NewEdge(u, v)]
+	it, ok := r.Get(graph.NewEdge(u, v))
 	if !ok {
 		return nil, false
 	}
@@ -296,9 +468,231 @@ func (r *Reservoir) ProbeEdge(u, v graph.VertexID) (any, bool) {
 // ForEachNeighborItem implements pattern.ItemView; the payload is the edge's
 // *Item. fn must not mutate the reservoir.
 func (r *Reservoir) ForEachNeighborItem(u graph.VertexID, fn func(v graph.VertexID, payload any) bool) {
-	for _, e := range r.adj[u] {
-		if !fn(e.v, e.it) {
+	l := r.list(u)
+	for i, v := range l.vs {
+		if !fn(v, l.its[i]) {
 			return
+		}
+	}
+}
+
+// ForEachCommonItem implements pattern.IntersectView: it enumerates the
+// common neighbors of a and b in ascending vertex-ID order by merging the two
+// sorted adjacency lists, yielding both incident items per common neighbor.
+// Vertices a and b themselves are excluded. fn must not mutate the reservoir.
+func (r *Reservoir) ForEachCommonItem(a, b graph.VertexID, fn func(w graph.VertexID, payA, payB any) bool) {
+	forEachCommon(r.list(a), r.list(b), a, b, false, fn)
+}
+
+// ForEachAdjacentIn implements pattern.IntersectView: among the sorted
+// candidate IDs cands[from:], it enumerates those adjacent to u in ascending
+// order, calling fn with the candidate's index and the connecting edge's
+// payload. fn must not mutate the reservoir.
+func (r *Reservoir) ForEachAdjacentIn(u graph.VertexID, cands []graph.VertexID, from int, fn func(j int, payload any) bool) {
+	forEachAdjacentIn(r.list(u), cands, from, false, fn)
+}
+
+// probeRatio is the list-length ratio beyond which the intersection helpers
+// switch from a linear two-pointer merge to binary-probing the longer list
+// for each element of the shorter one (galloping degenerate case: a handful
+// of candidates against a high-degree vertex).
+const probeRatio = 8
+
+// maxMarkID bounds the vertex IDs the mark-array fast path (and the dense
+// adjacency index) will store directly: above it (sparse hashed ID spaces)
+// ForEachPairAmong reports false and the caller falls back to per-row merge
+// intersection, rather than growing a multi-MB scratch array.
+const maxMarkID = 1 << 21
+
+// ForEachPairAmong implements pattern.IntersectView: it enumerates every pair
+// i < j of the sorted candidate IDs that is connected by a stored edge, in
+// ascending (i, j) order, with the connecting edge's payload. It reports
+// false — having enumerated nothing — when the candidate IDs are outside the
+// mark array's range; callers then intersect row by row via ForEachAdjacentIn,
+// which enumerates the same pairs in the same order.
+func (r *Reservoir) ForEachPairAmong(cands []graph.VertexID, fn func(i, j int, payload any) bool) bool {
+	return r.forEachPairAmong(cands, false, fn)
+}
+
+// forEachPairAmong marks each candidate's index in the epoch-stamped scratch,
+// then walks each candidate's adjacency once: a neighbor is classified as a
+// later candidate (index j > i) with a single array load, replacing the
+// per-row merge's compare-advance loop. Rows are walked in candidate order
+// and each row ascends by neighbor ID, so pairs arrive exactly as the
+// merge-based fallback would emit them.
+func (r *Reservoir) forEachPairAmong(cands []graph.VertexID, liveOnly bool, fn func(i, j int, payload any) bool) bool {
+	n := len(cands)
+	if n < 2 {
+		return true
+	}
+	if int(cands[n-1]) >= maxMarkID {
+		return false
+	}
+	if int(cands[n-1]) >= len(r.marks) {
+		r.marks = append(r.marks, make([]uint64, int(cands[n-1])+1-len(r.marks))...)
+	}
+	r.markEpoch++
+	if r.markEpoch == 0 {
+		clear(r.marks)
+		r.markEpoch = 1
+	}
+	tag := uint64(r.markEpoch) << 32
+	for j, v := range cands {
+		r.marks[v] = tag | uint64(j)
+	}
+	marks := r.marks
+	for i := 0; i+1 < n; i++ {
+		// Candidates are sorted and below maxMarkID, so each row can only
+		// live in the dense index.
+		var l adjList
+		if int(cands[i]) < len(r.adjDense) {
+			l = r.adjDense[cands[i]]
+		}
+		if len(l.vs) > probeRatio*(n-i) {
+			// Degenerate high-degree row: probing the few remaining
+			// candidates beats walking the whole adjacency list.
+			stop := false
+			forEachAdjacentIn(l, cands, i+1, liveOnly, func(j int, payload any) bool {
+				stop = !fn(i, j, payload)
+				return !stop
+			})
+			if stop {
+				return true
+			}
+			continue
+		}
+		// A match has index j > i, hence neighbor ID above cands[i]: skip
+		// straight to that suffix of the sorted row.
+		k := searchAdj(l.vs, cands[i]+1)
+		vs, its := l.vs[k:], l.its[k:]
+		// Stale marks carry an older (smaller) epoch, so a single compare
+		// against tag|i classifies each neighbor: m > tagI holds exactly
+		// for candidates marked this call with index j > i.
+		tagI := tag | uint64(i)
+		if liveOnly {
+			for idx, v := range vs {
+				if int(v) >= len(marks) {
+					continue
+				}
+				if m := marks[v]; m > tagI && !its[idx].Deleted {
+					if !fn(i, int(uint32(m)), its[idx]) {
+						return true
+					}
+				}
+			}
+			continue
+		}
+		for idx, v := range vs {
+			if int(v) >= len(marks) {
+				// Neighbor above the largest candidate ID: never a match.
+				continue
+			}
+			if m := marks[v]; m > tagI {
+				if !fn(i, int(uint32(m)), its[idx]) {
+					return true
+				}
+			}
+		}
+	}
+	return true
+}
+
+// forEachCommon merges two sorted adjacency lists, emitting each shared
+// neighbor ID with the payload items from la's side and lb's side (in that
+// order). With liveOnly set, a match is skipped unless both items are
+// untagged.
+func forEachCommon(la, lb adjList, a, b graph.VertexID, liveOnly bool, fn func(w graph.VertexID, payA, payB any) bool) {
+	swapped := false
+	if len(lb.vs) < len(la.vs) {
+		la, lb = lb, la
+		swapped = true
+	}
+	if len(la.vs) == 0 {
+		return
+	}
+	emit := func(w graph.VertexID, ea, eb *Item) bool {
+		if w == a || w == b {
+			return true
+		}
+		if liveOnly && (ea.Deleted || eb.Deleted) {
+			return true
+		}
+		if swapped {
+			ea, eb = eb, ea
+		}
+		return fn(w, ea, eb)
+	}
+	if len(lb.vs) > probeRatio*len(la.vs) {
+		// Probe mode: binary-search the long list for each short-list entry.
+		for i, v := range la.vs {
+			j := searchAdj(lb.vs, v)
+			if j < len(lb.vs) && lb.vs[j] == v {
+				if !emit(v, la.its[i], lb.its[j]) {
+					return
+				}
+			}
+		}
+		return
+	}
+	i, j := 0, 0
+	for i < len(la.vs) && j < len(lb.vs) {
+		va, vb := la.vs[i], lb.vs[j]
+		switch {
+		case va < vb:
+			i++
+		case vb < va:
+			j++
+		default:
+			if !emit(va, la.its[i], lb.its[j]) {
+				return
+			}
+			i++
+			j++
+		}
+	}
+}
+
+// forEachAdjacentIn intersects a sorted adjacency list with the sorted
+// candidate suffix cands[from:], calling fn(j, item) for each candidate index
+// j whose vertex is adjacent.
+func forEachAdjacentIn(l adjList, cands []graph.VertexID, from int, liveOnly bool, fn func(j int, payload any) bool) {
+	n := len(cands)
+	if from >= n || len(l.vs) == 0 {
+		return
+	}
+	if len(l.vs) > probeRatio*(n-from) {
+		// Probe mode: few candidates against a long list.
+		for j := from; j < n; j++ {
+			i := searchAdj(l.vs, cands[j])
+			if i < len(l.vs) && l.vs[i] == cands[j] {
+				it := l.its[i]
+				if liveOnly && it.Deleted {
+					continue
+				}
+				if !fn(j, it) {
+					return
+				}
+			}
+		}
+		return
+	}
+	i, j := searchAdj(l.vs, cands[from]), from
+	for i < len(l.vs) && j < n {
+		v, w := l.vs[i], cands[j]
+		switch {
+		case v < w:
+			i++
+		case w < v:
+			j++
+		default:
+			it := l.its[i]
+			if !(liveOnly && it.Deleted) {
+				if !fn(j, it) {
+					return
+				}
+			}
+			i++
+			j++
 		}
 	}
 }
@@ -321,22 +715,23 @@ type LiveView struct{ r *Reservoir }
 
 // HasEdge implements pattern.View.
 func (lv LiveView) HasEdge(u, v graph.VertexID) bool {
-	it, ok := lv.r.byEdge[graph.NewEdge(u, v)]
+	it, ok := lv.r.Get(graph.NewEdge(u, v))
 	return ok && !it.Deleted
 }
 
-// Degree implements pattern.View. It returns the unfiltered degree: the value
-// is only used to choose which endpoint's neighborhood to iterate, so an
-// upper bound is acceptable and avoids a scan.
-func (lv LiveView) Degree(u graph.VertexID) int { return lv.r.Degree(u) }
+// Degree implements pattern.View. It returns the live (tag-excluded) degree,
+// maintained incrementally on SetDeleted, so side selection under deletion
+// churn iterates the objectively shorter live neighborhood.
+func (lv LiveView) Degree(u graph.VertexID) int { return lv.r.LiveDegree(u) }
 
 // ForEachNeighbor implements pattern.View, skipping DEL-tagged edges.
 func (lv LiveView) ForEachNeighbor(u graph.VertexID, fn func(v graph.VertexID) bool) {
-	for _, e := range lv.r.adj[u] {
-		if e.it.Deleted {
+	l := lv.r.list(u)
+	for i, v := range l.vs {
+		if l.its[i].Deleted {
 			continue
 		}
-		if !fn(e.v) {
+		if !fn(v) {
 			return
 		}
 	}
@@ -344,7 +739,7 @@ func (lv LiveView) ForEachNeighbor(u graph.VertexID, fn func(v graph.VertexID) b
 
 // ProbeEdge implements pattern.ItemView over the live items.
 func (lv LiveView) ProbeEdge(u, v graph.VertexID) (any, bool) {
-	it, ok := lv.r.byEdge[graph.NewEdge(u, v)]
+	it, ok := lv.r.Get(graph.NewEdge(u, v))
 	if !ok || it.Deleted {
 		return nil, false
 	}
@@ -354,12 +749,30 @@ func (lv LiveView) ProbeEdge(u, v graph.VertexID) (any, bool) {
 // ForEachNeighborItem implements pattern.ItemView, skipping DEL-tagged edges;
 // the payload is the edge's *Item.
 func (lv LiveView) ForEachNeighborItem(u graph.VertexID, fn func(v graph.VertexID, payload any) bool) {
-	for _, e := range lv.r.adj[u] {
-		if e.it.Deleted {
+	l := lv.r.list(u)
+	for i, v := range l.vs {
+		if l.its[i].Deleted {
 			continue
 		}
-		if !fn(e.v, e.it) {
+		if !fn(v, l.its[i]) {
 			return
 		}
 	}
+}
+
+// ForEachCommonItem implements pattern.IntersectView over the live items: a
+// common neighbor is emitted only when both connecting edges are untagged.
+func (lv LiveView) ForEachCommonItem(a, b graph.VertexID, fn func(w graph.VertexID, payA, payB any) bool) {
+	forEachCommon(lv.r.list(a), lv.r.list(b), a, b, true, fn)
+}
+
+// ForEachAdjacentIn implements pattern.IntersectView over the live items.
+func (lv LiveView) ForEachAdjacentIn(u graph.VertexID, cands []graph.VertexID, from int, fn func(j int, payload any) bool) {
+	forEachAdjacentIn(lv.r.list(u), cands, from, true, fn)
+}
+
+// ForEachPairAmong implements pattern.IntersectView over the live items: a
+// pair is emitted only when its connecting edge is untagged.
+func (lv LiveView) ForEachPairAmong(cands []graph.VertexID, fn func(i, j int, payload any) bool) bool {
+	return lv.r.forEachPairAmong(cands, true, fn)
 }

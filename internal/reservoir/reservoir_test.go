@@ -2,6 +2,7 @@ package reservoir
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -114,7 +115,7 @@ func TestLiveViewFiltersDeleted(t *testing.T) {
 	r.Push(item(1, 2, 1))
 	r.Push(item(1, 3, 2))
 	it, _ := r.Get(graph.NewEdge(1, 2))
-	it.Deleted = true
+	r.SetDeleted(it, true)
 	live := r.Live()
 	if live.HasEdge(1, 2) {
 		t.Fatal("live view exposes a DEL-tagged edge")
@@ -194,6 +195,233 @@ func TestMinIsGlobalMinProperty(t *testing.T) {
 	}
 }
 
+// TestNeighborOrderSorted: enumeration yields neighbors in ascending ID order
+// regardless of insertion order — the invariant the merge intersection relies
+// on.
+func TestNeighborOrderSorted(t *testing.T) {
+	r := New(64)
+	rng := rand.New(rand.NewSource(11))
+	for _, v := range rng.Perm(40) {
+		if v == 20 {
+			continue
+		}
+		r.Push(item(20, graph.VertexID(v+100), rng.Float64()))
+	}
+	prev := graph.VertexID(0)
+	first := true
+	r.ForEachNeighbor(20, func(v graph.VertexID) bool {
+		if !first && v <= prev {
+			t.Fatalf("neighbors out of order: %d after %d", v, prev)
+		}
+		prev, first = v, false
+		return true
+	})
+	if first {
+		t.Fatal("no neighbors enumerated")
+	}
+}
+
+// TestLiveDegreeHeavyTagging: on a reservoir where most edges around a hub
+// are DEL-tagged, LiveView.Degree must report the live count, not the
+// DEL-inclusive one (the old behavior), and must track untagging and removal.
+func TestLiveDegreeHeavyTagging(t *testing.T) {
+	r := New(128)
+	const hub = graph.VertexID(0)
+	for v := graph.VertexID(1); v <= 40; v++ {
+		r.Push(item(hub, v, float64(v)))
+	}
+	// Tag 30 of the 40 spokes.
+	for v := graph.VertexID(1); v <= 30; v++ {
+		it, _ := r.Get(graph.NewEdge(hub, v))
+		r.SetDeleted(it, true)
+	}
+	live := r.Live()
+	if got := live.Degree(hub); got != 10 {
+		t.Fatalf("live degree = %d, want 10", got)
+	}
+	if got := r.Degree(hub); got != 40 {
+		t.Fatalf("raw degree = %d, want 40", got)
+	}
+	// Redundant re-tagging must not double-count.
+	it, _ := r.Get(graph.NewEdge(hub, 1))
+	r.SetDeleted(it, true)
+	if got := live.Degree(hub); got != 10 {
+		t.Fatalf("live degree after redundant tag = %d, want 10", got)
+	}
+	// Untag a few.
+	for v := graph.VertexID(1); v <= 5; v++ {
+		it, _ := r.Get(graph.NewEdge(hub, v))
+		r.SetDeleted(it, false)
+	}
+	if got := live.Degree(hub); got != 15 {
+		t.Fatalf("live degree after untagging = %d, want 15", got)
+	}
+	// Removing tagged edges keeps the counts consistent.
+	for v := graph.VertexID(6); v <= 30; v++ {
+		r.Remove(graph.NewEdge(hub, v))
+	}
+	if got, want := live.Degree(hub), 15; got != want {
+		t.Fatalf("live degree after removals = %d, want %d", got, want)
+	}
+	if got := r.Degree(hub); got != 15 {
+		t.Fatalf("raw degree after removals = %d, want 15", got)
+	}
+	for v := graph.VertexID(1); v <= 40; v++ {
+		if n := r.tagged[v]; n != 0 {
+			t.Fatalf("spoke %d retains tagged count %d", v, n)
+		}
+	}
+}
+
+// TestForEachCommonItem cross-checks the merge intersection (both the linear
+// and the binary-probe regime, plain and live views) against a brute-force
+// reference.
+func TestForEachCommonItem(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	r := New(4096)
+	// Vertex 1 gets high degree, vertex 2 low degree, so the |adj[2]| vs
+	// |adj[1]| ratio exceeds probeRatio and exercises the probe path; vertices
+	// 3 and 4 get comparable degrees for the merge path.
+	for v := graph.VertexID(10); v < 500; v++ {
+		r.Push(item(1, v, rng.Float64()))
+	}
+	for _, v := range []graph.VertexID{10, 11, 200, 499, 700} {
+		r.Push(item(2, v, rng.Float64()))
+	}
+	for v := graph.VertexID(10); v < 60; v += 2 {
+		r.Push(item(3, v, rng.Float64()))
+	}
+	for v := graph.VertexID(11); v < 61; v += 3 {
+		r.Push(item(4, v, rng.Float64()))
+	}
+	r.Push(item(3, 4, rng.Float64())) // a-b edge itself: must never be emitted
+	// Tag a few edges to differentiate the live view.
+	for _, e := range [][2]graph.VertexID{{1, 10}, {2, 200}, {3, 12}} {
+		it, ok := r.Get(graph.NewEdge(e[0], e[1]))
+		if !ok {
+			t.Fatalf("setup edge %v missing", e)
+		}
+		r.SetDeleted(it, true)
+	}
+
+	bruteCommon := func(a, b graph.VertexID, liveOnly bool) map[graph.VertexID][2]*Item {
+		out := map[graph.VertexID][2]*Item{}
+		la := r.list(a)
+		for i, w := range la.vs {
+			ia := la.its[i]
+			if w == a || w == b {
+				continue
+			}
+			eb, ok := r.Get(graph.NewEdge(b, w))
+			if !ok {
+				continue
+			}
+			if liveOnly && (ia.Deleted || eb.Deleted) {
+				continue
+			}
+			out[w] = [2]*Item{ia, eb}
+		}
+		return out
+	}
+
+	for _, pair := range [][2]graph.VertexID{{1, 2}, {2, 1}, {3, 4}, {1, 3}, {2, 4}, {5, 6}} {
+		a, b := pair[0], pair[1]
+		for _, liveOnly := range []bool{false, true} {
+			want := bruteCommon(a, b, liveOnly)
+			got := map[graph.VertexID][2]*Item{}
+			prev, first := graph.VertexID(0), true
+			visit := func(w graph.VertexID, payA, payB any) bool {
+				if !first && w <= prev {
+					t.Fatalf("common(%d,%d) out of order: %d after %d", a, b, w, prev)
+				}
+				prev, first = w, false
+				got[w] = [2]*Item{payA.(*Item), payB.(*Item)}
+				return true
+			}
+			if liveOnly {
+				r.Live().ForEachCommonItem(a, b, visit)
+			} else {
+				r.ForEachCommonItem(a, b, visit)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("common(%d,%d,live=%v): got %d, want %d", a, b, liveOnly, len(got), len(want))
+			}
+			for w, items := range want {
+				g, ok := got[w]
+				if !ok || g != items {
+					t.Fatalf("common(%d,%d,live=%v) at %d: payload mismatch", a, b, liveOnly, w)
+				}
+			}
+		}
+	}
+	// Early termination stops the walk.
+	calls := 0
+	r.ForEachCommonItem(3, 4, func(graph.VertexID, any, any) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("early-stop walk made %d calls", calls)
+	}
+}
+
+// TestForEachAdjacentIn cross-checks candidate-suffix intersection against
+// brute force in both regimes and both views.
+func TestForEachAdjacentIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	r := New(2048)
+	for v := graph.VertexID(100); v < 400; v++ {
+		if rng.Intn(2) == 0 {
+			r.Push(item(7, v, rng.Float64()))
+		}
+	}
+	it, _ := r.Get(graph.NewEdge(7, r.list(7).vs[0]))
+	r.SetDeleted(it, true)
+
+	cands := []graph.VertexID{}
+	for v := graph.VertexID(90); v < 410; v += 3 {
+		cands = append(cands, v)
+	}
+	for _, from := range []int{0, 5, len(cands) - 2, len(cands)} {
+		for _, liveOnly := range []bool{false, true} {
+			want := map[int]*Item{}
+			for j := from; j < len(cands); j++ {
+				if got, ok := r.Get(graph.NewEdge(7, cands[j])); ok && !(liveOnly && got.Deleted) {
+					want[j] = got
+				}
+			}
+			got := map[int]*Item{}
+			visit := func(j int, payload any) bool {
+				got[j] = payload.(*Item)
+				return true
+			}
+			if liveOnly {
+				r.Live().ForEachAdjacentIn(7, cands, from, visit)
+			} else {
+				r.ForEachAdjacentIn(7, cands, from, visit)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("adjacentIn(from=%d,live=%v): got %d, want %d", from, liveOnly, len(got), len(want))
+			}
+			for j, w := range want {
+				if got[j] != w {
+					t.Fatalf("adjacentIn(from=%d,live=%v) at %d: payload mismatch", from, liveOnly, j)
+				}
+			}
+		}
+	}
+	// Probe regime: a tiny candidate suffix against the long list.
+	tail := cands[len(cands)-3:]
+	n := 0
+	r.ForEachAdjacentIn(7, tail, 0, func(int, any) bool { n++; return true })
+	wantN := 0
+	for _, v := range tail {
+		if _, ok := r.Get(graph.NewEdge(7, v)); ok {
+			wantN++
+		}
+	}
+	if n != wantN {
+		t.Fatalf("probe regime found %d, want %d", n, wantN)
+	}
+}
+
 func BenchmarkPushPop(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	r := New(10000)
@@ -206,5 +434,132 @@ func BenchmarkPushPop(b *testing.B) {
 		if _, ok := r.Get(e); !ok {
 			r.Push(&Item{Edge: e, Rank: rng.Float64()})
 		}
+	}
+}
+
+// TestForEachPairAmong cross-checks the mark-array pair enumeration against
+// brute force over random graphs, in both views, including the regression
+// where a candidate's neighbor ID exceeded the largest candidate (and hence
+// the mark array's length): the walk must skip it, not fault.
+func TestForEachPairAmong(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		r := New(4096)
+		// Dense low-ID block plus neighbors far above any candidate, so
+		// adjacency rows extend past the mark array.
+		nVerts := 8 + rng.Intn(40)
+		for u := graph.VertexID(0); int(u) < nVerts; u++ {
+			for v := u + 1; int(v) < nVerts; v++ {
+				if rng.Intn(3) == 0 {
+					r.Push(item(u, v, rng.Float64()))
+				}
+			}
+			if rng.Intn(2) == 0 {
+				r.Push(item(u, graph.VertexID(1000+rng.Intn(100)), rng.Float64()))
+			}
+		}
+		for _, it := range r.Items() {
+			if rng.Intn(5) == 0 {
+				r.SetDeleted(it, true)
+			}
+		}
+		var cands []graph.VertexID
+		for v := graph.VertexID(0); int(v) < nVerts; v++ {
+			if rng.Intn(2) == 0 {
+				cands = append(cands, v)
+			}
+		}
+		for _, liveOnly := range []bool{false, true} {
+			type pair struct{ i, j int }
+			want := map[pair]*Item{}
+			for i := 0; i < len(cands); i++ {
+				for j := i + 1; j < len(cands); j++ {
+					if it, ok := r.Get(graph.NewEdge(cands[i], cands[j])); ok && !(liveOnly && it.Deleted) {
+						want[pair{i, j}] = it
+					}
+				}
+			}
+			got := map[pair]*Item{}
+			prev := pair{-1, -1}
+			visit := func(i, j int, payload any) bool {
+				if i < prev.i || (i == prev.i && j <= prev.j) {
+					t.Fatalf("trial %d live=%v: pair (%d,%d) out of order after (%d,%d)", trial, liveOnly, i, j, prev.i, prev.j)
+				}
+				prev = pair{i, j}
+				got[pair{i, j}] = payload.(*Item)
+				return true
+			}
+			var ok bool
+			if liveOnly {
+				ok = r.Live().ForEachPairAmong(cands, visit)
+			} else {
+				ok = r.ForEachPairAmong(cands, visit)
+			}
+			if !ok {
+				t.Fatalf("trial %d: ForEachPairAmong declined in-range candidates", trial)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d live=%v: got %d pairs, want %d", trial, liveOnly, len(got), len(want))
+			}
+			for p, it := range want {
+				if got[p] != it {
+					t.Fatalf("trial %d live=%v: pair %v payload mismatch", trial, liveOnly, p)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachPairAmongEdgeCases covers early stop, short candidate lists, and
+// the out-of-range decline that routes callers to the merge fallback.
+func TestForEachPairAmongEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := New(64)
+	for u := graph.VertexID(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			r.Push(item(u, v, rng.Float64()))
+		}
+	}
+	// Early stop after the first pair.
+	calls := 0
+	r.ForEachPairAmong([]graph.VertexID{0, 1, 2, 3, 4}, func(int, int, any) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("early-stop walk made %d calls", calls)
+	}
+	// Degenerate candidate lists always succeed without calling fn.
+	for _, cands := range [][]graph.VertexID{nil, {0}, {1}} {
+		if !r.ForEachPairAmong(cands, func(int, int, any) bool { t.Fatal("fn called"); return true }) {
+			t.Fatalf("declined degenerate candidates %v", cands)
+		}
+	}
+	// Candidates beyond maxMarkID are declined without enumeration.
+	big := []graph.VertexID{0, 1, maxMarkID + 7}
+	if r.ForEachPairAmong(big, func(int, int, any) bool { t.Fatal("fn called"); return true }) {
+		t.Fatal("accepted candidates beyond maxMarkID")
+	}
+}
+
+// TestDenseIndexGrowthAmortized pins the adjDense growth policy: streams
+// that introduce vertex IDs in ascending order (most generators do) must
+// not recopy the whole dense index on every new vertex. Exact-size growth
+// here is O(V^2) bytes — ~200MB for the 4096 vertices below — and showed
+// up as a 5x throughput collapse on the wedge-heavy benchsuite cells.
+func TestDenseIndexGrowthAmortized(t *testing.T) {
+	const vertices = 4096
+	r := New(vertices)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for v := 0; v < vertices; v += 2 {
+		r.PushValue(graph.NewEdge(graph.VertexID(v), graph.VertexID(v+1)), 1, float64(v+1), int64(v))
+	}
+	runtime.ReadMemStats(&after)
+
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 10<<20 {
+		t.Fatalf("inserting %d ascending vertices allocated %d bytes; dense index growth is not amortized", vertices, grew)
+	}
+	if got := r.Len(); got != vertices/2 {
+		t.Fatalf("Len = %d, want %d", got, vertices/2)
 	}
 }

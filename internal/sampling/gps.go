@@ -240,7 +240,7 @@ func (a *GPSA) Process(ev stream.Event) {
 	case stream.Delete:
 		a.gps.estimateArrival(ev.Edge, a.gps.res.Live(), -1)
 		if it, ok := a.gps.res.Get(ev.Edge); ok {
-			it.Deleted = true
+			a.gps.res.SetDeleted(it, true)
 		}
 	}
 }

@@ -54,6 +54,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", c.handleIngest)
 	mux.HandleFunc("GET /estimate", c.handleEstimate)
+	mux.HandleFunc("POST /flush", c.handleFlush)
 	mux.HandleFunc("GET /snapshot", c.handleSnapshot)
 	mux.HandleFunc("POST /restore", c.handleRestore)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
@@ -177,6 +178,14 @@ func (c *Coordinator) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, est)
+}
+
+func (c *Coordinator) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if err := c.coord.Flush(); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, map[string]any{"flushed": true, "workers": c.coord.Workers()})
 }
 
 func (c *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {

@@ -339,3 +339,43 @@ func TestWorkerRejectsClusterBlob(t *testing.T) {
 		t.Fatalf("worker restore of cluster blob: %d %s, want 400 naming the cluster snapshot", resp.StatusCode, raw)
 	}
 }
+
+// TestCoordinatorFlushEndpoint drives POST /flush on the coordinator: after
+// a binary ingest, the barrier must succeed across the fleet and a
+// following /estimate must reflect every accepted event; killing a worker
+// must turn the barrier into a 503 (a fleet barrier with a hole is not a
+// barrier).
+func TestCoordinatorFlushEndpoint(t *testing.T) {
+	fx := newCoordFixture(t)
+	s := testStream(t, 23, 350)
+	var body bytes.Buffer
+	if err := stream.WriteBinary(&body, s); err != nil {
+		t.Fatal(err)
+	}
+	post(t, fx.ts.URL+"/ingest", body.Bytes())
+
+	out := post(t, fx.ts.URL+"/flush", nil)
+	if out["flushed"] != true {
+		t.Fatalf("flush reply = %v", out)
+	}
+	if got := int(out["workers"].(float64)); got != len(fx.workers) {
+		t.Fatalf("flush reported %d workers, want %d", got, len(fx.workers))
+	}
+	var est map[string]any
+	if err := json.Unmarshal(get(t, fx.ts.URL+"/estimate"), &est); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(est["processed"].(float64)); got != len(s) {
+		t.Fatalf("processed after flush = %d, want %d", got, len(s))
+	}
+
+	fx.workers[1].Close()
+	resp, err := http.Post(fx.ts.URL+"/flush", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("flush with a dead worker = %d, want 503", resp.StatusCode)
+	}
+}

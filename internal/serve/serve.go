@@ -153,6 +153,20 @@ func (s *Server) Close() float64 {
 	return s.ens.Close()
 }
 
+// Flush blocks until every batch accepted so far has been applied by every
+// shard, returning the stream position at the barrier (also served at
+// POST /flush). It is the cheap way to make a subsequent Estimate reflect
+// everything already ingested: Snapshot gives the same drain but pays for a
+// full state serialization on top.
+func (s *Server) Flush() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.ens.Flush(); err != nil {
+		return 0, err
+	}
+	return s.ens.Processed(), nil
+}
+
 // Snapshot returns the encoded state of the current ensemble (also served at
 // /snapshot); exposed so a main can checkpoint on shutdown.
 func (s *Server) Snapshot() ([]byte, error) {
@@ -213,6 +227,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /estimate", s.handleEstimate)
+	mux.HandleFunc("POST /flush", s.handleFlush)
 	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /restore", s.handleRestore)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -462,6 +477,15 @@ func (s *Server) patternNames() []string {
 		names[i] = p.String()
 	}
 	return names
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	pos, err := s.Flush()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, map[string]any{"flushed": true, "position": pos})
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {

@@ -345,3 +345,30 @@ func TestConcurrentIngestEstimate(t *testing.T) {
 		t.Fatalf("processed %d of %d events", est.Processed, len(s))
 	}
 }
+
+// TestFlushEndpoint: POST /flush drains the ensemble and reports the stream
+// position, so a client's next estimate reflects everything it ingested —
+// the cheap barrier that previously required a full /snapshot.
+func TestFlushEndpoint(t *testing.T) {
+	s := testStream(t, 7, 300)
+	var body bytes.Buffer
+	if err := stream.Write(&body, s); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := testServer(t)
+	post(t, ts.URL+"/ingest", body.Bytes())
+
+	out := post(t, ts.URL+"/flush", nil)
+	if out["flushed"] != true || int64(out["position"].(float64)) != int64(len(s)) {
+		t.Fatalf("flush reply %v, want flushed at position %d", out, len(s))
+	}
+	var est struct {
+		Processed int64 `json:"processed"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL+"/estimate"), &est); err != nil {
+		t.Fatal(err)
+	}
+	if est.Processed != int64(len(s)) {
+		t.Fatalf("after flush, processed %d of %d", est.Processed, len(s))
+	}
+}

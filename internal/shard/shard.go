@@ -424,6 +424,15 @@ func (e *Ensemble) Quiesce(fn func(i int, c Counter) error) error {
 	return nil
 }
 
+// Flush drains every batch submitted so far on every shard and returns: a
+// pure position barrier. After it returns, Processed and the estimate
+// reflect every prior Submit. Callers that only need "has the ensemble
+// applied my stream?" should prefer this over Snapshot, which pays for a
+// full state serialization to get the same drain.
+func (e *Ensemble) Flush() error {
+	return e.Quiesce(func(int, Counter) error { return nil })
+}
+
 // EnsembleSnapshot is the serialized form of a whole ensemble: one encoded
 // counter snapshot per shard, in shard order. The combiner, budgets and
 // weight functions are configuration, not state — they are re-supplied at
