@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check race docs-check cluster-smoke wal-smoke partition-smoke enum-smoke bench bench-tables bench-suite bench-compare
+.PHONY: build test vet fmt check race docs-check cluster-smoke wal-smoke partition-smoke enum-smoke policy-smoke bench bench-tables bench-suite bench-compare
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,17 @@ enum-smoke:
 	$(GO) test -race -run 'Differential|PairAmong|Common|AdjacentIn' ./internal/pattern/ ./internal/reservoir/
 	$(GO) test -run xxx -fuzz FuzzDifferentialEnumeration -fuzztime 20s ./internal/pattern/
 	$(GO) run -race ./cmd/wsdbench -exp suite -only core/dense -trials 1
+
+# The policy lifecycle under the race detector: artifact encode/decode and
+# the trained-bytes golden, the hot-swap path (concurrent ingest/swap/read
+# storm, swap->snapshot->restore->resume bit-identity at the serve and
+# cluster layers, partial-swap fault injections and heal-by-restore), shadow
+# evaluation, the learned-weight alloc guards, and the WSD-L statistical
+# acceptance harness; then a short fuzz pass over the artifact decoder.
+policy-smoke:
+	$(GO) test -race ./internal/policy/ ./internal/nn/
+	$(GO) test -race -run 'Policy|Shadow|WSDL' ./internal/serve/ ./internal/cluster/ ./internal/core/ .
+	$(GO) test -run xxx -fuzz FuzzPolicyArtifactDecode -fuzztime 30s ./internal/policy/
 
 # Ingestion throughput: single-goroutine pipeline vs sharded ensemble.
 bench:

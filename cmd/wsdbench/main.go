@@ -133,6 +133,10 @@ var experiments = map[string]runner{
 		r, err := experiment.DDPGAblation(p)
 		return tbl(r, err)
 	},
+	"policy": func(p experiment.Profile) (*experiment.Table, error) {
+		r, err := experiment.PolicyLifecycle(p)
+		return tbl(r, err)
+	},
 	"suite": func(p experiment.Profile) (*experiment.Table, error) {
 		rep, err := benchsuite.Run(suiteConfig(p))
 		if err != nil {

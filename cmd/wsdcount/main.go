@@ -20,6 +20,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
+	artifact "repro/internal/policy"
 	"repro/internal/rl"
 	"repro/internal/stream"
 )
@@ -30,7 +31,7 @@ func main() {
 	algo := flag.String("algo", "wsd-h", "algorithm: wsd-l, wsd-h, gps, gps-a, triest, thinkd, wrs")
 	m := flag.Int("m", 10000, "storage budget (edges)")
 	seed := flag.Int64("seed", 1, "sampler seed")
-	policyPath := flag.String("policy", "", "trained policy JSON (required for wsd-l)")
+	policyPath := flag.String("policy", "", "trained policy: a wsdtrain artifact or legacy JSON (required for wsd-l)")
 	withExact := flag.Bool("exact", false, "also compute the exact count and report the relative error")
 	flag.Parse()
 
@@ -60,17 +61,30 @@ func main() {
 	cfg := experiment.RunConfig{Pattern: k, Algo: a, M: *m}
 	if a == experiment.AlgoWSDL {
 		if *policyPath == "" {
-			fatal(fmt.Errorf("wsd-l requires -policy <file.json> (train one with wsdtrain)"))
+			fatal(fmt.Errorf("wsd-l requires -policy <file> (train one with wsdtrain)"))
 		}
 		data, err := os.ReadFile(*policyPath)
 		if err != nil {
 			fatal(err)
 		}
-		policy, err := rl.ParsePolicy(data)
-		if err != nil {
-			fatal(err)
+		if artifact.IsArtifact(data) {
+			art, err := artifact.Decode(data)
+			if err != nil {
+				fatal(err)
+			}
+			if art.Pattern != k {
+				fatal(fmt.Errorf("policy %s is trained for %s, not %s", *policyPath, art.Pattern, k))
+			}
+			cfg.Policy = art.Policy
+		} else {
+			// Legacy bare-JSON policies carry no pattern; the dimension check
+			// in Policy.Eval is the only guard.
+			policy, err := rl.ParsePolicy(data)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Policy = policy
 		}
-		cfg.Policy = policy
 	}
 	c, err := experiment.NewCounter(cfg, rand.New(rand.NewSource(*seed)))
 	if err != nil {

@@ -17,6 +17,8 @@
 //	GET  /snapshot  full counter state (save it anywhere)
 //	POST /restore   a previously fetched snapshot
 //	GET  /healthz   readiness: pattern set and shape; worker quorum in coordinator mode
+//	GET  /policy    active weight function: learned policy ID and provenance, or heuristic
+//	PUT  /policy    hot-swap a trained policy artifact (fleet-wide in coordinator mode)
 //
 // Feed it with wsdgen, curl, or any client that speaks the stream formats:
 //
@@ -43,6 +45,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/combine"
+	"repro/internal/policy"
 	"repro/internal/serve"
 	"repro/internal/wal"
 )
@@ -65,6 +68,7 @@ func main() {
 	part := flag.Bool("partition", false, "coordinator mode: route each edge to the workers owning its endpoints instead of broadcasting (ingest scales with the fleet); workers must run with matching -partition-index/-partition-count")
 	partIndex := flag.Int("partition-index", -1, "single mode: this worker's partition slot under a partitioned coordinator (0-based fleet index; set with -partition-count)")
 	partCount := flag.Int("partition-count", 0, "single mode: the partitioned fleet's size this worker belongs to (set with -partition-index)")
+	policyPath := flag.String("policy", "", "single mode: boot with a trained WSD-L policy artifact (wsdtrain output) as the weight function; swap later via PUT /policy")
 	flag.Parse()
 	set := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -98,6 +102,18 @@ func main() {
 		}
 		if *partCount > 0 {
 			cfg.PartitionIndex, cfg.PartitionCount = *partIndex, *partCount
+		}
+		if *policyPath != "" {
+			data, err := os.ReadFile(*policyPath)
+			if err != nil {
+				fatal(err)
+			}
+			art, err := policy.Decode(data)
+			if err != nil {
+				fatal(fmt.Errorf("-policy %s: %w", *policyPath, err))
+			}
+			cfg.Policy = art
+			log.Printf("wsdserve: booting with policy %s (%s, trained seed %d)", art.ID(), art.Pattern, art.Provenance.Seed)
 		}
 		srv, err := serve.New(cfg)
 		if err != nil {
@@ -234,7 +250,7 @@ func main() {
 func flagConflict(mode string, set map[string]bool, partitioned bool, partIndex, partCount int) error {
 	ignored := map[string][]string{
 		"single":      {"workers", "quorum", "worker-timeout", "wal-dir", "wal-segment-bytes", "partition"},
-		"coordinator": {"pattern", "m", "shards", "seed", "full-budget", "partition-index", "partition-count"},
+		"coordinator": {"pattern", "m", "shards", "seed", "full-budget", "partition-index", "partition-count", "policy"},
 	}[mode]
 	for _, name := range ignored {
 		if set[name] {

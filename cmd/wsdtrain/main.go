@@ -1,19 +1,22 @@
 // Command wsdtrain trains a WSD-L weight policy with DDPG on one or more
-// stream files (Section IV of the paper) and writes it as JSON for wsdcount.
+// stream files (Section IV of the paper) and writes it as a versioned,
+// self-describing policy artifact: the trained parameters plus the pattern
+// they are trained for and the training provenance, checksummed, for
+// wsdcount -policy, wsdserve -policy, and PUT /policy hot-swaps.
 //
 // Usage:
 //
 //	wsdgen -model ff -n 2500 -scenario light -out train1.txt
-//	wsdtrain -pattern triangle -m 800 -iters 1000 -out policy.json train1.txt train2.txt
+//	wsdtrain -pattern triangle -m 800 -iters 1000 -out policy.wsdp train1.txt train2.txt
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/cli"
+	"repro/internal/policy"
 	"repro/internal/rl"
 	"repro/internal/stream"
 )
@@ -23,7 +26,7 @@ func main() {
 	m := flag.Int("m", 1000, "reservoir size during training episodes")
 	iters := flag.Int("iters", 1000, "DDPG gradient updates (paper: 1000)")
 	seed := flag.Int64("seed", 1, "training seed")
-	out := flag.String("out", "policy.json", "output policy path")
+	out := flag.String("out", "policy.wsdp", "output policy artifact path")
 	flag.Parse()
 
 	k, err := cli.ParsePattern(*pat)
@@ -48,7 +51,7 @@ func main() {
 		streams = append(streams, s)
 	}
 
-	policy, stats, err := rl.Train(rl.TrainConfig{
+	pol, stats, err := rl.Train(rl.TrainConfig{
 		Pattern:    k,
 		M:          *m,
 		Streams:    streams,
@@ -58,7 +61,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	data, err := json.MarshalIndent(policy, "", "  ")
+	art, err := policy.New(k, pol, policy.Provenance{
+		Seed:       *seed,
+		Iterations: *iters,
+		M:          *m,
+		Streams:    len(streams),
+		Updates:    stats.Updates,
+		Episodes:   stats.Episodes,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	data, err := art.Encode()
 	if err != nil {
 		fatal(err)
 	}
@@ -67,7 +81,7 @@ func main() {
 	}
 	fmt.Printf("wsdtrain: %d updates over %d episodes (%d env steps) in %v; final training relative error %.3f\n",
 		stats.Updates, stats.Episodes, stats.EnvSteps, stats.Elapsed.Round(1e6), stats.FinalRelErr)
-	fmt.Printf("wsdtrain: policy written to %s\n", *out)
+	fmt.Printf("wsdtrain: policy %s (%s) written to %s\n", art.ID(), k, *out)
 }
 
 func fatal(err error) {

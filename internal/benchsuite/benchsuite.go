@@ -25,9 +25,14 @@
 //	         dense-community only), cluster3-partitioned (the same fleet
 //	         with each edge routed only to the workers owning its endpoints
 //	         and the estimates composed by visibility-corrected summation —
-//	         the scaling mode; dense-community only), and cluster3-wal (the
+//	         the scaling mode; dense-community only), cluster3-wal (the
 //	         same fleet with a write-ahead log on the broadcast path — the
-//	         durability tax; dense-community only)
+//	         durability tax; dense-community only), core-wsdl (the bare
+//	         counter under a learned WSD-L policy weight function — the
+//	         policy-evaluation tax on the hot path, which must stay
+//	         allocation-free; dense-community only), and cluster3-wsdl (the
+//	         cluster3 fleet booted with a policy artifact — the learned
+//	         weight function end to end; dense-community only)
 //
 // Everything is seeded: the streams, the samplers, and the trial protocol,
 // so two runs on the same machine measure the same computation and the only
@@ -56,6 +61,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pattern"
 	"repro/internal/pipeline"
+	"repro/internal/policy"
 	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/stream"
@@ -187,6 +193,35 @@ func ingests() []ingestSpec {
 			name: "core",
 			run: func(sp streamSpec, s stream.Stream, _ []byte, seed int64) (float64, error) {
 				c, err := newCoreCounter(sp, sp.m, seed)
+				if err != nil {
+					return 0, err
+				}
+				for lo := 0; lo < len(s); lo += batchSize {
+					c.ProcessBatch(s[lo:min(lo+batchSize, len(s))])
+				}
+				return c.Estimate(), nil
+			},
+		},
+		{
+			// The bare counter under a learned WSD-L policy: the weight
+			// function is a linear model over the per-event MDP state instead
+			// of the closed-form heuristic, and temporal features are on (the
+			// policy consumes them), so the cell prices exactly what a policy
+			// hot-swap adds to the hot path — state extraction plus a dot
+			// product per insertion, which must stay allocation-free. The
+			// reference policy is a fixed deterministic parameter set
+			// (training at bench time would swamp the measurement).
+			name:    "core-wsdl",
+			streams: []string{"dense-community"},
+			run: func(sp streamSpec, s stream.Stream, _ []byte, seed int64) (float64, error) {
+				ref := policy.Reference(sp.kind)
+				c, err := core.New(core.Config{
+					M:       sp.m,
+					Pattern: sp.kind,
+					Weight:  ref.Func(),
+					Rng:     xrand.New(seed),
+					Policy:  policy.Params(ref),
+				})
 				if err != nil {
 					return 0, err
 				}
@@ -343,6 +378,66 @@ func ingests() []ingestSpec {
 				// Flush drains every worker, so the gathered estimate
 				// reflects the whole stream — without Snapshot's state
 				// serialization, which is not what the cell prices.
+				if err := coord.Flush(); err != nil {
+					return 0, err
+				}
+				est, err := coord.Estimate()
+				if err != nil {
+					return 0, err
+				}
+				return est.Estimate, nil
+			},
+		},
+		{
+			// cluster3 with every worker booted under the reference WSD-L
+			// policy artifact (serve.Config.Policy — the wsdserve -policy
+			// path): what the fleet pays to run a learned weight function end
+			// to end, HTTP loopback and per-event policy evaluation included.
+			// Gated against cluster3 like cluster3-wal gates the durability
+			// tax.
+			name:    "cluster3-wsdl",
+			streams: []string{"dense-community"},
+			run: func(sp streamSpec, s stream.Stream, _ []byte, seed int64) (float64, error) {
+				ref := policy.Reference(sp.kind)
+				art, err := policy.New(sp.kind, ref, policy.Provenance{})
+				if err != nil {
+					return 0, err
+				}
+				budgets := shard.SplitBudget(sp.m, 3)
+				urls := make([]string, len(budgets))
+				var closers []func()
+				defer func() {
+					for _, c := range closers {
+						c()
+					}
+				}()
+				for i := range budgets {
+					srv, err := serve.New(serve.Config{
+						Pattern: sp.kind,
+						M:       budgets[i],
+						Shards:  1,
+						Options: []wsd.Option{wsd.WithSeed(seed + int64(i))},
+						Policy:  art,
+					})
+					if err != nil {
+						return 0, err
+					}
+					ts := httptest.NewServer(srv.Handler())
+					closers = append(closers, ts.Close, func() { srv.Close() })
+					urls[i] = ts.URL
+				}
+				coord, err := cluster.New(cluster.Config{Workers: urls})
+				if err != nil {
+					return 0, err
+				}
+				var pool stream.BatchPool
+				for lo := 0; lo < len(s); lo += batchSize {
+					b := pool.Get()
+					b.Events = append(b.Events, s[lo:min(lo+batchSize, len(s))]...)
+					if err := coord.SubmitPooled(b); err != nil {
+						return 0, err
+					}
+				}
 				if err := coord.Flush(); err != nil {
 					return 0, err
 				}

@@ -155,3 +155,28 @@ func TestRunSmoke(t *testing.T) {
 		t.Fatal("unknown workload filter accepted")
 	}
 }
+
+// TestPolicyCellAllocBudget pins the learned-policy ingest cell's allocation
+// budget: evaluating the WSD-L policy on the hot path (state extraction plus
+// a linear model per insertion) must stay allocation-free, so the cell's
+// whole-stack figure is bounded by the same batching overhead the plain core
+// cell pays plus headroom for temporal-feature bookkeeping. A regression here
+// means a policy swap silently puts the garbage collector back on the ingest
+// path.
+func TestPolicyCellAllocBudget(t *testing.T) {
+	rep, err := Run(Config{Seed: 1, Trials: 1, Only: []string{"core-wsdl"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("want exactly the core-wsdl cell, got %d results", len(rep.Results))
+	}
+	r := rep.Results[0]
+	const budget = 0.32
+	if r.AllocsPerEvent > budget {
+		t.Fatalf("core-wsdl allocates %.3f allocs/event, budget %.2f", r.AllocsPerEvent, budget)
+	}
+	if r.MREVsExact < 0 || r.MREVsExact > 1 {
+		t.Fatalf("MRE out of range under the learned policy: %v", r.MREVsExact)
+	}
+}

@@ -84,6 +84,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/combine"
 	"repro/internal/partition"
+	"repro/internal/policy"
 	"repro/internal/stream"
 	"repro/internal/wal"
 )
@@ -144,6 +145,12 @@ var ErrNoQuorum = errors.New("cluster: below worker quorum")
 // some workers swapped to the snapshot state while others kept theirs. The
 // failed workers are marked inconsistent; retry the restore to heal.
 var ErrPartialRestore = errors.New("cluster: restore incomplete")
+
+// ErrPartialSwap wraps a policy swap that failed after validation: some
+// workers applied the new weight function while others kept the old one, so
+// the fleet's estimates no longer share one weighting. The failed workers are
+// marked inconsistent; heal with a cluster Restore or a retried swap.
+var ErrPartialSwap = errors.New("cluster: policy swap incomplete")
 
 // ErrCatchUpIncomplete wraps a CatchUp (or post-restore replay) that left
 // some worker behind the log end: unreachable, mid-replay failure, or
@@ -409,7 +416,17 @@ func (c *Coordinator) post(w *workerRef, path string, body []byte, out any) erro
 // original request, or a retry of a request that applied but whose response
 // was lost) is skipped and reported back instead of double-applied.
 func (c *Coordinator) postStamped(w *workerRef, path string, body []byte, pos int64, out any) error {
-	req, err := http.NewRequest(http.MethodPost, w.url+path, bytes.NewReader(body))
+	return c.send(http.MethodPost, w, path, body, pos, out)
+}
+
+// put sends body to worker path with the PUT method (replacement semantics:
+// the policy swap) and decodes a JSON reply into out (when non-nil).
+func (c *Coordinator) put(w *workerRef, path string, body []byte, out any) error {
+	return c.send(http.MethodPut, w, path, body, -1, out)
+}
+
+func (c *Coordinator) send(method string, w *workerRef, path string, body []byte, pos int64, out any) error {
+	req, err := http.NewRequest(method, w.url+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -1401,6 +1418,122 @@ func positionMark(lg *wal.Log, mark *WALMark) (*WALMark, error) {
 	return mark, nil
 }
 
+// SwapPolicy fans a policy artifact out to the whole fleet as PUT /policy:
+// every worker quiesces its ensemble and swaps its weight function to the
+// artifact's policy, reservoir state untouched. The swap needs the full fleet
+// — a worker that keeps the old weights would contribute estimates weighted
+// differently from the rest, which the combiner cannot reconcile — so a
+// degraded fleet refuses the swap before any worker changes (catch it up or
+// restore it first).
+//
+// The artifact is decoded and validated locally first: a malformed blob is a
+// plain client error and no worker is contacted. If every worker validated
+// and rejected the artifact (4xx) nothing was applied anywhere and the fleet
+// stays uniform; the error is again the client's. Any other failure after at
+// least one worker swapped leaves the fleet running two weight functions: the
+// failed workers are marked inconsistent (excluded from reads) and the error
+// wraps ErrPartialSwap — retry the swap or Restore to heal.
+func (c *Coordinator) SwapPolicy(artifact []byte) error {
+	if _, err := policy.Decode(artifact); err != nil {
+		return err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	// Excluding broadcasts while the swap fans out gives every worker the
+	// weight flip at the same stream position — the fleet analogue of the
+	// ensemble's quiesce barrier.
+	c.bcastMu.Lock()
+	defer c.bcastMu.Unlock()
+	if live := c.eligible(); len(live) < len(c.workers) {
+		return fmt.Errorf("cluster: %d of %d workers are not serving (lagging or inconsistent); a policy swap needs the whole fleet (catch it up or restore it first)", len(c.workers)-len(live), len(c.workers))
+	}
+	errs := fanout(c.workers, func(i int, w *workerRef) error {
+		return c.put(w, "/policy", artifact, nil)
+	})
+	var (
+		firstErr error
+		clientRejects,
+		applied int
+	)
+	for i, err := range errs {
+		if err == nil {
+			applied++
+			continue
+		}
+		var se *statusError
+		if errors.As(err, &se) && se.client() {
+			clientRejects++
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("worker %s: %w", c.workers[i].url, err)
+		}
+	}
+	if applied == len(c.workers) {
+		return nil
+	}
+	if applied == 0 && clientRejects == len(c.workers) {
+		// Every worker validated the artifact whole and rejected it (e.g. the
+		// pattern does not match the deployment): nothing changed anywhere, the
+		// fleet still runs one weight function.
+		return fmt.Errorf("cluster: policy rejected by workers: %v", firstErr)
+	}
+	for i, err := range errs {
+		if err != nil {
+			// Some worker swapped (or the outcome is unknowable), so a worker
+			// that did not provably apply the new policy no longer weights
+			// events like the rest of the fleet.
+			c.workers[i].inconsistent.Store(true)
+		}
+	}
+	return fmt.Errorf("%w: %d of %d workers swapped: %v", ErrPartialSwap, applied, len(c.workers), firstErr)
+}
+
+// PolicyStatus gathers GET /policy from the serving workers, verifies the
+// fleet runs one policy, and returns the first worker's reply verbatim.
+func (c *Coordinator) PolicyStatus() (json.RawMessage, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	live := c.eligible()
+	if len(live) < c.quorum {
+		return nil, fmt.Errorf("%w: %d serving of %d (need %d)", ErrNoQuorum, len(live), len(c.workers), c.quorum)
+	}
+	replies := make([][]byte, len(live))
+	errs := fanout(live, func(i int, w *workerRef) error {
+		raw, err := c.get(w, "/policy")
+		replies[i] = raw
+		return err
+	})
+	var (
+		ref      json.RawMessage
+		refID    string
+		refURL   string
+		gathered int
+	)
+	for i, raw := range replies {
+		if errs[i] != nil {
+			continue
+		}
+		gathered++
+		var probe struct {
+			Policy string `json:"policy"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("cluster: worker %s /policy reply: %w", live[i].url, err)
+		}
+		if ref == nil {
+			ref, refID, refURL = raw, probe.Policy, live[i].url
+			continue
+		}
+		if probe.Policy != refID {
+			return nil, fmt.Errorf("cluster: workers run different policies (%s on %s, %s on %s); swap through the coordinator to keep the fleet uniform", refID, refURL, probe.Policy, live[i].url)
+		}
+	}
+	if gathered < c.quorum {
+		return nil, fmt.Errorf("%w: gathered %d of %d workers (need %d)", ErrNoQuorum, gathered, len(c.workers), c.quorum)
+	}
+	return ref, nil
+}
+
 // WorkerHealth is one worker's slice of a cluster health probe.
 type WorkerHealth struct {
 	URL string `json:"url"`
@@ -1419,6 +1552,9 @@ type WorkerHealth struct {
 	// coordinator has confirmed on it.
 	Position int64  `json:"position,omitempty"`
 	Acked    uint64 `json:"acked,omitempty"`
+	// Policy is the worker's self-reported active weight function: a learned
+	// policy's content ID, or "heuristic".
+	Policy string `json:"policy,omitempty"`
 }
 
 // WALHealth is the coordinator's view of its write-ahead log.
@@ -1447,9 +1583,14 @@ type Health struct {
 	Quorum    int  `json:"quorum"`
 	HasQuorum bool `json:"has_quorum"`
 	// Patterns and Shards describe the deployment as reported by the first
-	// serving worker's /healthz (empty/zero when nothing is reachable).
+	// serving worker's /healthz (empty/zero when nothing is reachable);
+	// Policy is its active weight function (a policy content ID or
+	// "heuristic"). Every serving worker must agree on all three — a worker
+	// weighting events under a different policy than the rest of the fleet
+	// degrades health, exactly like a mismatched pattern set.
 	Patterns []string `json:"patterns,omitempty"`
 	Shards   int      `json:"shards,omitempty"`
+	Policy   string   `json:"policy,omitempty"`
 	// Partitioned reports the coordinator's ingest mode; in partitioned mode
 	// each worker's partition slot is verified against its fleet index, so a
 	// mis-deployed worker (wrong -partition-index, or not partitioned at all)
@@ -1497,6 +1638,7 @@ func (c *Coordinator) Health() Health {
 		Patterns  []string `json:"patterns"`
 		Shards    int      `json:"shards"`
 		Position  int64    `json:"position"`
+		Policy    string   `json:"policy"`
 		Partition *struct {
 			Index int `json:"index"`
 			Count int `json:"count"`
@@ -1516,6 +1658,7 @@ func (c *Coordinator) Health() Health {
 			var probe workerHealthz
 			if json.Unmarshal(raw, &probe) == nil {
 				probes[i] = &probe
+				wh.Policy = probe.Policy
 				if c.hasWAL() {
 					wh.Position = probe.Position
 				}
@@ -1556,6 +1699,7 @@ func (c *Coordinator) Health() Health {
 			ref = probe
 			h.Patterns = probe.Patterns
 			h.Shards = probe.Shards
+			h.Policy = probe.Policy
 			continue
 		}
 		// A worker counting a different pattern set (or shard shape) than
@@ -1564,6 +1708,13 @@ func (c *Coordinator) Health() Health {
 		if !slices.Equal(probe.Patterns, ref.Patterns) || probe.Shards != ref.Shards {
 			uniform = false
 			wh.Error = fmt.Sprintf("worker configuration differs from the fleet: patterns %v / %d shards vs %v / %d shards", probe.Patterns, probe.Shards, ref.Patterns, ref.Shards)
+		} else if probe.Policy != ref.Policy {
+			// A split-policy fleet (a partial swap, or a worker restarted with
+			// stale boot flags) weights events inconsistently across workers;
+			// its combined estimates mix estimators of different variance
+			// silently, so readiness reports it instead.
+			uniform = false
+			wh.Error = fmt.Sprintf("worker runs policy %s but the fleet reference runs %s; re-run the policy swap or restore a cluster snapshot", probe.Policy, ref.Policy)
 		}
 	}
 	h.HasQuorum = h.Serving >= c.quorum

@@ -1,0 +1,356 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	wsd "repro"
+
+	"repro/internal/cluster"
+	"repro/internal/pattern"
+	"repro/internal/policy"
+	"repro/internal/serve"
+	"repro/internal/shard"
+)
+
+// clusterArtifact mints a trained-artifact stand-in (the deterministic
+// reference policy, bias shifted by delta) for cluster swap tests.
+func clusterArtifact(t *testing.T, pat pattern.Kind, delta float64) ([]byte, string) {
+	t.Helper()
+	pol := policy.Reference(pat)
+	pol.B += delta
+	art, err := policy.New(pat, pol, policy.Provenance{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := art.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, art.ID()
+}
+
+// TestClusterPolicySwapUniform: a healthy-fleet swap must land the artifact
+// on every worker atomically (from the coordinator's view: excluded from the
+// broadcast stream, applied fleet-wide or not at all), after which /healthz
+// aggregation and GET /policy both report one policy for the whole cluster.
+func TestClusterPolicySwapUniform(t *testing.T) {
+	s := testStream(t, 71, 400)
+	budgets := shard.SplitBudget(600, 3)
+	urls, _ := testFleet(t, budgets, []int64{51, 52, 53})
+	coord, err := cluster.New(cluster.Config{Workers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, coord, s[:200])
+
+	h := coord.Health()
+	if h.Policy != "heuristic" {
+		t.Fatalf("pre-swap fleet policy %q, want heuristic", h.Policy)
+	}
+
+	raw, id := clusterArtifact(t, wsd.TrianglePattern, 0)
+	if err := coord.SwapPolicy(raw); err != nil {
+		t.Fatalf("healthy-fleet swap: %v", err)
+	}
+	h = coord.Health()
+	if h.Status != "ok" || h.Policy != id {
+		t.Fatalf("post-swap health: status %s policy %q, want ok running %s", h.Status, h.Policy, id)
+	}
+	for _, wh := range h.WorkersDetail {
+		if wh.Policy != id {
+			t.Fatalf("worker %s reports policy %q, want %s", wh.URL, wh.Policy, id)
+		}
+	}
+
+	status, err := coord.PolicyStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Policy string `json:"policy"`
+		Source string `json:"source"`
+	}
+	if err := json.Unmarshal(status, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Policy != id || st.Source != "swap" {
+		t.Fatalf("PolicyStatus %s, want policy %s from a swap", status, id)
+	}
+
+	// The swapped fleet keeps ingesting and reading.
+	feed(t, coord, s[200:])
+	est := quiescedEstimate(t, coord)
+	if est.Gathered != 3 || est.Processed != int64(len(s)) {
+		t.Fatalf("post-swap read: %+v", est)
+	}
+}
+
+// TestClusterPolicySwapBitIdenticalAcrossRestore is the cluster-level
+// lifecycle acceptance check: a fleet hot-swapped mid-stream, snapshotted,
+// restored onto brand-new workers, and resumed must end exactly equal to a
+// fleet that swapped at the same position and ran uninterrupted — the worker
+// snapshots carry the policy through the restore.
+func TestClusterPolicySwapBitIdenticalAcrossRestore(t *testing.T) {
+	s := testStream(t, 73, 600)
+	c1, c2 := len(s)/3, 2*len(s)/3
+	budgets := shard.SplitBudget(600, 3)
+	seeds := []int64{61, 62, 63}
+	raw, _ := clusterArtifact(t, wsd.TrianglePattern, 0.05)
+
+	// Fleet A: swap after the prefix, never interrupted.
+	urlsA, _ := testFleet(t, budgets, seeds)
+	coordA, err := cluster.New(cluster.Config{Workers: urlsA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, coordA, s[:c1])
+	if err := coordA.SwapPolicy(raw); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, coordA, s[c1:])
+	want := quiescedEstimate(t, coordA).Estimate
+
+	// Fleet B: identical run, checkpointed between swap and suffix.
+	urlsB, _ := testFleet(t, budgets, seeds)
+	coordB, err := cluster.New(cluster.Config{Workers: urlsB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, coordB, s[:c1])
+	if err := coordB.SwapPolicy(raw); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, coordB, s[c1:c2])
+	blob, err := coordB.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fleet C: fresh workers with different boot seeds (the blob carries the
+	// RNG state and the policy), restored and fed the remainder.
+	urlsC, _ := testFleet(t, budgets, []int64{981, 982, 983})
+	coordC, err := cluster.New(cluster.Config{Workers: urlsC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coordC.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, coordC, s[c2:])
+	if got := quiescedEstimate(t, coordC).Estimate; got != want {
+		t.Fatalf("restored swapped fleet estimate %v, uninterrupted %v (must be bit-identical)", got, want)
+	}
+}
+
+// TestClusterPolicyPartialSwapAndHeal injects a mid-fanout fault: one worker
+// refuses PUT /policy while the others apply it. The swap must come back as
+// ErrPartialSwap with the refusing worker marked inconsistent (it now weighs
+// events differently from the rest of the fleet); a retried swap is refused
+// outright while the fleet is split; and a cluster Restore heals the fleet
+// back to one weight function, after which the swap succeeds.
+func TestClusterPolicyPartialSwapAndHeal(t *testing.T) {
+	s := testStream(t, 79, 300)
+	budgets := shard.SplitBudget(600, 3)
+
+	urls := make([]string, 3)
+	var failSwap atomic.Bool
+	for i := 0; i < 3; i++ {
+		srv, err := serve.New(serve.Config{Pattern: wsd.TrianglePattern, M: budgets[i], Shards: 1,
+			Options: []wsd.Option{wsd.WithSeed(int64(71 + i))}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := srv.Handler()
+		if i == 2 {
+			// The faulty worker: drops PUT /policy while the injection is
+			// armed, serves everything else normally.
+			inner := h
+			h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if failSwap.Load() && r.Method == http.MethodPut && r.URL.Path == "/policy" {
+					http.Error(w, "injected fault", http.StatusInternalServerError)
+					return
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { srv.Close() })
+		urls[i] = ts.URL
+	}
+	coord, err := cluster.New(cluster.Config{Workers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, coord, s)
+	blob, err := coord.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, id := clusterArtifact(t, wsd.TrianglePattern, 0.1)
+	failSwap.Store(true)
+	err = coord.SwapPolicy(raw)
+	if !errors.Is(err, cluster.ErrPartialSwap) {
+		t.Fatalf("partial swap: err = %v, want ErrPartialSwap", err)
+	}
+	h := coord.Health()
+	if h.Status != "degraded" || h.WorkersDetail[2].Consistent {
+		t.Fatalf("after partial swap: status %s, worker 2 consistent=%v, want degraded and inconsistent", h.Status, h.WorkersDetail[2].Consistent)
+	}
+	if h.WorkersDetail[0].Policy != id || h.WorkersDetail[1].Policy != id {
+		t.Fatalf("appliers report %q/%q, want %s", h.WorkersDetail[0].Policy, h.WorkersDetail[1].Policy, id)
+	}
+
+	// While the fleet is split, another swap is refused before any fanout.
+	failSwap.Store(false)
+	if err := coord.SwapPolicy(raw); err == nil || errors.Is(err, cluster.ErrPartialSwap) || !strings.Contains(err.Error(), "whole fleet") {
+		t.Fatalf("swap on a split fleet: err = %v, want a whole-fleet refusal", err)
+	}
+
+	// Restore heals: every worker back on the pre-swap snapshot (heuristic),
+	// consistent, uniform.
+	if err := coord.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	h = coord.Health()
+	if h.Status != "ok" || h.Policy != "heuristic" {
+		t.Fatalf("after heal: status %s policy %q, want ok heuristic", h.Status, h.Policy)
+	}
+
+	// And with the fault gone, the swap lands fleet-wide.
+	if err := coord.SwapPolicy(raw); err != nil {
+		t.Fatalf("swap after heal: %v", err)
+	}
+	if h = coord.Health(); h.Status != "ok" || h.Policy != id {
+		t.Fatalf("after healed swap: status %s policy %q, want ok %s", h.Status, h.Policy, id)
+	}
+}
+
+// TestClusterPolicySwapDeadWorker: a swap that reaches a dead worker is a
+// partial swap (the survivors applied, the dead worker's outcome is unknown),
+// and the fleet stays split — degraded health, swap refusals — until healed.
+func TestClusterPolicySwapDeadWorker(t *testing.T) {
+	s := testStream(t, 83, 200)
+	budgets := shard.SplitBudget(450, 3)
+	urls, servers := testFleet(t, budgets, []int64{81, 82, 83})
+	coord, err := cluster.New(cluster.Config{Workers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, coord, s)
+
+	servers[1].Close()
+	raw, _ := clusterArtifact(t, wsd.TrianglePattern, 0.2)
+	if err := coord.SwapPolicy(raw); !errors.Is(err, cluster.ErrPartialSwap) {
+		t.Fatalf("swap with a dead worker: err = %v, want ErrPartialSwap", err)
+	}
+	if h := coord.Health(); h.WorkersDetail[1].Consistent {
+		t.Fatalf("dead worker still consistent after missed swap: %+v", h)
+	}
+	if err := coord.SwapPolicy(raw); err == nil || errors.Is(err, cluster.ErrPartialSwap) {
+		t.Fatalf("retry on split fleet: err = %v, want an outright refusal", err)
+	}
+}
+
+// TestClusterPolicyRejectedEverywhereIsClean: an artifact every worker
+// rejects whole (wrong pattern for the deployment) must come back as a plain
+// error — nothing applied anywhere, nobody marked inconsistent, the fleet
+// still uniform.
+func TestClusterPolicyRejectedEverywhereIsClean(t *testing.T) {
+	budgets := shard.SplitBudget(450, 3)
+	urls, _ := testFleet(t, budgets, []int64{91, 92, 93})
+	coord, err := cluster.New(cluster.Config{Workers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := clusterArtifact(t, wsd.WedgePattern, 0)
+	err = coord.SwapPolicy(raw)
+	if err == nil || errors.Is(err, cluster.ErrPartialSwap) || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("wedge artifact on a triangle fleet: err = %v, want a clean rejection", err)
+	}
+	h := coord.Health()
+	if h.Status != "ok" || h.Policy != "heuristic" {
+		t.Fatalf("rejected swap moved the fleet: %+v", h)
+	}
+	// Garbage fails local validation before any fanout.
+	if err := coord.SwapPolicy([]byte("not an artifact")); err == nil {
+		t.Fatal("garbage artifact accepted")
+	}
+}
+
+// TestClusterHealthFlagsPolicyMismatch: a worker swapped out-of-band (PUT
+// /policy straight to the worker, bypassing the coordinator) weighs events
+// differently from the fleet; /healthz aggregation must flag it instead of
+// reporting green.
+func TestClusterHealthFlagsPolicyMismatch(t *testing.T) {
+	budgets := shard.SplitBudget(450, 3)
+	urls, _ := testFleet(t, budgets, []int64{95, 96, 97})
+	coord, err := cluster.New(cluster.Config{Workers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := coord.Health(); h.Status != "ok" {
+		t.Fatalf("pre-mismatch health: %+v", h)
+	}
+
+	raw, id := clusterArtifact(t, wsd.TrianglePattern, 0.3)
+	req, err := http.NewRequest(http.MethodPut, urls[2]+"/policy", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("direct worker swap: %d: %s", resp.StatusCode, body)
+	}
+
+	h := coord.Health()
+	if h.Status != "degraded" {
+		t.Fatalf("split-policy fleet health %s, want degraded", h.Status)
+	}
+	wh := h.WorkersDetail[2]
+	if wh.Policy != id || wh.Error == "" || !strings.Contains(wh.Error, "policy") {
+		t.Fatalf("mismatched worker not flagged: %+v", wh)
+	}
+}
+
+// TestClusterPolicyStatusQuorum: GET /policy aggregation needs a read quorum
+// and refuses to answer for a fleet running two different policies.
+func TestClusterPolicyStatusQuorum(t *testing.T) {
+	budgets := shard.SplitBudget(450, 3)
+	urls, servers := testFleet(t, budgets, []int64{41, 42, 43})
+	coord, err := cluster.New(cluster.Config{Workers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, _ := clusterArtifact(t, wsd.TrianglePattern, 0.4)
+	req, _ := http.NewRequest(http.MethodPut, urls[0]+"/policy", bytes.NewReader(raw))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, err := coord.PolicyStatus(); err == nil || !strings.Contains(err.Error(), "different policies") {
+		t.Fatalf("split-policy status: err = %v, want a mismatch error", err)
+	}
+
+	servers[1].Close()
+	servers[2].Close()
+	if _, err := coord.PolicyStatus(); !errors.Is(err, cluster.ErrNoQuorum) {
+		t.Fatalf("status below quorum: err = %v, want ErrNoQuorum", err)
+	}
+}

@@ -111,6 +111,57 @@ func TestProcessBatchAllocsFullState(t *testing.T) {
 	}
 }
 
+// TestProcessBatchAllocsPolicyWeight pins the ingest path under a learned
+// WSD-L policy: the weight function is the trained linear model over the full
+// per-event MDP state (temporal features on — the policy consumes them), so
+// this is exactly what a policy hot-swap puts on the hot path. The policy's
+// scratch vector is reused across events; the budget leaves room only for the
+// same stray block boundaries the heuristic paths tolerate.
+func TestProcessBatchAllocsPolicyWeight(t *testing.T) {
+	// The linear model is built inline (rl.Policy.Func's exact shape — a
+	// reused scratch vector and a dot product) because internal/rl imports
+	// this package and cannot be imported back from its tests.
+	dim := weights.VectorDim(pattern.Triangle.Size())
+	w, b := make([]float64, dim), 0.3
+	for i := range w {
+		w[i] = 0.05 * float64(i+1)
+	}
+	scratch := make([]float64, 0, dim)
+	weight := func(s weights.State) float64 {
+		scratch = s.Vector(scratch)
+		a := b
+		for i, wi := range w {
+			a += wi * scratch[i]
+		}
+		if a < 0 {
+			a = 0
+		}
+		return a + 1
+	}
+	c, err := New(Config{
+		M:       256,
+		Pattern: pattern.Triangle,
+		Weight:  weight,
+		Rng:     xrand.New(5),
+		Policy:  &PolicyParams{ID: "alloc-test", W: w, B: b},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := steadyBlock(1024, 40)
+	for i := 0; i < 3; i++ {
+		c.ProcessBatch(block)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		c.ProcessBatch(block)
+	})
+	perEvent := avg / float64(len(block))
+	t.Logf("policy weight: %.4f allocs/event (%.1f per block of %d)", perEvent, avg, len(block))
+	if perEvent > 0.02 {
+		t.Errorf("policy-weighted ingest allocates %.4f/event, budget 0.02 — the learned weight function regressed onto the allocator", perEvent)
+	}
+}
+
 // TestMultiProcessBatchAllocs extends the steady-state allocation guard to
 // the multi-pattern counter: three estimators over one shared sample must
 // stay on the same zero-allocation budget as one — the shared enumeration

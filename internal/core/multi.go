@@ -36,6 +36,13 @@ type MultiConfig struct {
 	// SkipTemporal, as in Config: skip the primary pattern's temporal state
 	// features when nothing consumes them.
 	SkipTemporal bool
+	// Policy, when non-nil, annotates Weight as a learned policy: it records
+	// the parameters and identity of the WSD-L actor behind the weight
+	// function. It is metadata only — sampling consults Weight — but
+	// snapshots embed it (v4) so a restore can rebuild the same learned
+	// weight function without the caller re-supplying the artifact. Leave nil
+	// for heuristic weight functions.
+	Policy *PolicyParams
 	// EventWeight, as in Config: scales every pattern's contributions for an
 	// event by a per-edge factor (partitioned deployments split attribution
 	// across endpoint owners). Nil means full weight.

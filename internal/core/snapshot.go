@@ -13,7 +13,10 @@ import (
 // Snapshot is a serializable image of a WSD counter's state: everything
 // needed to resume a long-running stream after a restart except the weight
 // function, which is code and must be re-supplied at restore time (exactly
-// like the configuration itself).
+// like the configuration itself). The one exception is a learned policy:
+// since a WSD-L weight function is fully determined by its parameters, the
+// snapshot embeds them (Policy, version 4) and restore layers that are not
+// handed an explicit weight function rebuild it from there.
 //
 // When the counter was built over an *xrand.Rand source, the snapshot also
 // carries the RNG state, and a restored counter continues *bit-identically*
@@ -34,8 +37,15 @@ type Snapshot struct {
 	// (version 3); both are empty in single-counter snapshots. When present,
 	// Pattern and Estimate mirror the primary entries (Patterns[0],
 	// Estimates[0]) so version-agnostic inspection keeps working.
-	Patterns   []pattern.Kind `json:"patterns,omitempty"`
-	Estimates  []float64      `json:"estimates,omitempty"`
+	Patterns  []pattern.Kind `json:"patterns,omitempty"`
+	Estimates []float64      `json:"estimates,omitempty"`
+	// Policy carries the active learned policy (version 4): the WSD-L actor
+	// parameters behind the counter's weight function, nil for heuristic
+	// weights. A restore that is not handed an explicit weight function can
+	// rebuild this exact policy, which is what keeps snapshot→restore→resume
+	// bit-identical under a learned weight function: the revived counter
+	// draws the same weights as the uninterrupted one.
+	Policy     *PolicyParams  `json:"policy,omitempty"`
 	Insertions int64          `json:"insertions"`
 	RngState   *uint64        `json:"rng_state,omitempty"` // xrand state; nil when the source is not checkpointable
 	Items      []SnapshotItem `json:"items"`
@@ -55,9 +65,10 @@ type SnapshotItem struct {
 }
 
 // snapshotVersion guards the wire format. Version 2 added rng_state; version
-// 3 added the multi-pattern fields (patterns, estimates). Snapshots of every
-// prior version are still accepted by DecodeSnapshot.
-const snapshotVersion = 3
+// 3 added the multi-pattern fields (patterns, estimates); version 4 added the
+// active policy (policy). Snapshots of every prior version are still accepted
+// by DecodeSnapshot.
+const snapshotVersion = 4
 
 // stateful is the optional interface of checkpointable randomness sources
 // (*xrand.Rand). Snapshot captures the state when the counter's source
@@ -77,6 +88,7 @@ func (c *Counter) Snapshot() *Snapshot {
 		TauP:        c.tauP,
 		TauQ:        c.tauQ,
 		Estimate:    c.estimate,
+		Policy:      c.cfg.Policy.Clone(),
 		Insertions:  c.insertions,
 	}
 	if src, ok := c.cfg.Rng.(stateful); ok {
@@ -154,6 +166,11 @@ func (s *Snapshot) Validate() error {
 	} else if len(s.Estimates) > 0 {
 		return fmt.Errorf("core: snapshot holds %d estimates but no pattern list", len(s.Estimates))
 	}
+	if s.Policy != nil {
+		if err := s.Policy.validate(); err != nil {
+			return fmt.Errorf("core: snapshot policy: %w", err)
+		}
+	}
 	if len(s.Items) > s.M {
 		return fmt.Errorf("core: snapshot holds %d items, above M=%d", len(s.Items), s.M)
 	}
@@ -222,6 +239,7 @@ func (c *MultiCounter) Snapshot() *Snapshot {
 		TauQ:        c.tauQ,
 		Estimate:    c.pats[0].estimate,
 		Estimates:   c.EstimatesInto(nil),
+		Policy:      c.cfg.Policy.Clone(),
 		Insertions:  c.insertions,
 	}
 	if src, ok := c.cfg.Rng.(stateful); ok {

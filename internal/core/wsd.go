@@ -61,6 +61,13 @@ type Config struct {
 	// of the hot path. Leave unset for WSD-L: the learned policy consumes the
 	// temporal features.
 	SkipTemporal bool
+	// Policy, when non-nil, annotates Weight as a learned policy: it records
+	// the parameters and identity of the WSD-L actor behind the weight
+	// function. It is metadata only — sampling consults Weight — but
+	// snapshots embed it (v4) so a restore can rebuild the same learned
+	// weight function without the caller re-supplying the artifact. Leave nil
+	// for heuristic weight functions.
+	Policy *PolicyParams
 	// OnInstance, when non-nil, observes every pattern instance the
 	// estimator counts: sign is +1 for a formation (insertion event) and -1
 	// for a destruction (deletion event); contribution is the

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+	"repro/internal/policy"
+)
+
+// PolicyLifecycleResult is the grid behind the policy-promotion experiment:
+// the candidate learned policy scored beside the live heuristic on the same
+// seeded replay, against the exact oracle.
+type PolicyLifecycleResult struct {
+	Table *Table
+	// Heuristic and Learned map scenario name -> ARE for the two weight
+	// functions; ID is the candidate artifact's content identity.
+	Heuristic map[string]float64
+	Learned   map[string]float64
+	ID        string
+}
+
+// GetTable returns the rendered table.
+func (r *PolicyLifecycleResult) GetTable() *Table { return r.Table }
+
+// PolicyLifecycle is the offline half of the policy promotion runbook: the
+// online /policy/shadow endpoint compares a candidate against the live
+// counter on the production stream, where no ground truth exists; this
+// experiment replays the same seeded stream under both weight functions and
+// scores each against the exact count. A candidate is promotable when its ARE
+// beats the heuristic's here — the comparative evidence an operator wants
+// before PUT /policy.
+func PolicyLifecycle(prof Profile) (*PolicyLifecycleResult, error) {
+	test := mustDataset("cit-PT")
+	res := &PolicyLifecycleResult{
+		Table: &Table{ID: "Policy", Title: "candidate policy vs live heuristic on cit-PT (ARE vs exact, triangles)",
+			Header: []string{"scenario", "weight", "ARE", "MARE"}},
+		Heuristic: make(map[string]float64),
+		Learned:   make(map[string]float64),
+	}
+	for _, sc := range []Scenario{MassiveDefault(), LightDefault()} {
+		pol, err := PolicyForTest(test, pattern.Triangle, sc, prof)
+		if err != nil {
+			return nil, err
+		}
+		// The artifact identity ties this scorecard to the exact bytes an
+		// operator would PUT to /policy (provenance is display-only metadata;
+		// the ID hashes the parameters).
+		res.ID = policy.ParamsID(pol.W, pol.B)
+		st := StreamFor(test, sc, prof.Seed)
+		name := fmt.Sprintf("%v", sc.Kind)
+		for _, cell := range []struct {
+			label string
+			algo  Algo
+		}{
+			{"wsd-h (live)", AlgoWSDH},
+			{"wsd-l " + res.ID, AlgoWSDL},
+		} {
+			cfg := RunConfig{
+				Stream: st, Pattern: pattern.Triangle, Algo: cell.algo,
+				M: test.DefaultM, Trials: prof.Trials, Seed: prof.Seed,
+				Checkpoints: prof.Checkpoints,
+			}
+			if cell.algo == AlgoWSDL {
+				cfg.Policy = pol
+			}
+			r, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if cell.algo == AlgoWSDL {
+				res.Learned[name] = r.ARE.Mean
+			} else {
+				res.Heuristic[name] = r.ARE.Mean
+			}
+			res.Table.AddRow(name, cell.label, pct(r.ARE.Mean), pct(r.MARE.Mean))
+		}
+	}
+	return res, nil
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/stream"
+	"repro/internal/weights"
 )
 
 // Counter estimates both the global pattern count and the per-vertex
@@ -139,6 +140,17 @@ func (c *Counter) ProcessBatch(evs []stream.Event) {
 
 // Estimate returns the global pattern count estimate.
 func (c *Counter) Estimate() float64 { return c.inner.Estimate() }
+
+// SetWeight forwards to the inner WSD counter's SetWeight: it swaps the
+// weight function governing future sampling decisions without touching the
+// sample, the global estimate, or the per-vertex estimates (which inherit
+// unbiasedness from the global estimator under any positive weight function).
+func (c *Counter) SetWeight(w weights.Func, skipTemporal bool, params *core.PolicyParams) {
+	c.inner.SetWeight(w, skipTemporal, params)
+}
+
+// ActivePolicy reports the inner counter's policy annotation.
+func (c *Counter) ActivePolicy() *core.PolicyParams { return c.inner.ActivePolicy() }
 
 // Name identifies the algorithm.
 func (c *Counter) Name() string { return "WSD-local" }

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Predictor is the allocation-free single-sample inference path over a
+// network: Predict runs one state vector through the layers into
+// preallocated activation buffers, where Network.Forward would allocate a
+// fresh Matrix per layer per call. This is the hot path of WSD-L ingestion —
+// the actor is evaluated once per insertion event — so the per-event cost
+// must stay at zero allocations (guarded by TestPredictorAllocs and the
+// core-wsdl benchmark cell).
+//
+// The predictor reads the live layer parameters on every call, so it never
+// goes stale under in-place optimizer updates (Adam steps mutate Param.W.V
+// directly), and its arithmetic replicates Forward's inference path
+// operation-for-operation — including Dense's skip-zero-input accumulation
+// order — so Predict is bit-identical to Forward on a 1-row batch.
+//
+// A Predictor is bound to one network and is not safe for concurrent use;
+// run one per goroutine, like the network itself.
+type Predictor struct {
+	net  *Network
+	dims []int       // dims[0] = input dim, dims[i+1] = output dim of layer i
+	bufs [][]float64 // bufs[i] = output buffer of layer i
+}
+
+// NewPredictor validates that every layer of the network supports the fast
+// inference path and preallocates its activation buffers. in is the input
+// feature dimension.
+func NewPredictor(net *Network, in int) (*Predictor, error) {
+	if in <= 0 {
+		return nil, fmt.Errorf("nn: predictor input dimension %d", in)
+	}
+	p := &Predictor{net: net, dims: []int{in}}
+	dim := in
+	for i, l := range net.Layers {
+		switch l := l.(type) {
+		case *Dense:
+			if l.In != dim {
+				return nil, fmt.Errorf("nn: layer %d expects %d inputs, got %d", i, l.In, dim)
+			}
+			dim = l.Out
+		case *ReLU, *LeakyReLU:
+			// Element-wise; dimension unchanged.
+		case *BatchNorm:
+			if l.Dim != dim {
+				return nil, fmt.Errorf("nn: layer %d expects %d features, got %d", i, l.Dim, dim)
+			}
+		default:
+			return nil, fmt.Errorf("nn: predictor does not support layer type %T", l)
+		}
+		p.dims = append(p.dims, dim)
+		p.bufs = append(p.bufs, make([]float64, dim))
+	}
+	return p, nil
+}
+
+// Predict runs one sample through the network in inference mode and returns
+// the first output. len(x) must equal the input dimension the predictor was
+// built with; a mismatch is a programming error and panics like Forward
+// would.
+func (p *Predictor) Predict(x []float64) float64 {
+	if len(x) != p.dims[0] {
+		panic(fmt.Sprintf("nn: predictor expects %d inputs, got %d", p.dims[0], len(x)))
+	}
+	cur := x
+	for i, l := range p.net.Layers {
+		out := p.bufs[i]
+		switch l := l.(type) {
+		case *Dense:
+			copy(out, l.Bias.W.V)
+			for k := 0; k < l.In; k++ {
+				xv := cur[k]
+				if xv == 0 {
+					continue
+				}
+				wRow := l.Weight.W.Row(k)
+				for j := range out {
+					out[j] += xv * wRow[j]
+				}
+			}
+		case *ReLU:
+			for j, v := range cur {
+				if v <= 0 {
+					out[j] = 0
+				} else {
+					out[j] = v
+				}
+			}
+		case *LeakyReLU:
+			for j, v := range cur {
+				if v < 0 {
+					out[j] = v * l.Slope
+				} else {
+					out[j] = v
+				}
+			}
+		case *BatchNorm:
+			for j, v := range cur {
+				xhat := (v - l.RunMean[j]) / math.Sqrt(l.RunVar[j]+l.Eps)
+				out[j] = l.Gamma.W.V[j]*xhat + l.Beta.W.V[j]
+			}
+		}
+		cur = out
+	}
+	return cur[0]
+}

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// predictNet builds an actor-plus-critic-shaped network exercising every
+// supported layer type.
+func predictNet(rng *rand.Rand) *Network {
+	bn := NewBatchNorm(8)
+	for j := range bn.RunMean {
+		bn.RunMean[j] = rng.NormFloat64()
+		bn.RunVar[j] = 0.5 + rng.Float64()
+		bn.Gamma.W.V[j] = 0.5 + rng.Float64()
+		bn.Beta.W.V[j] = rng.NormFloat64()
+	}
+	return NewNetwork(
+		NewDense(6, 8, rng),
+		bn,
+		NewReLU(),
+		NewDense(8, 4, rng),
+		NewLeakyReLU(0.01),
+		NewDense(4, 1, rng),
+	)
+}
+
+func TestPredictorMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := predictNet(rng)
+	p, err := NewPredictor(net, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		x := make([]float64, 6)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 3
+			if rng.Intn(4) == 0 {
+				x[j] = 0 // exercise Dense's skip-zero path
+			}
+		}
+		want := net.Forward(FromRows([][]float64{x}), false).At(0, 0)
+		if got := p.Predict(x); got != want {
+			t.Fatalf("sample %d: Predict = %v, Forward = %v (must be bit-identical)", i, got, want)
+		}
+	}
+}
+
+// TestPredictorTracksLiveParams pins the no-staleness contract: the
+// predictor must see in-place parameter updates (Adam mutates Param.W.V
+// directly), not a copy taken at construction.
+func TestPredictorTracksLiveParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := NewNetwork(NewDense(3, 1, rng))
+	p, err := NewPredictor(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 2, 3}
+	before := p.Predict(x)
+	net.Layers[0].(*Dense).Weight.W.V[0] += 1
+	if got := p.Predict(x); got != before+1 {
+		t.Fatalf("after in-place weight bump: Predict = %v, want %v", got, before+1)
+	}
+}
+
+func TestPredictorRejectsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if _, err := NewPredictor(NewNetwork(NewDense(4, 2, rng)), 6); err == nil {
+		t.Fatal("expected error for input/layer dimension mismatch")
+	}
+	if _, err := NewPredictor(NewNetwork(NewDense(4, 2, rng), NewBatchNorm(3)), 4); err == nil {
+		t.Fatal("expected error for inter-layer dimension mismatch")
+	}
+}
+
+// TestPredictorAllocs guards the hot path: one actor evaluation per
+// insertion event must not allocate.
+func TestPredictorAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	net := predictNet(rng)
+	p, err := NewPredictor(net, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, -1, 0, 2, 3, -0.25}
+	if avg := testing.AllocsPerRun(100, func() { p.Predict(x) }); avg != 0 {
+		t.Fatalf("Predict allocates %v per call, want 0", avg)
+	}
+}

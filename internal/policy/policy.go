@@ -1,0 +1,258 @@
+// Package policy defines the versioned, self-describing artifact format that
+// carries a trained WSD-L policy (Section IV's DDPG actor, flattened to
+// rl.Policy) from wsdtrain to the serving surfaces: wsdserve boots from an
+// artifact, PUT /policy hot-swaps one onto a live counter, and /policy/shadow
+// scores a candidate against the live weight function before promotion.
+//
+// The wire format is a small binary envelope around a JSON payload:
+//
+//	magic "WSDP" | version (1 byte) | payload length (uvarint) | payload | sha256(payload)[:8]
+//
+// The payload names the pattern the policy was trained for, the state-vector
+// dimension, the actor parameters, and the training provenance. Everything a
+// consumer must check — magic, version, length, checksum, pattern, dimension,
+// finiteness — is checked by Decode, which recovers with an error (never a
+// panic) on arbitrary input. Encoding is deterministic: the same policy and
+// provenance always produce the same bytes, so artifact identity can be
+// pinned byte-for-byte in tests.
+package policy
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/rl"
+	"repro/internal/weights"
+)
+
+// Version is the current artifact format version.
+const Version = 1
+
+// magic opens every policy artifact.
+var magic = []byte("WSDP")
+
+// checksumLen is the number of sha256 bytes appended after the payload.
+const checksumLen = 8
+
+// maxPayloadBytes bounds the declared payload length so a corrupted uvarint
+// cannot drive a huge allocation. Real payloads are a few hundred bytes.
+const maxPayloadBytes = 1 << 20
+
+// Provenance records where a policy came from: the training inputs that
+// produced it. It is carried for inspection (GET /policy) and has no effect
+// on sampling. Timestamps are deliberately absent so encoding stays
+// deterministic.
+type Provenance struct {
+	// Seed is the training seed.
+	Seed int64 `json:"seed"`
+	// Iterations is the gradient-update budget requested.
+	Iterations int `json:"iterations"`
+	// M is the reservoir size used during training episodes.
+	M int `json:"m"`
+	// Streams is the number of training streams.
+	Streams int `json:"streams"`
+	// Updates is the number of gradient updates actually applied.
+	Updates int `json:"updates,omitempty"`
+	// Episodes is the number of training episodes played.
+	Episodes int `json:"episodes,omitempty"`
+}
+
+// Artifact is a decoded policy artifact: a trained policy bound to the
+// pattern it was trained for, plus provenance.
+type Artifact struct {
+	// Pattern is the subgraph pattern the policy was trained for. A serving
+	// deployment refuses to run a policy against a different pattern: the
+	// state-vector layout is pattern-sized, so a mismatch would feed the
+	// actor garbage.
+	Pattern pattern.Kind
+	// Policy holds the actor parameters.
+	Policy *rl.Policy
+	// Provenance records the training inputs.
+	Provenance Provenance
+}
+
+// payload is the JSON carried inside the envelope. The pattern travels by
+// name so artifacts stay readable if the Kind enumeration is ever reordered.
+type payload struct {
+	Pattern    string     `json:"pattern"`
+	Dim        int        `json:"dim"`
+	W          []float64  `json:"w"`
+	B          float64    `json:"b"`
+	Provenance Provenance `json:"provenance"`
+}
+
+// New validates and binds a trained policy to its pattern.
+func New(pat pattern.Kind, pol *rl.Policy, prov Provenance) (*Artifact, error) {
+	a := &Artifact{Pattern: pat, Policy: pol, Provenance: prov}
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *Artifact) validate() error {
+	if !a.Pattern.Valid() {
+		return fmt.Errorf("policy: artifact names unknown pattern %d", int(a.Pattern))
+	}
+	if a.Policy == nil {
+		return fmt.Errorf("policy: artifact has no policy")
+	}
+	if want := weights.VectorDim(a.Pattern.Size()); len(a.Policy.W) != want {
+		return fmt.Errorf("policy: weight vector has %d entries; pattern %s needs %d (the MDP state dimension)", len(a.Policy.W), a.Pattern, want)
+	}
+	for i, w := range a.Policy.W {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("policy: weight %d is not finite", i)
+		}
+	}
+	if math.IsNaN(a.Policy.B) || math.IsInf(a.Policy.B, 0) {
+		return fmt.Errorf("policy: bias is not finite")
+	}
+	return nil
+}
+
+// ID returns the artifact's policy identity: a short content hash over the
+// actor parameters. Two artifacts with equal parameters share an ID even if
+// their provenance differs, and a snapshot-embedded policy recomputes the
+// same ID — identity follows the weight function, not the training run.
+func (a *Artifact) ID() string { return ParamsID(a.Policy.W, a.Policy.B) }
+
+// ParamsID computes the short content hash over actor parameters: the first
+// 12 hex digits of sha256 over the IEEE-754 bit patterns of B then W.
+func ParamsID(w []float64, b float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(b))
+	h.Write(buf[:])
+	for _, v := range w {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:12]
+}
+
+// Params converts a policy into the core-layer annotation counters carry in
+// snapshots and report from serving endpoints.
+func Params(p *rl.Policy) *core.PolicyParams {
+	return &core.PolicyParams{ID: ParamsID(p.W, p.B), W: append([]float64(nil), p.W...), B: p.B}
+}
+
+// FromParams rebuilds the runnable policy from a snapshot-embedded
+// annotation.
+func FromParams(p *core.PolicyParams) *rl.Policy {
+	return &rl.Policy{W: append([]float64(nil), p.W...), B: p.B}
+}
+
+// Encode serializes the artifact. Output is deterministic for a given
+// artifact value.
+func (a *Artifact) Encode() ([]byte, error) {
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(payload{
+		Pattern:    a.Pattern.String(),
+		Dim:        len(a.Policy.W),
+		W:          a.Policy.W,
+		B:          a.Policy.B,
+		Provenance: a.Provenance,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("policy: encode: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(magic)
+	buf.WriteByte(Version)
+	var lenBuf [binary.MaxVarintLen64]byte
+	buf.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(len(body)))])
+	buf.Write(body)
+	sum := sha256.Sum256(body)
+	buf.Write(sum[:checksumLen])
+	return buf.Bytes(), nil
+}
+
+// IsArtifact reports whether data starts with the policy artifact magic —
+// the cheap sniff callers use to tell an artifact from the legacy raw-JSON
+// policy export.
+func IsArtifact(data []byte) bool { return bytes.HasPrefix(data, magic) }
+
+// Decode parses an artifact produced by Encode. It recovers with an error on
+// any malformed input — truncation, bad magic, version skew, corrupted
+// payload, dimension mismatch — and never panics; fuzzed in
+// FuzzPolicyArtifactDecode.
+func Decode(data []byte) (*Artifact, error) {
+	if len(data) < len(magic)+1 {
+		return nil, fmt.Errorf("policy: artifact truncated: %d bytes", len(data))
+	}
+	if !bytes.HasPrefix(data, magic) {
+		return nil, fmt.Errorf("policy: bad magic %q (want %q)", data[:len(magic)], magic)
+	}
+	rest := data[len(magic):]
+	version := rest[0]
+	if version == 0 || version > Version {
+		return nil, fmt.Errorf("policy: artifact version %d unsupported (want 1..%d)", version, Version)
+	}
+	rest = rest[1:]
+	length, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("policy: artifact payload length is malformed")
+	}
+	if length > maxPayloadBytes {
+		return nil, fmt.Errorf("policy: artifact declares a %d-byte payload, above the %d cap", length, maxPayloadBytes)
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) < length+checksumLen {
+		return nil, fmt.Errorf("policy: artifact truncated: payload declares %d bytes, %d remain", length, len(rest))
+	}
+	body := rest[:length]
+	tail := rest[length:]
+	if uint64(len(tail)) != checksumLen {
+		return nil, fmt.Errorf("policy: artifact has %d trailing bytes after the checksum", len(tail)-checksumLen)
+	}
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(tail, sum[:checksumLen]) {
+		return nil, fmt.Errorf("policy: artifact checksum mismatch (payload corrupted)")
+	}
+	var p payload
+	if err := json.Unmarshal(body, &p); err != nil {
+		return nil, fmt.Errorf("policy: artifact payload: %w", err)
+	}
+	pat, err := parsePattern(p.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	if p.Dim != len(p.W) {
+		return nil, fmt.Errorf("policy: artifact declares dim=%d but carries %d weights", p.Dim, len(p.W))
+	}
+	return New(pat, &rl.Policy{W: p.W, B: p.B}, p.Provenance)
+}
+
+// parsePattern resolves a pattern by its canonical String name.
+func parsePattern(name string) (pattern.Kind, error) {
+	for _, k := range pattern.Kinds() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("policy: artifact names unknown pattern %q", name)
+}
+
+// Reference returns a fixed, deterministic policy for the given pattern,
+// used by benchmark cells that need a stable learned-weight workload without
+// paying for training. The coefficients are hand-picked to produce weights in
+// a plausible learned range (roughly 1–3 over typical state vectors); they
+// claim no accuracy, only representative inference cost.
+func Reference(pat pattern.Kind) *rl.Policy {
+	dim := weights.VectorDim(pat.Size())
+	w := make([]float64, dim)
+	for i := range w {
+		w[i] = 0.08 - 0.03*float64(i%3)
+	}
+	return &rl.Policy{W: w, B: 0.3}
+}

@@ -126,6 +126,11 @@ type DDPG struct {
 	criticT *nn.Network
 	actOpt  *nn.Adam
 	critOpt *nn.Adam
+	// pred is the allocation-free single-sample inference path over actor.
+	// It reads the live actor parameters, so it stays current across Adam's
+	// in-place updates; Action runs on it because the weight-function
+	// closure calls Action once per insertion event — the stream hot path.
+	pred    *nn.Predictor
 	replay  *Replay
 	noise   float64
 	updates int
@@ -167,6 +172,11 @@ func NewDDPG(cfg Config) (*DDPG, error) {
 	// keeps the policy from chasing a still-converging critic.
 	d.actOpt = nn.NewAdam(actor.Params(), cfg.LR/10)
 	d.critOpt = nn.NewAdam(critic.Params(), cfg.LR)
+	pred, err := nn.NewPredictor(actor, cfg.StateDim)
+	if err != nil {
+		return nil, err
+	}
+	d.pred = pred
 	return d, nil
 }
 
@@ -179,9 +189,9 @@ func (d *DDPG) Updates() int { return d.updates }
 // Action evaluates the current policy on a state vector. With explore set,
 // Gaussian noise (decayed per update) is added before the positivity shift.
 func (d *DDPG) Action(state []float64, explore bool) float64 {
-	x := nn.FromRows([][]float64{state})
-	y := d.actor.Forward(x, false)
-	a := y.At(0, 0)
+	// nn.Predictor is bit-identical to actor.Forward on a 1-row batch but
+	// allocation-free, keeping per-event inference off the garbage collector.
+	a := d.pred.Predict(state)
 	if explore {
 		a += d.rng.NormFloat64() * d.noise
 	}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/cluster"
+	"repro/internal/policy"
 )
 
 // CoordinatorConfig describes the worker fleet a coordinator front end
@@ -59,7 +60,53 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /restore", c.handleRestore)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("POST /catchup", c.handleCatchUp)
+	mux.HandleFunc("GET /policy", c.handleClusterPolicyGet)
+	mux.HandleFunc("PUT /policy", c.handleClusterPolicySwap)
 	return mux
+}
+
+// handleClusterPolicyGet gathers the fleet's active policy (GET /policy on
+// every serving worker, uniformity verified) and relays the first worker's
+// reply.
+func (c *Coordinator) handleClusterPolicyGet(w http.ResponseWriter, r *http.Request) {
+	raw, err := c.coord.PolicyStatus()
+	if err != nil {
+		if errors.Is(err, cluster.ErrNoQuorum) {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(raw)
+}
+
+// handleClusterPolicySwap fans a policy artifact out to the whole fleet. A
+// blob that fails artifact validation (or that every worker rejected) is a
+// 400 and no worker changed; a fleet that cannot take a uniform swap (workers
+// lagging or down) is a 503 taken before any worker changed; a fan-out that
+// swapped some workers but not all is a 502 wrapping ErrPartialSwap — the
+// stragglers are marked inconsistent and a retry (or a cluster restore)
+// heals.
+func (c *Coordinator) handleClusterPolicySwap(w http.ResponseWriter, r *http.Request) {
+	raw, ok := c.readBody(w, r)
+	if !ok {
+		return
+	}
+	if _, err := policy.Decode(raw); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := c.coord.SwapPolicy(raw); err != nil {
+		if errors.Is(err, cluster.ErrPartialSwap) {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+		} else {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		}
+		return
+	}
+	writeJSON(w, map[string]any{"swapped": true, "workers": c.coord.Workers()})
 }
 
 // handleCatchUp triggers an explicit fleet catch-up against the write-ahead

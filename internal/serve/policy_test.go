@@ -1,0 +1,546 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	wsd "repro"
+
+	"repro/internal/pattern"
+	"repro/internal/policy"
+	"repro/internal/stream"
+)
+
+// testArtifact mints a trained-artifact stand-in: the deterministic reference
+// policy with its bias shifted by delta, so tests get distinct artifacts with
+// distinct content IDs without paying for training.
+func testArtifact(t *testing.T, pat pattern.Kind, delta float64) ([]byte, string) {
+	t.Helper()
+	pol := policy.Reference(pat)
+	pol.B += delta
+	art, err := policy.New(pat, pol, policy.Provenance{Seed: 1, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := art.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, art.ID()
+}
+
+func doPut(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	var out map[string]any
+	if err := json.Unmarshal(get(t, url), &out); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+	return out
+}
+
+func encodeEvents(t *testing.T, evs stream.Stream) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := stream.WriteBinary(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPolicySwapLifecycle walks the hot-swap protocol end to end over HTTP:
+// the booted counter reports the heuristic, a PUT /policy swaps it live (the
+// reservoir keeps its state — processed position is unchanged), GET /policy
+// and /healthz both report the new identity, and malformed or mismatched
+// artifacts are refused without touching the running policy.
+func TestPolicySwapLifecycle(t *testing.T) {
+	s := testStream(t, 31, 300)
+	_, ts := testServer(t)
+	post(t, ts.URL+"/ingest", encodeEvents(t, s))
+	post(t, ts.URL+"/flush", nil)
+
+	st := getJSON(t, ts.URL+"/policy")
+	if st["policy"] != "heuristic" || st["weight"] != "wsd-h" {
+		t.Fatalf("pre-swap policy status: %v", st)
+	}
+
+	raw, id := testArtifact(t, wsd.TrianglePattern, 0)
+	code, body := doPut(t, ts.URL+"/policy", raw)
+	if code != http.StatusOK {
+		t.Fatalf("PUT /policy: %d: %s", code, body)
+	}
+	var swapped struct {
+		Swapped  bool   `json:"swapped"`
+		ID       string `json:"id"`
+		Position int64  `json:"position"`
+	}
+	if err := json.Unmarshal(body, &swapped); err != nil {
+		t.Fatal(err)
+	}
+	if !swapped.Swapped || swapped.ID != id || swapped.Position != int64(len(s)) {
+		t.Fatalf("swap reply %+v, want id %s at position %d", swapped, id, len(s))
+	}
+
+	st = getJSON(t, ts.URL+"/policy")
+	if st["id"] != id || st["source"] != "swap" || st["policy"] != id {
+		t.Fatalf("post-swap policy status: %v", st)
+	}
+	if st["provenance"] == nil {
+		t.Fatal("swap from an artifact must carry provenance")
+	}
+	var health struct {
+		Policy string `json:"policy"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL+"/healthz"), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Policy != id {
+		t.Fatalf("healthz policy %q, want %s", health.Policy, id)
+	}
+
+	// The swapped counter keeps serving: more events, still finite estimates.
+	post(t, ts.URL+"/ingest", encodeEvents(t, testStream(t, 32, 100)))
+	post(t, ts.URL+"/flush", nil)
+
+	// A wedge-trained artifact cannot drive a triangle counter's state vector.
+	wrong, _ := testArtifact(t, wsd.WedgePattern, 0)
+	if code, body := doPut(t, ts.URL+"/policy", wrong); code != http.StatusBadRequest {
+		t.Fatalf("mismatched-pattern swap: %d: %s", code, body)
+	}
+	// Garbage is refused at decode.
+	if code, _ := doPut(t, ts.URL+"/policy", []byte("WSDPgarbage")); code != http.StatusBadRequest {
+		t.Fatalf("garbage artifact accepted: %d", code)
+	}
+	// Neither rejection touched the active policy.
+	if st = getJSON(t, ts.URL+"/policy"); st["id"] != id {
+		t.Fatalf("rejected swaps changed the active policy: %v", st)
+	}
+}
+
+// TestPolicySwapSnapshotRestoreBitIdentical is the lifecycle acceptance
+// check: a counter hot-swapped mid-stream, snapshotted, restored into a
+// brand-new differently-seeded server, and resumed must end bit-identical to
+// the uninterrupted swapped counter — the snapshot carries the active policy,
+// and the restored server revives it without being told.
+func TestPolicySwapSnapshotRestoreBitIdentical(t *testing.T) {
+	s := testStream(t, 41, 600)
+	c1, c2 := len(s)/3, 2*len(s)/3
+	raw, id := testArtifact(t, wsd.TrianglePattern, 0.05)
+
+	// Server A: heuristic prefix, swap, more events, snapshot mid-flight,
+	// then the suffix — never interrupted.
+	_, a := testServer(t)
+	post(t, a.URL+"/ingest", encodeEvents(t, s[:c1]))
+	if code, body := doPut(t, a.URL+"/policy", raw); code != http.StatusOK {
+		t.Fatalf("PUT /policy: %d: %s", code, body)
+	}
+	post(t, a.URL+"/ingest", encodeEvents(t, s[c1:c2]))
+	blob := get(t, a.URL+"/snapshot")
+	post(t, a.URL+"/ingest", encodeEvents(t, s[c2:]))
+
+	// Server B: a different construction seed (the snapshot carries the RNG
+	// state and the policy, so boot configuration must not matter), restored
+	// from the blob, fed the identical suffix.
+	srvB, err := New(Config{Pattern: wsd.TrianglePattern, M: 600, Shards: 3,
+		Options: []wsd.Option{wsd.WithSeed(777)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := httptest.NewServer(srvB.Handler())
+	t.Cleanup(func() { b.Close(); srvB.Close() })
+	post(t, b.URL+"/restore", blob)
+
+	// The restored server runs the snapshot's embedded policy.
+	st := getJSON(t, b.URL+"/policy")
+	if st["id"] != id || st["source"] != "snapshot" {
+		t.Fatalf("restored policy status: %v, want id %s from the snapshot", st, id)
+	}
+	post(t, b.URL+"/ingest", encodeEvents(t, s[c2:]))
+
+	read := func(url string) float64 {
+		get(t, url+"/snapshot") // quiesce
+		var est struct {
+			Estimate float64 `json:"estimate"`
+		}
+		if err := json.Unmarshal(get(t, url+"/estimate"), &est); err != nil {
+			t.Fatal(err)
+		}
+		return est.Estimate
+	}
+	if got, want := read(b.URL), read(a.URL); got != want {
+		t.Fatalf("restored estimate %v, uninterrupted %v (must be bit-identical)", got, want)
+	}
+}
+
+// TestPolicyBootMatchesSwapAtZero: booting with Config.Policy (wsdserve
+// -policy) must be exactly a swap at position zero — same artifact, same
+// stream, same seed, same estimate — and GET /policy reports the boot source.
+func TestPolicyBootMatchesSwapAtZero(t *testing.T) {
+	s := testStream(t, 43, 400)
+	raw, id := testArtifact(t, wsd.TrianglePattern, 0.02)
+	art, err := policy.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	booted, err := New(Config{Pattern: wsd.TrianglePattern, M: 600, Shards: 3,
+		Options: []wsd.Option{wsd.WithSeed(9)}, Policy: art})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bts := httptest.NewServer(booted.Handler())
+	t.Cleanup(func() { bts.Close(); booted.Close() })
+	if st := getJSON(t, bts.URL+"/policy"); st["id"] != id || st["source"] != "boot" {
+		t.Fatalf("boot policy status: %v", st)
+	}
+	post(t, bts.URL+"/ingest", encodeEvents(t, s))
+
+	_, swappedTS := testServer(t) // same seed 9, heuristic boot
+	if code, body := doPut(t, swappedTS.URL+"/policy", raw); code != http.StatusOK {
+		t.Fatalf("PUT /policy: %d: %s", code, body)
+	}
+	post(t, swappedTS.URL+"/ingest", encodeEvents(t, s))
+
+	read := func(url string) float64 {
+		get(t, url+"/snapshot")
+		var est struct {
+			Estimate float64 `json:"estimate"`
+		}
+		if err := json.Unmarshal(get(t, url+"/estimate"), &est); err != nil {
+			t.Fatal(err)
+		}
+		return est.Estimate
+	}
+	if got, want := read(bts.URL), read(swappedTS.URL); got != want {
+		t.Fatalf("boot-with-policy estimate %v, swap-at-zero %v (must match exactly)", got, want)
+	}
+
+	// Booting with a mismatched artifact is refused at construction.
+	wedgeRaw, _ := testArtifact(t, wsd.WedgePattern, 0)
+	wedgeArt, err := policy.Decode(wedgeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Pattern: wsd.TrianglePattern, M: 100, Shards: 1, Policy: wedgeArt}); err == nil {
+		t.Fatal("boot with a wedge policy on a triangle server accepted")
+	}
+}
+
+// TestShadowEvaluationLifecycle drives the candidate-evaluation protocol: a
+// shadow attached before any ingest, configured identically to the live
+// counter (same seed) and fed the identical accepted sequence, must land on
+// exactly the live estimate when the candidate equals the live policy — the
+// strongest cheap check that the shadow path feeds the same events through
+// the same machinery. The rest of the test covers the protocol edges: one
+// shadow at a time, report/stop bookkeeping, and swap cancelling the shadow.
+func TestShadowEvaluationLifecycle(t *testing.T) {
+	s := testStream(t, 47, 400)
+	raw, id := testArtifact(t, wsd.TrianglePattern, 0.03)
+	art, err := policy.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live counter boots under the artifact; the shadow runs the same
+	// artifact from position 0, so their estimates must be identical.
+	srv, err := New(Config{Pattern: wsd.TrianglePattern, M: 600, Shards: 3,
+		Options: []wsd.Option{wsd.WithSeed(9)}, Policy: art})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	out := post(t, ts.URL+"/policy/shadow", raw)
+	if out["shadow"] != true || out["id"] != id || int64(out["attached_at"].(float64)) != 0 {
+		t.Fatalf("shadow attach reply: %v", out)
+	}
+	// Only one shadow at a time.
+	resp, err := http.Post(ts.URL+"/policy/shadow", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second shadow attach: %d, want 409", resp.StatusCode)
+	}
+
+	post(t, ts.URL+"/ingest", encodeEvents(t, s))
+
+	report := getJSON(t, ts.URL+"/policy/shadow")
+	live := report["live"].(map[string]any)
+	shadow := report["shadow"].(map[string]any)
+	if live["estimate"] != shadow["estimate"] {
+		t.Fatalf("identical-policy shadow diverged: live %v, shadow %v", live["estimate"], shadow["estimate"])
+	}
+	if int64(shadow["position"].(float64)) != int64(len(s)) {
+		t.Fatalf("shadow position %v, want %d", shadow["position"], len(s))
+	}
+	if report["live_policy"] != id || report["error"] != nil {
+		t.Fatalf("shadow report: %v", report)
+	}
+	if d, ok := report["delta_relative"].(float64); !ok || d != 0 {
+		t.Fatalf("identical-policy delta %v, want 0", report["delta_relative"])
+	}
+	// GET /policy names the running shadow.
+	if st := getJSON(t, ts.URL+"/policy"); st["shadow"] != id {
+		t.Fatalf("policy status does not name the shadow: %v", st)
+	}
+
+	// Stop reports the final pair and detaches.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/policy/shadow", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /policy/shadow: %d: %s", dresp.StatusCode, draw)
+	}
+	var stopped map[string]any
+	if err := json.Unmarshal(draw, &stopped); err != nil {
+		t.Fatal(err)
+	}
+	if stopped["stopped"] != true || stopped["live"] != stopped["shadow"] {
+		t.Fatalf("stop reply: %v", stopped)
+	}
+	// No shadow left: report 404s.
+	gresp, err := http.Get(ts.URL + "/policy/shadow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("report with no shadow: %d, want 404", gresp.StatusCode)
+	}
+
+	// A mid-stream attach records its position; a promotion (PUT /policy)
+	// cancels the now-stale evaluation.
+	cand, candID := testArtifact(t, wsd.TrianglePattern, 0.5)
+	out = post(t, ts.URL+"/policy/shadow", cand)
+	if got := int64(out["attached_at"].(float64)); got != int64(len(s)) {
+		t.Fatalf("mid-stream attach at %d, want %d", got, len(s))
+	}
+	code, body := doPut(t, ts.URL+"/policy", cand)
+	if code != http.StatusOK {
+		t.Fatalf("PUT /policy: %d: %s", code, body)
+	}
+	if !strings.Contains(string(body), candID) || !strings.Contains(string(body), "shadow_stopped") {
+		t.Fatalf("promotion reply must note the cancelled shadow: %s", body)
+	}
+	if st := getJSON(t, ts.URL+"/policy"); st["shadow"] != nil {
+		t.Fatalf("shadow survived the promotion: %v", st)
+	}
+}
+
+// TestRacePolicySwapIngestEstimate hammers one server with concurrent
+// /ingest, PUT /policy (two alternating artifacts), shadow attach/stop churn,
+// and reads. Run under -race in CI, it is the regression net for the swap
+// path: the quiesce barrier must serialize weight flips against in-flight
+// batches, every request must complete (no torn counter, no deadlock), and
+// the server must land on one of the two policies with every event counted.
+func TestRacePolicySwapIngestEstimate(t *testing.T) {
+	srv, err := New(Config{Pattern: wsd.TrianglePattern, M: 600, Shards: 3,
+		Options: []wsd.Option{wsd.WithSeed(53)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := srv.Handler()
+	defer srv.Close()
+
+	s := testStream(t, 59, 480)
+	per := (len(s) + 5) / 6
+	var chunks [][]byte
+	for lo := 0; lo < len(s); lo += per {
+		hi := min(lo+per, len(s))
+		chunks = append(chunks, encodeEvents(t, s[lo:hi]))
+	}
+	artA, idA := testArtifact(t, wsd.TrianglePattern, 0)
+	artB, idB := testArtifact(t, wsd.TrianglePattern, 0.25)
+
+	roundTrip := func(method, path string, body []byte) (int, []byte) {
+		req, err := http.NewRequest(method, path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := newRecorder()
+		handler.ServeHTTP(rec, req)
+		return rec.code, rec.body.Bytes()
+	}
+
+	var wg sync.WaitGroup
+	for _, chunk := range chunks {
+		wg.Add(1)
+		go func(chunk []byte) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if code, body := roundTrip(http.MethodPost, "/ingest", chunk); code != http.StatusOK {
+					t.Errorf("/ingest: status %d: %s", code, body)
+					return
+				}
+			}
+		}(chunk)
+	}
+	for r := 0; r < 2; r++ {
+		art := artA
+		if r == 1 {
+			art = artB
+		}
+		wg.Add(1)
+		go func(art []byte) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if code, body := roundTrip(http.MethodPut, "/policy", art); code != http.StatusOK {
+					t.Errorf("PUT /policy: status %d: %s", code, body)
+					return
+				}
+			}
+		}(art)
+	}
+	// Shadow churn: attaches race each other (409 is a legal outcome) and
+	// race the swaps (which cancel the shadow); stops may find none (404).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if code, body := roundTrip(http.MethodPost, "/policy/shadow", artB); code != http.StatusOK && code != http.StatusConflict {
+				t.Errorf("shadow attach: status %d: %s", code, body)
+				return
+			}
+			if code, _ := roundTrip(http.MethodDelete, "/policy/shadow", nil); code != http.StatusOK && code != http.StatusNotFound {
+				t.Errorf("shadow stop: status %d", code)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			code, body := roundTrip(http.MethodGet, "/policy", nil)
+			if code != http.StatusOK {
+				t.Errorf("GET /policy: status %d", code)
+				return
+			}
+			var st struct {
+				Policy string `json:"policy"`
+			}
+			if err := json.Unmarshal(body, &st); err != nil {
+				t.Errorf("GET /policy: bad JSON: %v", err)
+				return
+			}
+			if st.Policy != "heuristic" && st.Policy != idA && st.Policy != idB {
+				t.Errorf("GET /policy: torn policy %q", st.Policy)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if code, _ := roundTrip(http.MethodGet, "/estimate", nil); code != http.StatusOK {
+				t.Errorf("/estimate: status %d", code)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Every ingest returned 200, so every event must be counted, and the
+	// final policy is one of the two swapped artifacts.
+	if code, _ := roundTrip(http.MethodPost, "/flush", nil); code != http.StatusOK {
+		t.Fatalf("final flush: %d", code)
+	}
+	var est struct {
+		Processed int64 `json:"processed"`
+	}
+	_, body := roundTrip(http.MethodGet, "/estimate", nil)
+	if err := json.Unmarshal(body, &est); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(5 * len(s)); est.Processed != want {
+		t.Fatalf("processed %d, want %d", est.Processed, want)
+	}
+	_, body = roundTrip(http.MethodGet, "/policy", nil)
+	var st struct {
+		Policy string `json:"policy"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Policy != idA && st.Policy != idB {
+		t.Fatalf("final policy %q, want %s or %s", st.Policy, idA, idB)
+	}
+}
+
+// TestCoordinatorPolicyEndpoints drives the cluster swap protocol over the
+// coordinator's HTTP front end: GET /policy aggregates the fleet status, PUT
+// /policy validates locally (400 on garbage) then fans the swap out, and a
+// swap reaching a dead worker surfaces as 502 (partial) rather than success.
+func TestCoordinatorPolicyEndpoints(t *testing.T) {
+	fx := newCoordFixture(t)
+
+	var st struct {
+		Policy string `json:"policy"`
+	}
+	if err := json.Unmarshal(get(t, fx.ts.URL+"/policy"), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Policy != "heuristic" {
+		t.Fatalf("pre-swap fleet policy %q", st.Policy)
+	}
+
+	if code, body := doPut(t, fx.ts.URL+"/policy", []byte("garbage")); code != http.StatusBadRequest {
+		t.Fatalf("garbage swap through the coordinator: %d: %s", code, body)
+	}
+
+	raw, id := testArtifact(t, wsd.TrianglePattern, 0.07)
+	code, body := doPut(t, fx.ts.URL+"/policy", raw)
+	if code != http.StatusOK {
+		t.Fatalf("PUT /policy: %d: %s", code, body)
+	}
+	var swapped struct {
+		Swapped bool `json:"swapped"`
+		Workers int  `json:"workers"`
+	}
+	if err := json.Unmarshal(body, &swapped); err != nil {
+		t.Fatal(err)
+	}
+	if !swapped.Swapped || swapped.Workers != 3 {
+		t.Fatalf("swap reply %+v, want 3 workers swapped", swapped)
+	}
+	if err := json.Unmarshal(get(t, fx.ts.URL+"/policy"), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Policy != id {
+		t.Fatalf("post-swap fleet policy %q, want %s", st.Policy, id)
+	}
+
+	fx.workers[1].Close()
+	raw2, _ := testArtifact(t, wsd.TrianglePattern, 0.09)
+	if code, body := doPut(t, fx.ts.URL+"/policy", raw2); code != http.StatusBadGateway {
+		t.Fatalf("swap with a dead worker: %d: %s, want 502", code, body)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	wsd "repro"
 
 	"repro/internal/cli"
+	"repro/internal/policy"
 	"repro/internal/shard"
 	"repro/internal/stream"
 )
@@ -55,7 +56,16 @@ type Config struct {
 	Shards int
 	// Options are passed to NewShardedCounter and to RestoreShardedCounter,
 	// so seed, weight function, combiner and budget mode survive /restore.
+	// Prefer Policy over a raw wsd.WithPolicy option here: the server keeps
+	// Policy out of the restore options so a snapshot's own embedded policy
+	// governs a /restore, and /policy reporting stays accurate.
 	Options []wsd.Option
+	// Policy, when non-nil, boots the counter under this trained WSD-L
+	// artifact (wsdserve -policy): the learned weight function applies from
+	// the first event, GET /policy serves the artifact's identity and
+	// provenance, and snapshots embed the policy so restores resume under
+	// it. The artifact's pattern must match the served primary pattern.
+	Policy *policy.Artifact
 	// MaxBodyBytes caps request bodies; 0 means 64 MiB.
 	MaxBodyBytes int64
 	// PartitionCount, when > 0, declares this worker partition PartitionIndex
@@ -100,6 +110,21 @@ type Server struct {
 	// it is guaranteed already en route. Lock order: posMu before mu.
 	posMu     sync.Mutex
 	streamPos int64
+
+	// policy records the active learned policy, nil when the counter runs
+	// the WSD-H heuristic: set at boot from Config.Policy, replaced by
+	// PUT /policy, re-derived from the snapshot on restore. Guarded by mu.
+	policy *policyStatus
+
+	// shadow is the candidate-policy evaluation run (nil when none is
+	// active): a second ensemble fed the same accepted events as the live
+	// one, so an operator can score a candidate against the live weight
+	// function before promoting it. The pointer is guarded by mu; shadow
+	// ingestion happens under posMu like live ingestion, so both ensembles
+	// see the identical event sequence. shadowBatches recycles the shadow's
+	// ingest buffers separately from the live pool.
+	shadow        *shadowRun
+	shadowBatches stream.BatchPool
 }
 
 // StreamPosHeader is the request header a coordinator sets on /ingest to
@@ -125,16 +150,30 @@ func New(cfg Config) (*Server, error) {
 		opts := cfg.Options[:len(cfg.Options):len(cfg.Options)]
 		cfg.Options = append(opts, wsd.WithPartition(cfg.PartitionIndex, cfg.PartitionCount))
 	}
+	patterns := []wsd.Pattern{cfg.Pattern}
+	if len(cfg.Patterns) > 0 {
+		patterns = append([]wsd.Pattern(nil), cfg.Patterns...)
+	}
+	// The boot policy is appended to a clipped copy for construction only:
+	// cfg.Options stays policy-free so a later /restore lets the snapshot's
+	// own embedded policy govern the revived weight function.
+	buildOpts := cfg.Options
+	var status *policyStatus
+	if cfg.Policy != nil {
+		if cfg.Policy.Pattern != patterns[0] {
+			return nil, fmt.Errorf("serve: policy artifact is trained for %s, server's primary pattern is %s", cfg.Policy.Pattern, patterns[0])
+		}
+		buildOpts = append(cfg.Options[:len(cfg.Options):len(cfg.Options)], wsd.WithPolicy(cfg.Policy.Policy))
+		status = statusFromArtifact(cfg.Policy, policySourceBoot)
+	}
 	var (
 		ens *wsd.ShardedCounter
 		err error
 	)
-	patterns := []wsd.Pattern{cfg.Pattern}
 	if len(cfg.Patterns) > 0 {
-		patterns = append([]wsd.Pattern(nil), cfg.Patterns...)
-		ens, err = wsd.NewShardedMultiCounter(patterns, cfg.M, cfg.Shards, cfg.Options...)
+		ens, err = wsd.NewShardedMultiCounter(patterns, cfg.M, cfg.Shards, buildOpts...)
 	} else {
-		ens, err = wsd.NewShardedCounter(cfg.Pattern, cfg.M, cfg.Shards, cfg.Options...)
+		ens, err = wsd.NewShardedCounter(cfg.Pattern, cfg.M, cfg.Shards, buildOpts...)
 	}
 	if err != nil {
 		return nil, err
@@ -143,13 +182,17 @@ func New(cfg Config) (*Server, error) {
 	for i, p := range patterns {
 		byKind[p] = i
 	}
-	return &Server{cfg: cfg, patterns: patterns, byKind: byKind, ens: ens}, nil
+	return &Server{cfg: cfg, patterns: patterns, byKind: byKind, ens: ens, policy: status}, nil
 }
 
-// Close drains and stops the counter, returning the final estimate.
+// Close drains and stops the counter (and any shadow evaluation), returning
+// the final estimate.
 func (s *Server) Close() float64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.shadow != nil {
+		s.shadow.ens.Close()
+	}
 	return s.ens.Close()
 }
 
@@ -183,7 +226,11 @@ func (s *Server) Snapshot() ([]byte, error) {
 // refused and the running ensemble is untouched. The previous ensemble is
 // closed on success.
 func (s *Server) Restore(blob []byte) (int, error) {
+	var snapPolicy *policyStatus
 	restored, err := wsd.RestoreShardedCounterChecked(blob, func(info wsd.ShardedSnapshotInfo) error {
+		// The snapshot's embedded policy (if any) is what the revived
+		// counter will run — record it for /policy and /healthz.
+		snapPolicy = statusFromParams(info.Policy, policySourceSnapshot)
 		snapPatterns := info.Patterns
 		if snapPatterns == nil {
 			snapPatterns = []wsd.Pattern{info.Pattern}
@@ -216,9 +263,18 @@ func (s *Server) Restore(blob []byte) (int, error) {
 	// so the idempotence counter re-anchors to it: a coordinator replaying
 	// the log tail after this restore stamps against the snapshot position.
 	s.streamPos = restored.Processed()
+	s.policy = snapPolicy
+	// A running shadow evaluation is tied to the stream the live counter was
+	// following; a restore rewinds or replaces that stream, so the
+	// comparison is void.
+	oldShadow := s.shadow
+	s.shadow = nil
 	s.mu.Unlock()
 	s.posMu.Unlock()
 	old.Close()
+	if oldShadow != nil {
+		oldShadow.ens.Close()
+	}
 	return restored.Shards(), nil
 }
 
@@ -231,6 +287,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /restore", s.handleRestore)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /policy", s.handlePolicyGet)
+	mux.HandleFunc("PUT /policy", s.handlePolicySwap)
+	mux.HandleFunc("POST /policy/shadow", s.handleShadowStart)
+	mux.HandleFunc("GET /policy/shadow", s.handleShadowReport)
+	mux.HandleFunc("DELETE /policy/shadow", s.handleShadowStop)
 	return mux
 }
 
@@ -254,6 +315,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"m":         s.cfg.M,
 		"processed": s.ens.Processed(),
 		"position":  s.ens.Processed(),
+		// "policy" is the active policy's content ID, or "heuristic": a
+		// cluster coordinator verifies the fleet runs one weight function
+		// (a worker that missed a swap would estimate under different
+		// sampling behavior than its peers).
+		"policy": s.policy.id(),
 	}
 	if s.cfg.PartitionCount > 0 {
 		// A partitioned coordinator verifies this against its own routing:
@@ -325,6 +391,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.streamPos += int64(accepted)
+	if sh := s.shadow; sh != nil {
+		// The shadow counter replays the exact accepted event sequence (same
+		// body, same duplicate skip) under the candidate policy. A shadow
+		// failure never fails live ingestion — it is recorded and reported
+		// on GET /policy/shadow instead.
+		if _, _, err := ingestSkip(sh.ens, &s.shadowBatches, bytes.NewReader(raw), skip); err != nil {
+			sh.fail(err)
+		}
+	}
 	if stamped {
 		writeJSON(w, map[string]any{"accepted": accepted, "duplicate": duplicate})
 		return

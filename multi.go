@@ -49,6 +49,7 @@ func NewMultiCounter(patterns []Pattern, m int, opts ...Option) (*MultiCounter, 
 		Weight:       w,
 		Rng:          xrand.New(o.seed),
 		SkipTemporal: skipTemporal(&o),
+		Policy:       policyAnnotation(&o),
 		EventWeight:  ew,
 	})
 	if err != nil {
@@ -97,17 +98,15 @@ func (c *MultiCounter) Checkpoint() ([]byte, error) { return c.inner.Checkpoint(
 func (c *MultiCounter) Core() *core.MultiCounter { return c.inner }
 
 // RestoreMultiCounter revives a multi-pattern counter from a Checkpoint blob.
-// As with RestoreCounter, the weight options must match the original
-// construction; the patterns, budget, estimates, and RNG state come from the
-// blob, and the restored counter continues bit-identically on every pattern.
+// As with RestoreCounter, heuristic weight options must match the original
+// construction, while a learned policy is revived from the blob itself when
+// no explicit weight option is given; the patterns, budget, estimates, and
+// RNG state come from the blob, and the restored counter continues
+// bit-identically on every pattern.
 func RestoreMultiCounter(data []byte, opts ...Option) (*MultiCounter, error) {
 	o := options{seed: 1}
 	for _, opt := range opts {
 		opt(&o)
-	}
-	w, err := resolveWeight(&o)
-	if err != nil {
-		return nil, err
 	}
 	ew, err := partitionWeight(&o)
 	if err != nil {
@@ -117,8 +116,12 @@ func RestoreMultiCounter(data []byte, opts ...Option) (*MultiCounter, error) {
 	if err != nil {
 		return nil, err
 	}
+	w, skip, params, err := restoreWeight(&o, snap.Policy)
+	if err != nil {
+		return nil, err
+	}
 	inner, err := core.RestoreMulti(snap, core.MultiConfig{
-		Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skipTemporal(&o), EventWeight: ew,
+		Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skip, Policy: params, EventWeight: ew,
 	})
 	if err != nil {
 		return nil, err
@@ -175,6 +178,7 @@ func NewShardedMultiCounter(patterns []Pattern, m, shards int, opts ...Option) (
 			Weight:       wi,
 			Rng:          xrand.NewSequence(o.seed, int64(i)),
 			SkipTemporal: skipTemporal(&o),
+			Policy:       policyAnnotation(&o),
 			EventWeight:  ew,
 		})
 		if err != nil {
@@ -188,12 +192,13 @@ func NewShardedMultiCounter(patterns []Pattern, m, shards int, opts ...Option) (
 // restoreShardCounter rebuilds one shard counter from its decoded snapshot,
 // dispatching on the snapshot's shape: multi-pattern snapshots revive
 // multi-pattern counters, so RestoreShardedCounter and the serving /restore
-// path work unchanged for both deployment kinds.
-func restoreShardCounter(snap *core.Snapshot, w WeightFunc, o *options, i int) (shard.Counter, error) {
-	wi := w
-	if o.policy != nil {
-		// Policy closures carry per-call scratch state; one per shard worker.
-		wi = o.policy.Func()
+// path work unchanged for both deployment kinds. Weight precedence follows
+// restoreWeight, called per shard so policy closures — explicit or
+// snapshot-embedded — are private to each shard worker goroutine.
+func restoreShardCounter(snap *core.Snapshot, o *options, i int) (shard.Counter, error) {
+	wi, skip, params, err := restoreWeight(o, snap.Policy)
+	if err != nil {
+		return nil, err
 	}
 	ew, err := partitionWeight(o)
 	if err != nil {
@@ -201,9 +206,9 @@ func restoreShardCounter(snap *core.Snapshot, w WeightFunc, o *options, i int) (
 	}
 	rng := xrand.NewSequence(o.seed, int64(i))
 	if snap.Multi() {
-		return core.RestoreMulti(snap, core.MultiConfig{Weight: wi, Rng: rng, SkipTemporal: skipTemporal(o), EventWeight: ew})
+		return core.RestoreMulti(snap, core.MultiConfig{Weight: wi, Rng: rng, SkipTemporal: skip, Policy: params, EventWeight: ew})
 	}
-	return core.Restore(snap, core.Config{Weight: wi, Rng: rng, SkipTemporal: skipTemporal(o), EventWeight: ew})
+	return core.Restore(snap, core.Config{Weight: wi, Rng: rng, SkipTemporal: skip, Policy: params, EventWeight: ew})
 }
 
 // MultiPatterns is a convenience constructor for the patterns argument:

@@ -34,6 +34,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/pattern"
 	"repro/internal/pipeline"
+	"repro/internal/policy"
 	"repro/internal/rl"
 	"repro/internal/shard"
 	"repro/internal/stream"
@@ -202,6 +203,39 @@ func skipTemporal(o *options) bool {
 	return o.policy == nil && o.weight == nil
 }
 
+// policyAnnotation converts the WithPolicy option into the core-layer
+// annotation that snapshots embed and serving layers report; nil when the
+// counter runs a heuristic or user-supplied weight function.
+func policyAnnotation(o *options) *core.PolicyParams {
+	if o.policy == nil {
+		return nil
+	}
+	return policy.Params(o.policy)
+}
+
+// restoreWeight resolves the weight function for a restore with the
+// precedence the snapshot-v4 policy embedding defines: explicit weight
+// options (WithPolicy, WithWeightFunc) win, exactly as before; otherwise a
+// policy embedded in the snapshot is revived (the restored counter keeps
+// drawing the learned weights that built its sample, which is what makes
+// resume bit-identical under WSD-L without re-supplying the artifact); only
+// when neither exists does the default WSD-H heuristic apply. Each call
+// builds a fresh policy closure, so per-shard callers get goroutine-private
+// scratch state.
+func restoreWeight(o *options, embedded *core.PolicyParams) (WeightFunc, bool, *core.PolicyParams, error) {
+	if o.policy != nil || o.weight != nil {
+		w, err := resolveWeight(o)
+		if err != nil {
+			return nil, false, nil, err
+		}
+		return w, skipTemporal(o), policyAnnotation(o), nil
+	}
+	if embedded != nil {
+		return policy.FromParams(embedded).Func(), false, embedded.Clone(), nil
+	}
+	return weights.GPSDefault(), true, nil, nil
+}
+
 // NewCounter returns a WSD counter for the given pattern with reservoir
 // capacity m. Without options it is WSD-H (the paper's heuristic instance).
 func NewCounter(p Pattern, m int, opts ...Option) (Counter, error) {
@@ -223,6 +257,7 @@ func NewCounter(p Pattern, m int, opts ...Option) (Counter, error) {
 		Weight:       w,
 		Rng:          xrand.New(o.seed),
 		SkipTemporal: skipTemporal(&o),
+		Policy:       policyAnnotation(&o),
 		EventWeight:  ew,
 	})
 }
@@ -309,6 +344,7 @@ func NewLocalCounter(p Pattern, m int, opts ...Option) (*LocalCounter, error) {
 		Weight:       w,
 		Rng:          xrand.New(o.seed),
 		SkipTemporal: skipTemporal(&o),
+		Policy:       policyAnnotation(&o),
 		EventWeight:  ew,
 	})
 }
@@ -396,6 +432,7 @@ func NewShardedCounter(p Pattern, m, shards int, opts ...Option) (*ShardedCounte
 			Weight:       wi,
 			Rng:          xrand.NewSequence(o.seed, int64(i)),
 			SkipTemporal: skipTemporal(&o),
+			Policy:       policyAnnotation(&o),
 			EventWeight:  ew,
 		})
 		if err != nil {
@@ -446,18 +483,16 @@ func Checkpoint(c any) ([]byte, error) {
 }
 
 // RestoreCounter revives a counter from a Checkpoint blob produced by a
-// NewCounter counter. The weight function is code, not state, so the same
-// weight options used at construction time must be passed again; the RNG
-// state comes from the checkpoint, making the restored counter's future
+// NewCounter counter. Heuristic and user-supplied weight functions are code,
+// not state, so the same weight options used at construction time must be
+// passed again; a learned policy travels in the snapshot itself (format v4)
+// and is revived automatically when no explicit weight option is given. The
+// RNG state comes from the checkpoint, making the restored counter's future
 // trajectory bit-identical to the uninterrupted one.
 func RestoreCounter(data []byte, opts ...Option) (Counter, error) {
 	o := options{seed: 1}
 	for _, opt := range opts {
 		opt(&o)
-	}
-	w, err := resolveWeight(&o)
-	if err != nil {
-		return nil, err
 	}
 	ew, err := partitionWeight(&o)
 	if err != nil {
@@ -467,7 +502,11 @@ func RestoreCounter(data []byte, opts ...Option) (Counter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skipTemporal(&o), EventWeight: ew})
+	w, skip, params, err := restoreWeight(&o, snap.Policy)
+	if err != nil {
+		return nil, err
+	}
+	return core.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skip, Policy: params, EventWeight: ew})
 }
 
 // RestoreLocalCounter revives a local counter from a Checkpoint blob produced
@@ -477,10 +516,6 @@ func RestoreLocalCounter(data []byte, opts ...Option) (*LocalCounter, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	w, err := resolveWeight(&o)
-	if err != nil {
-		return nil, err
-	}
 	ew, err := partitionWeight(&o)
 	if err != nil {
 		return nil, err
@@ -489,7 +524,11 @@ func RestoreLocalCounter(data []byte, opts ...Option) (*LocalCounter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return local.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skipTemporal(&o), EventWeight: ew})
+	w, skip, params, err := restoreWeight(&o, snap.Core.Policy)
+	if err != nil {
+		return nil, err
+	}
+	return local.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skip, Policy: params, EventWeight: ew})
 }
 
 // ShardedSnapshotInfo summarizes a ShardedCounter snapshot blob without
@@ -511,6 +550,11 @@ type ShardedSnapshotInfo struct {
 	// ensemble's Processed with it, so a deployment's reported position
 	// survives checkpoint/restore.
 	Position int64
+	// Policy is the learned policy active when the snapshot was taken, nil
+	// for heuristic weights (and for snapshots predating format v4). Every
+	// shard must carry the same policy; a restore without explicit weight
+	// options revives it.
+	Policy *core.PolicyParams
 }
 
 // decodeShardedSnapshot decodes an ensemble blob into per-shard core
@@ -544,13 +588,25 @@ func decodeShardedSnapshot(data []byte) ([]*core.Snapshot, ShardedSnapshotInfo, 
 			if cs.Multi() {
 				info.Patterns = append([]Pattern(nil), cs.Patterns...)
 			}
+			info.Policy = cs.Policy.Clone()
 		} else if cs.Pattern != info.Pattern || !slices.Equal(info.Patterns, cs.Patterns) {
 			return nil, ShardedSnapshotInfo{}, fmt.Errorf("wsd: snapshot mixes patterns across shards (%v vs %v)", shardPatterns(info), cs.Patterns)
+		} else if shardPolicyID(cs.Policy) != shardPolicyID(info.Policy) {
+			return nil, ShardedSnapshotInfo{}, fmt.Errorf("wsd: snapshot mixes policies across shards (shard %d has %q, shard 0 has %q)", i, shardPolicyID(cs.Policy), shardPolicyID(info.Policy))
 		}
 		info.TotalM += cs.M
 		cores[i] = cs
 	}
 	return cores, info, nil
+}
+
+// shardPolicyID renders a policy annotation for uniformity comparison and
+// error messages; the empty string means heuristic weights.
+func shardPolicyID(p *core.PolicyParams) string {
+	if p == nil {
+		return ""
+	}
+	return p.ID
 }
 
 // shardPatterns renders an info's pattern set for error messages.
@@ -570,11 +626,13 @@ func InspectShardedSnapshot(data []byte) (ShardedSnapshotInfo, error) {
 
 // RestoreShardedCounter revives a sharded counter from a blob produced by
 // ShardedCounter.Snapshot. Reservoir budgets, pattern(s), and per-shard RNG
-// states come from the snapshot; the weight function and combiner are code
-// and are re-supplied through the options, which must match the original
-// construction for the ensemble to continue bit-identically. Snapshots from
-// multi-pattern deployments (NewShardedMultiCounter) restore multi-pattern
-// shards automatically.
+// states come from the snapshot; heuristic weight functions and the combiner
+// are code and are re-supplied through the options, which must match the
+// original construction for the ensemble to continue bit-identically. A
+// learned policy needs no re-supplying: the snapshot embeds it, and the
+// restore revives it whenever no explicit weight option overrides. Snapshots
+// from multi-pattern deployments (NewShardedMultiCounter) restore
+// multi-pattern shards automatically.
 func RestoreShardedCounter(data []byte, opts ...Option) (*ShardedCounter, error) {
 	return RestoreShardedCounterChecked(data, nil, opts...)
 }
@@ -588,10 +646,6 @@ func RestoreShardedCounterChecked(data []byte, check func(ShardedSnapshotInfo) e
 	for _, opt := range opts {
 		opt(&o)
 	}
-	w, err := resolveWeight(&o)
-	if err != nil {
-		return nil, err
-	}
 	cores, info, err := decodeShardedSnapshot(data)
 	if err != nil {
 		return nil, err
@@ -603,11 +657,83 @@ func RestoreShardedCounterChecked(data []byte, check func(ShardedSnapshotInfo) e
 	}
 	counters := make([]shard.Counter, len(cores))
 	for i, snap := range cores {
-		c, err := restoreShardCounter(snap, w, &o, i)
+		c, err := restoreShardCounter(snap, &o, i)
 		if err != nil {
 			return nil, fmt.Errorf("wsd: restore shard %d: %w", i, err)
 		}
 		counters[i] = c
 	}
 	return shard.New(counters, append(shardOptions(&o), shard.WithBasePosition(info.Position))...)
+}
+
+// weightSwapper is the optional shard-counter interface behind SwapPolicy;
+// the facade's core and multi counters both implement it.
+type weightSwapper interface {
+	SetWeight(w weights.Func, skipTemporal bool, params *core.PolicyParams)
+}
+
+// SwapPolicy atomically replaces the weight function of a live sharded
+// counter with a trained policy, without losing reservoir state: the swap
+// runs under the ensemble's quiesce barrier (every in-flight batch drained,
+// every worker parked), each shard receives its own policy closure, and
+// weights only affect future events — ranks already drawn keep their values,
+// so the estimator stays unbiased across the swap (Theorem 4 conditions only
+// on the weights used at each event's own draw). Passing nil reverts to the
+// WSD-H heuristic.
+//
+// The swap is all-or-nothing: every shard's counter is verified to support
+// weight swapping before any is touched (ensembles built by this package
+// always do; hand-built ensembles over custom shard.Counter implementations
+// may not). Subsequent snapshots embed the new policy, so a restore resumes
+// under it bit-identically.
+func SwapPolicy(c *ShardedCounter, p *Policy) error {
+	var params *core.PolicyParams
+	if p != nil {
+		if len(p.W) == 0 {
+			return fmt.Errorf("wsd: SwapPolicy: policy has an empty weight vector")
+		}
+		params = policy.Params(p)
+	}
+	// First pass verifies support on every shard without mutating anything,
+	// so a mixed ensemble refuses cleanly instead of swapping some shards.
+	// The verdict is a property of the counter types, so it cannot change
+	// between the two barriers.
+	if err := c.Quiesce(func(i int, sc shard.Counter) error {
+		if _, ok := sc.(weightSwapper); !ok {
+			return fmt.Errorf("wsd: SwapPolicy: shard %d counter (%T) does not support weight swapping", i, sc)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return c.Quiesce(func(i int, sc shard.Counter) error {
+		ws := sc.(weightSwapper)
+		if p == nil {
+			ws.SetWeight(weights.GPSDefault(), true, nil)
+			return nil
+		}
+		// Policy closures carry per-call scratch state; give each shard
+		// worker goroutine its own.
+		ws.SetWeight(p.Func(), false, params)
+		return nil
+	})
+}
+
+// ActiveShardedPolicy reports the policy annotation a sharded counter runs
+// under (nil for heuristic weights), read under the quiesce barrier. Shards
+// always agree — construction, restore, and SwapPolicy all set them
+// together — so the first shard's annotation is returned.
+func ActiveShardedPolicy(c *ShardedCounter) (*core.PolicyParams, error) {
+	var params *core.PolicyParams
+	err := c.Quiesce(func(i int, sc shard.Counter) error {
+		if i != 0 {
+			return nil
+		}
+		type policyHolder interface{ ActivePolicy() *core.PolicyParams }
+		if h, ok := sc.(policyHolder); ok {
+			params = h.ActivePolicy().Clone()
+		}
+		return nil
+	})
+	return params, err
 }
