@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt check race docs-check cluster-smoke wal-smoke partition-smoke enum-smoke policy-smoke bench bench-tables bench-suite bench-compare
+.PHONY: build test vet fmt check race docs-check cluster-smoke wal-smoke partition-smoke enum-smoke policy-smoke window-smoke bench bench-tables bench-suite bench-compare
 
 build:
 	$(GO) build ./...
@@ -75,6 +75,20 @@ policy-smoke:
 	$(GO) test -race ./internal/policy/ ./internal/nn/
 	$(GO) test -race -run 'Policy|Shadow|WSDL' ./internal/serve/ ./internal/cluster/ ./internal/core/ .
 	$(GO) test -run xxx -fuzz FuzzPolicyArtifactDecode -fuzztime 30s ./internal/policy/
+
+# Temporal estimation under the race detector: the window/ring and exact
+# oracle unit suites, the core window/decay tests (snapshot v5 resume
+# bit-identity, v4 compatibility, temporal validation), the serving layer's
+# temporal contract (mode-asserting /estimate queries, unknown-param 400s,
+# restore refusal, mixed-fleet detection), the facade degenerate bit-identity
+# and windowed-vs-oracle acceptance cells, a short fuzz pass over windowed
+# snapshot decoding, then a 10-second sustained-load soak of a windowed
+# 3-worker fleet that must finish error-free under a generous p99 bound.
+window-smoke:
+	$(GO) test -race ./internal/window/ ./internal/exact/
+	$(GO) test -race -run 'Window|Decay|Temporal|EstimateUnknownParam' ./internal/core/ ./internal/serve/ ./internal/cluster/ .
+	$(GO) test -run xxx -fuzz FuzzWindowedSnapshotDecode -fuzztime 30s .
+	$(GO) run ./cmd/wsdload -fleet 3 -window 6000 -rate 20000 -duration 10s -max-p99 250
 
 # Ingestion throughput: single-goroutine pipeline vs sharded ensemble.
 bench:

@@ -1,0 +1,132 @@
+package wsd_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	wsd "repro"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/pattern"
+	"repro/internal/stream"
+)
+
+// Temporal acceptance harness: the sliding-window and exponential-decay
+// estimators run against their matching exact oracles (internal/exact's
+// WindowCounter and DecayCounter — independent implementations of the same
+// window semantics) over the same streams, patterns, deletion scenarios, and
+// 20 sampler seeds as the whole-stream harness, with the mean relative error
+// pinned. The window covers roughly half the stream's insertions and the
+// halflife a third, so both modes are genuinely forgetting history — the
+// regime where a broken expiry or decay path would show — while the temporal
+// truths stay large enough to bound relative error meaningfully.
+
+const (
+	acceptanceWindow   = 700
+	acceptanceHalflife = 250.0
+)
+
+// temporalAcceptanceStream is the temporal cells' stream: the whole-stream
+// harness's shape made denser (6 communities of 20 at p 0.95), because a
+// 700-event window over the sparser whole-stream fixture holds single-digit
+// 4-clique counts — relative error against a truth of 1 is noise, not a
+// regression signal.
+func temporalAcceptanceStream(t *testing.T, scenario string) stream.Stream {
+	t.Helper()
+	genRng := rand.New(rand.NewSource(7))
+	edges := gen.PlantedPartition(6, 20, 0.95, 0.02, genRng)
+	switch scenario {
+	case "massive":
+		return stream.MassiveDeletionEvents(edges, 2, 0.3, 0.3, genRng)
+	case "light":
+		return stream.LightDeletion(edges, 0.25, genRng)
+	}
+	t.Fatalf("unknown scenario %q", scenario)
+	return nil
+}
+
+// windowedExactFinal replays the stream through the windowed exact oracle.
+func windowedExactFinal(s stream.Stream, k pattern.Kind) float64 {
+	wc := exact.NewWindow(acceptanceWindow, k)
+	for _, ev := range s {
+		wc.Apply(ev)
+	}
+	return float64(wc.Count(k))
+}
+
+// decayedExactFinal replays the stream through the decayed exact oracle.
+func decayedExactFinal(s stream.Stream, k pattern.Kind) float64 {
+	dc := exact.NewDecay(acceptanceHalflife, k)
+	for _, ev := range s {
+		dc.Apply(ev)
+	}
+	return dc.Value(k)
+}
+
+func TestAcceptanceWindowedVsOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical harness skipped in -short mode")
+	}
+	type cell struct {
+		pattern  pattern.Kind
+		scenario string
+		mode     string // "window" or "decay"
+		m        int
+		maxMRE   float64
+	}
+	// Bounds are ~2x the means measured when the harness was pinned (listed
+	// in each subtest's log line); streams and seeds are fixed, so runs are
+	// deterministic and a breach means the expiry or decay path regressed.
+	cells := []cell{
+		{pattern.Wedge, "massive", "window", 220, 0.10},
+		{pattern.Wedge, "light", "window", 220, 0.32},
+		{pattern.Triangle, "massive", "window", 220, 0.70},
+		{pattern.Triangle, "light", "window", 220, 2.00},
+		{pattern.FourClique, "massive", "window", 450, 0.65},
+		{pattern.FourClique, "light", "window", 450, 1.30},
+		{pattern.Wedge, "massive", "decay", 220, 0.25},
+		{pattern.Wedge, "light", "decay", 220, 0.30},
+		{pattern.Triangle, "massive", "decay", 220, 0.85},
+		{pattern.Triangle, "light", "decay", 220, 1.50},
+		{pattern.FourClique, "massive", "decay", 450, 0.70},
+		{pattern.FourClique, "light", "decay", 450, 1.60},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(c.mode+"/"+c.pattern.String()+"/"+c.scenario, func(t *testing.T) {
+			s := temporalAcceptanceStream(t, c.scenario)
+			var truth float64
+			var opt wsd.Option
+			if c.mode == "window" {
+				truth = windowedExactFinal(s, c.pattern)
+				opt = wsd.WithWindow(acceptanceWindow)
+			} else {
+				truth = decayedExactFinal(s, c.pattern)
+				opt = wsd.WithDecay(acceptanceHalflife)
+			}
+			if truth < 50 {
+				t.Fatalf("degenerate test stream: %s exact %s count %v", c.mode, c.pattern, truth)
+			}
+			sum := 0.0
+			for seed := 0; seed < acceptanceSeeds; seed++ {
+				counter, err := wsd.NewCounter(c.pattern, c.m,
+					wsd.WithSeed(int64(9000+seed*37)), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, ev := range s {
+					counter.Process(ev)
+				}
+				sum += math.Abs(counter.Estimate()-truth) / truth
+			}
+			mre := sum / acceptanceSeeds
+			t.Logf("%s %s %s: temporal exact %.0f, mean relative error over %d seeds: %.4f (bound %.2f)",
+				c.mode, c.pattern, c.scenario, truth, acceptanceSeeds, mre, c.maxMRE)
+			if mre > c.maxMRE {
+				t.Errorf("mean relative error %.4f exceeds bound %.2f", mre, c.maxMRE)
+			}
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/benchsuite"
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// TestChurnFeasible pins the property the synthetic stream guarantees to the
+// server: every delete removes an edge that is currently present, no inserts
+// duplicate a present edge, and no loops appear — an infeasible event would
+// be rejected by the worker and count as a harness bug, not server load.
+func TestChurnFeasible(t *testing.T) {
+	src := newChurn(11, 500, 0.3)
+	present := make(map[graph.Edge]bool)
+	deletes := 0
+	const batches, k = 200, 64
+	for b := 0; b < batches; b++ {
+		for _, ev := range src.batch(k) {
+			if ev.Edge.IsLoop() {
+				t.Fatalf("batch %d: loop edge %v", b, ev.Edge)
+			}
+			switch ev.Op {
+			case stream.Insert:
+				if present[ev.Edge] {
+					t.Fatalf("batch %d: insert of present edge %v", b, ev.Edge)
+				}
+				present[ev.Edge] = true
+			case stream.Delete:
+				if !present[ev.Edge] {
+					t.Fatalf("batch %d: delete of absent edge %v", b, ev.Edge)
+				}
+				delete(present, ev.Edge)
+				deletes++
+			default:
+				t.Fatalf("batch %d: unknown op %v", b, ev.Op)
+			}
+		}
+	}
+	// The delete fraction is a target, not a quota, but over 12800 events it
+	// should land near 0.3 — a collapsed mix means the churn state broke.
+	frac := float64(deletes) / float64(batches*k)
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("delete fraction %.3f, want near 0.3", frac)
+	}
+}
+
+// TestChurnEncodeRoundTrips checks that the reused encode buffer produces a
+// valid binary wire body for every batch: the decoded events must equal the
+// generated ones even though both slices are recycled between calls.
+func TestChurnEncodeRoundTrips(t *testing.T) {
+	src := newChurn(5, 40, 0.25)
+	for b := 0; b < 20; b++ {
+		evs := src.batch(32)
+		want := append([]stream.Event(nil), evs...)
+		body, err := src.encode(evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := stream.ReadBinary(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("batch %d: decode: %v", b, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("batch %d: decoded %d events, sent %d", b, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("batch %d event %d: decoded %+v, sent %+v", b, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAppendReference checks the -append contract: the run lands in the
+// report's reference rows (ignored by the comparator), the gated results are
+// untouched, and appending twice accumulates.
+func TestAppendReference(t *testing.T) {
+	rep := &benchsuite.Report{
+		SchemaVersion: benchsuite.SchemaVersion,
+		Suite:         benchsuite.SuiteName,
+		Trials:        1,
+		Results:       []benchsuite.Result{{Workload: "core/dense", NsPerEvent: 100}},
+	}
+	raw, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	row := benchsuite.Result{Workload: "wsdload/synthetic-churn", IngestP99Ms: 4.5, Events: 1000}
+	if err := appendReference(path, row); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendReference(path, row); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := benchsuite.DecodeReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 1 || got.Results[0].Workload != "core/dense" {
+		t.Fatalf("gated results changed: %+v", got.Results)
+	}
+	if len(got.Reference) != 2 || got.Reference[0].IngestP99Ms != 4.5 {
+		t.Fatalf("reference rows = %+v, want two appended wsdload rows", got.Reference)
+	}
+	if err := appendReference(filepath.Join(t.TempDir(), "missing.json"), row); err == nil {
+		t.Fatal("append to a missing baseline succeeded; it must refuse to invent a report")
+	}
+}

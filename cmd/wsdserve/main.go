@@ -69,6 +69,8 @@ func main() {
 	partIndex := flag.Int("partition-index", -1, "single mode: this worker's partition slot under a partitioned coordinator (0-based fleet index; set with -partition-count)")
 	partCount := flag.Int("partition-count", 0, "single mode: the partitioned fleet's size this worker belongs to (set with -partition-index)")
 	policyPath := flag.String("policy", "", "single mode: boot with a trained WSD-L policy artifact (wsdtrain output) as the weight function; swap later via PUT /policy")
+	winFlag := flag.Int64("window", 0, "single mode: serve sliding-window estimates over the last N insertion events (0 = whole stream; exclusive with -halflife)")
+	halflife := flag.Float64("halflife", 0, "single mode: serve exponentially decayed estimates with this halflife in insertion events (0 = whole stream; exclusive with -window)")
 	flag.Parse()
 	set := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -96,7 +98,8 @@ func main() {
 		if *mom > 0 {
 			opts = append(opts, wsd.WithMedianOfMeans(*mom))
 		}
-		cfg := serve.Config{Pattern: kinds[0], M: *m, Shards: *shards, Options: opts}
+		cfg := serve.Config{Pattern: kinds[0], M: *m, Shards: *shards, Options: opts,
+			Window: *winFlag, Halflife: *halflife}
 		if len(kinds) > 1 {
 			cfg.Patterns = kinds
 		}
@@ -250,7 +253,7 @@ func main() {
 func flagConflict(mode string, set map[string]bool, partitioned bool, partIndex, partCount int) error {
 	ignored := map[string][]string{
 		"single":      {"workers", "quorum", "worker-timeout", "wal-dir", "wal-segment-bytes", "partition"},
-		"coordinator": {"pattern", "m", "shards", "seed", "full-budget", "partition-index", "partition-count", "policy"},
+		"coordinator": {"pattern", "m", "shards", "seed", "full-budget", "partition-index", "partition-count", "policy", "window", "halflife"},
 	}[mode]
 	for _, name := range ignored {
 		if set[name] {

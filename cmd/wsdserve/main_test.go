@@ -35,7 +35,11 @@ func TestFlagConflict(t *testing.T) {
 		{name: "single/index-out-of-fleet", mode: "single", set: setOf("partition-index", "partition-count"), partIndex: 3, partCount: 3, wantErr: "outside the fleet"},
 		{name: "single/negative-index", mode: "single", set: setOf("partition-index", "partition-count"), partIndex: -1, partCount: 3, wantErr: "outside the fleet"},
 		{name: "single/zero-count", mode: "single", set: setOf("partition-index", "partition-count"), partIndex: 0, partCount: 0, wantErr: "at least 1"},
+		{name: "single/window", mode: "single", set: setOf("window"), partIndex: -1},
+		{name: "single/halflife", mode: "single", set: setOf("halflife"), partIndex: -1},
 		{name: "coordinator/defaults", mode: "coordinator", set: setOf("workers")},
+		{name: "coordinator/window-is-worker-side", mode: "coordinator", set: setOf("workers", "window"), wantErr: "-window does not apply"},
+		{name: "coordinator/halflife-is-worker-side", mode: "coordinator", set: setOf("workers", "halflife"), wantErr: "-halflife does not apply"},
 		{name: "coordinator/broadcast-quorum", mode: "coordinator", set: setOf("workers", "quorum", "mom")},
 		{name: "coordinator/worker-flag", mode: "coordinator", set: setOf("workers", "pattern"), wantErr: "-pattern does not apply"},
 		{name: "coordinator/worker-slot-flags", mode: "coordinator", set: setOf("workers", "partition-index"), wantErr: "-partition-index does not apply"},

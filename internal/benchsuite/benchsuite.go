@@ -67,6 +67,7 @@ import (
 	"repro/internal/stream"
 	"repro/internal/wal"
 	"repro/internal/weights"
+	"repro/internal/window"
 	"repro/internal/xrand"
 )
 
@@ -85,6 +86,22 @@ type Config struct {
 // batchSize is the submit granularity of every batched ingest path, matching
 // the binary codec's natural frame-to-batch mapping at wire defaults.
 const batchSize = 512
+
+// temporalBenchWindow and temporalBenchHalflife parameterize the temporal
+// cells: roughly half the dense-community stream's insertions, so the window
+// is genuinely expiring (the steady-state cost) while still holding enough
+// edges for a stable 4-clique count.
+const (
+	temporalBenchWindow   = 6000
+	temporalBenchHalflife = 3000.0
+	// temporalBenchM under-provisions the window cell on purpose: the
+	// dense-community budget (9216) exceeds the live-edge count of a
+	// 6000-event window, which would make the windowed counter exact and the
+	// cell's MRE column vacuous. A 4096-edge reservoir keeps eviction
+	// pressure on while the window expires — both temporal code paths in one
+	// cell.
+	temporalBenchM = 4096
+)
 
 // streamSpec is one benchmark stream: a generator, the pattern counted on
 // it, and the reservoir budget.
@@ -144,7 +161,12 @@ type ingestSpec struct {
 	// (the multi-pattern cells only make sense where several patterns have
 	// instances worth counting).
 	streams []string
-	run     func(sp streamSpec, s stream.Stream, encoded []byte, seed int64) (float64, error)
+	// truth, when set, overrides the whole-stream exact count as the cell's
+	// MRE reference — the temporal cells estimate a different quantity
+	// (windowed or decayed count), so their error must be measured against
+	// the matching oracle.
+	truth func(sp streamSpec, s stream.Stream) float64
+	run   func(sp streamSpec, s stream.Stream, encoded []byte, seed int64) (float64, error)
 }
 
 // appliesTo reports whether the ingest path runs on stream sp.
@@ -576,6 +598,72 @@ func ingests() []ingestSpec {
 			},
 		},
 		{
+			// The windowed hot path: the bare counter in sliding-window mode.
+			// Relative to the core cell every insertion adds a ring push, a
+			// duplicate probe, and (once the stream outgrows the window) one
+			// expiry replayed through the deletion path — the cell gates that
+			// tax on ns/event and allocs/event, and its MRE is measured
+			// against the windowed exact oracle.
+			name:    "core-window",
+			streams: []string{"dense-community"},
+			truth: func(sp streamSpec, s stream.Stream) float64 {
+				wc := exact.NewWindow(temporalBenchWindow, sp.kind)
+				for _, ev := range s {
+					wc.Apply(ev)
+				}
+				return float64(wc.Count(sp.kind))
+			},
+			run: func(sp streamSpec, s stream.Stream, _ []byte, seed int64) (float64, error) {
+				c, err := core.New(core.Config{
+					M:            temporalBenchM,
+					Pattern:      sp.kind,
+					Weight:       weights.GPSDefault(),
+					Rng:          xrand.New(seed),
+					SkipTemporal: true,
+					Temporal:     window.Spec{Window: temporalBenchWindow},
+				})
+				if err != nil {
+					return 0, err
+				}
+				for lo := 0; lo < len(s); lo += batchSize {
+					c.ProcessBatch(s[lo:min(lo+batchSize, len(s))])
+				}
+				return c.Estimate(), nil
+			},
+		},
+		{
+			// The decayed hot path: the bare counter in exponential-decay
+			// mode — one multiply on the estimate and one on the weight scale
+			// per surviving insertion, plus the rare renormalization sweep.
+			// MRE is measured against the decayed exact oracle.
+			name:    "core-decay",
+			streams: []string{"dense-community"},
+			truth: func(sp streamSpec, s stream.Stream) float64 {
+				dc := exact.NewDecay(temporalBenchHalflife, sp.kind)
+				for _, ev := range s {
+					dc.Apply(ev)
+				}
+				return dc.Value(sp.kind)
+			},
+			run: func(sp streamSpec, s stream.Stream, _ []byte, seed int64) (float64, error) {
+				c, err := core.New(core.Config{
+					M:            sp.m,
+					Pattern:      sp.kind,
+					Weight:       weights.GPSDefault(),
+					Rng:          xrand.New(seed),
+					SkipTemporal: true,
+					Temporal:     window.Spec{Halflife: temporalBenchHalflife},
+				})
+				if err != nil {
+					return 0, err
+				}
+				for lo := 0; lo < len(s); lo += batchSize {
+					c.ProcessBatch(s[lo:min(lo+batchSize, len(s))])
+				}
+				return c.Estimate(), nil
+			},
+		},
+		{
 			// The wire path: binary frames decoded into pooled batches
 			// feeding a pipeline — what a socket ingester pays end to end.
 			name: "binary-decode",
@@ -644,7 +732,11 @@ func Run(cfg Config) (*Report, error) {
 			if !ing.appliesTo(sp) || !selected(name, cfg.Only) {
 				continue
 			}
-			res, err := measure(name, sp, ing, s, encoded, truth, cfg)
+			cellTruth := truth
+			if ing.truth != nil {
+				cellTruth = ing.truth(sp, s)
+			}
+			res, err := measure(name, sp, ing, s, encoded, cellTruth, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("benchsuite: %s: %w", name, err)
 			}

@@ -1,0 +1,60 @@
+package benchsuite
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder collects request latencies and reports percentiles — the
+// measurement half of the sustained-load harness (cmd/wsdload). Safe for
+// concurrent Observe; percentile reads snapshot under the same lock, so they
+// can interleave with a live run.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []float64 // milliseconds
+	sorted  bool
+}
+
+// Observe records one request latency.
+func (r *LatencyRecorder) Observe(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, float64(d)/float64(time.Millisecond))
+	r.sorted = false
+	r.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Percentile returns the p-th percentile latency in milliseconds (p in
+// [0, 100]), by the nearest-rank method: the smallest recorded value with at
+// least p% of samples at or below it — a value that actually occurred, not an
+// interpolation. Zero samples reports 0.
+func (r *LatencyRecorder) Percentile(p float64) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Float64s(r.samples)
+		r.sorted = true
+	}
+	if p <= 0 {
+		return r.samples[0]
+	}
+	rank := int(p / 100 * float64(n))
+	if float64(rank) != p/100*float64(n) || rank == 0 {
+		rank++ // ceil for fractional ranks; nearest-rank is 1-based
+	}
+	if rank > n {
+		rank = n
+	}
+	return r.samples[rank-1]
+}

@@ -1,0 +1,76 @@
+package benchsuite
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLatencyPercentileNearestRank pins the nearest-rank definition on a
+// known sample set: 1..100ms, where the p-th percentile is exactly p ms.
+func TestLatencyPercentileNearestRank(t *testing.T) {
+	var r LatencyRecorder
+	perm := rand.New(rand.NewSource(3)).Perm(100)
+	for _, i := range perm {
+		r.Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 1}, {50, 50}, {95, 95}, {99, 99}, {100, 100},
+	} {
+		if got := r.Percentile(tc.p); got != tc.want {
+			t.Fatalf("p%v of 1..100ms = %vms, want %vms", tc.p, got, tc.want)
+		}
+	}
+	if r.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", r.Count())
+	}
+}
+
+// TestLatencyPercentileSmallAndEmpty covers the edge shapes: no samples, one
+// sample, and a fractional rank that must round up to an occurred value.
+func TestLatencyPercentileSmallAndEmpty(t *testing.T) {
+	var r LatencyRecorder
+	if got := r.Percentile(99); got != 0 {
+		t.Fatalf("p99 of no samples = %v, want 0", got)
+	}
+	r.Observe(7 * time.Millisecond)
+	if got := r.Percentile(50); got != 7 {
+		t.Fatalf("p50 of one 7ms sample = %v, want 7", got)
+	}
+	r.Observe(9 * time.Millisecond)
+	r.Observe(11 * time.Millisecond)
+	// 3 samples: p50 rank = ceil(1.5) = 2 -> 9ms; p99 rank = ceil(2.97) = 3.
+	if got := r.Percentile(50); got != 9 {
+		t.Fatalf("p50 of {7,9,11} = %v, want 9", got)
+	}
+	if got := r.Percentile(99); got != 11 {
+		t.Fatalf("p99 of {7,9,11} = %v, want 11", got)
+	}
+}
+
+// TestLatencyRecorderConcurrent exercises concurrent Observe with interleaved
+// percentile reads under -race.
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	var r LatencyRecorder
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Observe(time.Duration(g*200+i) * time.Microsecond)
+				if i%50 == 0 {
+					r.Percentile(95)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Count() != 1600 {
+		t.Fatalf("Count = %d, want 1600", r.Count())
+	}
+	if p := r.Percentile(100); p <= 0 {
+		t.Fatalf("max latency %v, want > 0", p)
+	}
+}

@@ -36,6 +36,25 @@ type Result struct {
 	MREVsExact float64 `json:"mre_vs_exact"`
 	// Exact is the exact pattern count at stream end.
 	Exact float64 `json:"exact"`
+
+	// The fields below are recorded only by sustained-load rows (cmd/wsdload
+	// driving a serving deployment at a target rate); suite cells leave them
+	// zero. TargetEventsPerSec is the closed-loop pacer's target and
+	// DurationSecs the measured wall-clock run length.
+	TargetEventsPerSec float64 `json:"target_events_per_sec,omitempty"`
+	DurationSecs       float64 `json:"duration_secs,omitempty"`
+	// Ingest/Estimate percentiles are per-request HTTP latencies in
+	// milliseconds over the whole run.
+	IngestP50Ms   float64 `json:"ingest_p50_ms,omitempty"`
+	IngestP95Ms   float64 `json:"ingest_p95_ms,omitempty"`
+	IngestP99Ms   float64 `json:"ingest_p99_ms,omitempty"`
+	EstimateP50Ms float64 `json:"estimate_p50_ms,omitempty"`
+	EstimateP95Ms float64 `json:"estimate_p95_ms,omitempty"`
+	EstimateP99Ms float64 `json:"estimate_p99_ms,omitempty"`
+	// Errors counts failed requests (non-2xx or transport failures);
+	// DegradedReads counts estimate replies served below the full fleet.
+	Errors        int64 `json:"errors,omitempty"`
+	DegradedReads int64 `json:"degraded_reads,omitempty"`
 }
 
 // Report is a full suite run: the machine-readable artifact recorded as

@@ -980,6 +980,12 @@ type Estimate struct {
 	// configured worker did not contribute.
 	Quorum   int  `json:"quorum"`
 	Degraded bool `json:"degraded"`
+	// Window and Halflife report the fleet's temporal serving mode (zero for
+	// whole-stream), verified uniform across the gathered workers — a fleet
+	// mixing windowed and whole-stream workers would combine estimates of
+	// different quantities.
+	Window   int64   `json:"window"`
+	Halflife float64 `json:"halflife"`
 }
 
 // workerEstimate is the slice of a worker's /estimate reply the gather
@@ -989,6 +995,8 @@ type workerEstimate struct {
 	Estimates map[string]float64 `json:"estimates"`
 	Patterns  []string           `json:"patterns"`
 	Processed int64              `json:"processed"`
+	Window    int64              `json:"window"`
+	Halflife  float64            `json:"halflife"`
 }
 
 // Estimate gathers every consistent worker's estimates and combines them per
@@ -1038,12 +1046,19 @@ func (c *Coordinator) Estimate() (*Estimate, error) {
 	}
 	vectors := make([][]float64, len(gathered))
 	out.Processed = gathered[0].Processed
+	out.Window, out.Halflife = gathered[0].Window, gathered[0].Halflife
 	if c.partitioned {
 		out.Processed = 0
 	}
 	for i, g := range gathered {
 		if !slices.Equal(g.Patterns, patterns) {
 			return out, fmt.Errorf("cluster: workers serve different pattern sets (%v vs %v); the fleet must be configured uniformly", patterns, g.Patterns)
+		}
+		if g.Window != out.Window || g.Halflife != out.Halflife {
+			// A window/halflife split means the workers are estimating
+			// different quantities; combining them would be silently wrong.
+			return out, fmt.Errorf("cluster: workers serve different temporal modes (window=%d halflife=%v vs window=%d halflife=%v); the fleet must be configured uniformly",
+				out.Window, out.Halflife, g.Window, g.Halflife)
 		}
 		vec := make([]float64, 0, len(patterns))
 		for _, p := range patterns {
@@ -1591,6 +1606,11 @@ type Health struct {
 	Patterns []string `json:"patterns,omitempty"`
 	Shards   int      `json:"shards,omitempty"`
 	Policy   string   `json:"policy,omitempty"`
+	// Window and Halflife are the fleet's temporal serving mode as reported
+	// by the first serving worker (zero for whole-stream); a worker on a
+	// different mode degrades health like a mismatched pattern set.
+	Window   int64   `json:"window,omitempty"`
+	Halflife float64 `json:"halflife,omitempty"`
 	// Partitioned reports the coordinator's ingest mode; in partitioned mode
 	// each worker's partition slot is verified against its fleet index, so a
 	// mis-deployed worker (wrong -partition-index, or not partitioned at all)
@@ -1639,6 +1659,8 @@ func (c *Coordinator) Health() Health {
 		Shards    int      `json:"shards"`
 		Position  int64    `json:"position"`
 		Policy    string   `json:"policy"`
+		Window    int64    `json:"window"`
+		Halflife  float64  `json:"halflife"`
 		Partition *struct {
 			Index int `json:"index"`
 			Count int `json:"count"`
@@ -1700,6 +1722,8 @@ func (c *Coordinator) Health() Health {
 			h.Patterns = probe.Patterns
 			h.Shards = probe.Shards
 			h.Policy = probe.Policy
+			h.Window = probe.Window
+			h.Halflife = probe.Halflife
 			continue
 		}
 		// A worker counting a different pattern set (or shard shape) than
@@ -1715,6 +1739,11 @@ func (c *Coordinator) Health() Health {
 			// silently, so readiness reports it instead.
 			uniform = false
 			wh.Error = fmt.Sprintf("worker runs policy %s but the fleet reference runs %s; re-run the policy swap or restore a cluster snapshot", probe.Policy, ref.Policy)
+		} else if probe.Window != ref.Window || probe.Halflife != ref.Halflife {
+			// A split temporal mode means the workers estimate different
+			// quantities; every combined read would be silently wrong.
+			uniform = false
+			wh.Error = fmt.Sprintf("worker serves window=%d halflife=%v but the fleet reference serves window=%d halflife=%v; restart it with matching flags", probe.Window, probe.Halflife, ref.Window, ref.Halflife)
 		}
 	}
 	h.HasQuorum = h.Serving >= c.quorum

@@ -3,10 +3,12 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/pattern"
+	"repro/internal/window"
 	"repro/internal/xrand"
 )
 
@@ -49,6 +51,27 @@ type Snapshot struct {
 	Insertions int64          `json:"insertions"`
 	RngState   *uint64        `json:"rng_state,omitempty"` // xrand state; nil when the source is not checkpointable
 	Items      []SnapshotItem `json:"items"`
+	// Temporal mode state (version 5), all absent for whole-stream counters.
+	// Window/Halflife record the counter's configured mode; WScale is decay
+	// mode's forward weight scale e^(lambda * t) after the last
+	// renormalization; Ring is the sliding window's pending edge ledger in
+	// insertion order, dead entries included. Everything is in insertion-
+	// event time, so the JSON round-trip is exact and a restored counter
+	// resumes bit-identically.
+	Window   int64               `json:"window,omitempty"`
+	Halflife float64             `json:"halflife,omitempty"`
+	WScale   float64             `json:"wscale,omitempty"`
+	Ring     []SnapshotRingEntry `json:"ring,omitempty"`
+}
+
+// SnapshotRingEntry is one pending sliding-window ledger entry: the edge,
+// its insertion tick, and whether a genuine stream deletion already
+// consumed it.
+type SnapshotRingEntry struct {
+	U    graph.VertexID `json:"u"`
+	V    graph.VertexID `json:"v"`
+	At   int64          `json:"at"`
+	Dead bool           `json:"dead,omitempty"`
 }
 
 // Multi reports whether the snapshot holds multi-pattern state (restore it
@@ -66,9 +89,10 @@ type SnapshotItem struct {
 
 // snapshotVersion guards the wire format. Version 2 added rng_state; version
 // 3 added the multi-pattern fields (patterns, estimates); version 4 added the
-// active policy (policy). Snapshots of every prior version are still accepted
-// by DecodeSnapshot.
-const snapshotVersion = 4
+// active policy (policy); version 5 added the temporal mode state (window,
+// halflife, wscale, ring). Snapshots of every prior version are still
+// accepted by DecodeSnapshot and restore as whole-stream counters.
+const snapshotVersion = 5
 
 // stateful is the optional interface of checkpointable randomness sources
 // (*xrand.Rand). Snapshot captures the state when the counter's source
@@ -100,6 +124,18 @@ func (c *Counter) Snapshot() *Snapshot {
 			U: it.Edge.U, V: it.Edge.V,
 			Weight: it.Weight, Rank: it.Rank, Arrival: it.Arrival,
 		})
+	}
+	s.Window = c.cfg.Temporal.Window
+	s.Halflife = c.cfg.Temporal.Halflife
+	if c.decayStep > 0 {
+		s.WScale = c.wScale
+	}
+	if c.win != nil {
+		for _, ent := range c.win.Entries() {
+			s.Ring = append(s.Ring, SnapshotRingEntry{
+				U: ent.Edge.U, V: ent.Edge.V, At: ent.At, Dead: ent.Dead,
+			})
+		}
 	}
 	return s
 }
@@ -182,6 +218,58 @@ func (s *Snapshot) Validate() error {
 		}
 		seen[e] = true
 	}
+	return s.validateTemporal(seen)
+}
+
+// validateTemporal checks the version-5 temporal fields: a well-formed mode,
+// decay state only under decay, ring state only under a window, and a ring
+// that is internally consistent (ordered ticks, unique live edges, every
+// sampled edge live — expiry removes edges from the reservoir and the ring
+// together, so a reservoir edge missing from the ring would later dodge
+// expiry and corrupt the estimate).
+func (s *Snapshot) validateTemporal(items map[graph.Edge]bool) error {
+	spec := window.Spec{Window: s.Window, Halflife: s.Halflife}
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("core: snapshot temporal mode: %w", err)
+	}
+	if s.Multi() && !spec.IsZero() {
+		return fmt.Errorf("core: multi-pattern snapshots do not support temporal modes")
+	}
+	if s.WScale < 0 || math.IsNaN(s.WScale) || math.IsInf(s.WScale, 0) {
+		return fmt.Errorf("core: snapshot wscale %v invalid", s.WScale)
+	}
+	if s.WScale != 0 && spec.Halflife == 0 {
+		return fmt.Errorf("core: snapshot carries wscale %v without a decay halflife", s.WScale)
+	}
+	if len(s.Ring) > 0 && spec.Window == 0 {
+		return fmt.Errorf("core: snapshot carries %d ring entries without a window", len(s.Ring))
+	}
+	if spec.Window == 0 {
+		return nil
+	}
+	live := make(map[graph.Edge]bool, len(s.Ring))
+	prev := int64(0)
+	for _, ent := range s.Ring {
+		e := graph.NewEdge(ent.U, ent.V)
+		if e.IsLoop() {
+			return fmt.Errorf("core: snapshot ring contains loop edge %v", e)
+		}
+		if ent.At < prev || ent.At > s.Insertions {
+			return fmt.Errorf("core: snapshot ring tick %d out of order (prev %d, insertions %d)", ent.At, prev, s.Insertions)
+		}
+		prev = ent.At
+		if !ent.Dead {
+			if live[e] {
+				return fmt.Errorf("core: snapshot ring lists live edge %v twice", e)
+			}
+			live[e] = true
+		}
+	}
+	for e := range items {
+		if !live[e] {
+			return fmt.Errorf("core: sampled edge %v is not live in the snapshot ring", e)
+		}
+	}
 	return nil
 }
 
@@ -208,6 +296,12 @@ func Restore(s *Snapshot, cfg Config) (*Counter, error) {
 	}
 	cfg.Pattern = s.Pattern
 	cfg.TemporalAgg = s.TemporalAgg
+	snapSpec := window.Spec{Window: s.Window, Halflife: s.Halflife}
+	if cfg.Temporal.IsZero() {
+		cfg.Temporal = snapSpec
+	} else if cfg.Temporal != snapSpec {
+		return nil, fmt.Errorf("core: restore temporal mode %v does not match snapshot %v", cfg.Temporal, snapSpec)
+	}
 	if s.RngState != nil {
 		cfg.Rng = xrand.FromState(*s.RngState)
 	}
@@ -221,6 +315,21 @@ func Restore(s *Snapshot, cfg Config) (*Counter, error) {
 	c.insertions = s.Insertions
 	for _, it := range s.Items {
 		c.res.PushValue(graph.NewEdge(it.U, it.V), it.Weight, it.Rank, it.Arrival)
+	}
+	if s.WScale > 0 {
+		c.wScale = s.WScale
+	}
+	if c.win != nil {
+		// Replaying Push/Kill in ledger order reproduces the exact ring
+		// state, dead markers included (a dead entry is one whose edge a
+		// later deletion consumed).
+		for _, ent := range s.Ring {
+			e := graph.NewEdge(ent.U, ent.V)
+			c.win.Push(e, ent.At)
+			if ent.Dead {
+				c.win.Kill(e)
+			}
+		}
 	}
 	return c, nil
 }

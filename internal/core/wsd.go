@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/graph"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/reservoir"
 	"repro/internal/stream"
 	"repro/internal/weights"
+	"repro/internal/window"
 )
 
 // Rand is the randomness source the counter draws its rank uniforms from.
@@ -84,6 +86,13 @@ type Config struct {
 	// (internal/partition.EventWeight), so summed per-partition estimates
 	// stay unbiased. Nil means every contribution counts at full weight.
 	EventWeight func(e graph.Edge) float64
+	// Temporal selects a temporal estimation mode — a sliding window over
+	// the last Window insertion events or exponential decay with the given
+	// Halflife, both measured in insertion-event time (see internal/window).
+	// The zero Spec is the whole-stream estimation every prior version
+	// shipped; Window = math.MaxInt64 and Halflife = +Inf degenerate to it
+	// bit for bit.
+	Temporal window.Spec
 }
 
 func (c *Config) validate() error {
@@ -92,6 +101,9 @@ func (c *Config) validate() error {
 	}
 	if c.Rng == nil {
 		return fmt.Errorf("core: Config.Rng is required")
+	}
+	if err := c.Temporal.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
@@ -154,6 +166,17 @@ type Counter struct {
 	// lastState records the most recent MDP state handed to the weight
 	// function; exposed for the RL environment and for policy analysis.
 	lastState weights.State
+
+	// Temporal mode state (Config.Temporal). win is the sliding window's
+	// edge ledger, non-nil only in window mode. decayStep/weightStep are
+	// decay mode's per-insertion factors e^(-lambda) and e^(+lambda), zero
+	// when decay is off; wScale is the running forward weight scale
+	// e^(lambda * t), renormalized toward 1 before it can overflow so drawn
+	// weights stay finite over unbounded streams.
+	win        *window.Ring
+	decayStep  float64
+	weightStep float64
+	wScale     float64
 }
 
 // New returns a WSD counter for the given configuration.
@@ -177,6 +200,13 @@ func New(cfg Config) (*Counter, error) {
 	c.deleteVisit = c.observeDelete
 	if cfg.Pattern.IsClique() && cfg.OnInstance == nil {
 		c.sink = (*counterSink)(c)
+	}
+	c.wScale = 1
+	if cfg.Temporal.Window > 0 {
+		c.win = &window.Ring{}
+	} else if lam := cfg.Temporal.Lambda(); lam > 0 {
+		c.decayStep = math.Exp(-lam)
+		c.weightStep = math.Exp(lam)
 	}
 	return c, nil
 }
@@ -300,12 +330,42 @@ func (c *Counter) observeDelete(others []graph.Edge, payloads []any) bool {
 }
 
 func (c *Counter) insert(e graph.Edge) {
+	if c.win != nil && c.win.Has(e) {
+		// Infeasible duplicate insertion: the edge is still live inside the
+		// window. (Membership is checked before this tick's expiry, so an
+		// edge whose previous copy ages out exactly now is still rejected —
+		// the windowed oracle mirrors the same rule.)
+		return
+	}
 	if _, ok := c.res.Get(e); ok {
 		// Infeasible duplicate insertion; the problem definition forbids it.
 		return
 	}
 	c.insertions++
 	tk := c.insertions
+	if c.win != nil {
+		// Sliding window: replay edges older than tk - Window through the
+		// proven deletion path before the new edge's completions are
+		// enumerated, so expired edges can form no instances with it.
+		for {
+			old, ok := c.win.ExpireOne(tk - c.cfg.Temporal.Window)
+			if !ok {
+				break
+			}
+			c.deleteEdge(old)
+		}
+	} else if c.decayStep > 0 {
+		// Exponential decay: one insertion tick ages every prior
+		// contribution by e^(-lambda) before the new edge's mass enters at
+		// factor 1 below; sampling weights grow by the inverse factor (see
+		// the wScale draw further down) so recent edges out-rank old ones by
+		// exactly the decay ratio.
+		c.estimate *= c.decayStep
+		c.wScale *= c.weightStep
+		if c.wScale > wScaleRenorm {
+			c.renormalize()
+		}
+	}
 	h := c.cfg.Pattern.Size()
 
 	// Line 4-7 of Algorithm 2: enumerate the instances J with e in J and the
@@ -362,8 +422,22 @@ func (c *Counter) insert(e graph.Edge) {
 		Now:       tk,
 	}
 
+	if c.win != nil {
+		// Every surviving insertion enters the ledger, sampled or not: the
+		// deletion estimator (Eq. 12) updates on edges outside the
+		// reservoir too, so expiry must replay every aged edge.
+		c.win.Push(e, tk)
+	}
+
 	// Algorithm 1, insert(e): weight, rank, then Cases 1 and 2.
 	w := weights.Sanitize(c.cfg.Weight(c.lastState))
+	if c.wScale != 1 {
+		// Decay mode: scale the drawn weight by e^(lambda * t) after
+		// sanitization. tau_q shares the scaled units, so the estimator's
+		// tau_q/w ratios are exactly the decay-discounted inclusion
+		// probabilities.
+		w *= c.wScale
+	}
 	u := 1 - c.cfg.Rng.Float64() // uniform in (0, 1]
 	rank := w / u
 
@@ -393,6 +467,27 @@ func (c *Counter) insert(e graph.Edge) {
 	}
 }
 
+// wScaleRenorm triggers decay-mode renormalization well before the forward
+// weight scale e^(lambda * t) can overflow float64: drawn weights are at
+// most 1e12 (weights.Sanitize) and 1e120 * 1e12 is far from the ~1.8e308
+// ceiling. The trigger is a deterministic function of the insertion count,
+// so a restored counter renormalizes at the same ticks and resumes
+// bit-identically.
+const wScaleRenorm = 1e120
+
+// renormalize rescales every stored weight and rank, both thresholds, and
+// the running scale by 1/wScale. Scaling by a positive constant preserves
+// every rank comparison and every tau_q/weight ratio, so sampling decisions
+// and estimator contributions are unchanged (up to one rounding ULP each,
+// applied identically on every replay).
+func (c *Counter) renormalize() {
+	inv := 1 / c.wScale
+	c.res.ScaleAll(inv)
+	c.tauP *= inv
+	c.tauQ *= inv
+	c.wScale = 1
+}
+
 // ProcessBatch consumes a slice of events in order. It is semantically
 // identical to calling Process once per event; it exists so ingestion layers
 // (pipeline.Processor, shard.Ensemble) can hand the counter a whole batch and
@@ -405,6 +500,19 @@ func (c *Counter) ProcessBatch(evs []stream.Event) {
 }
 
 func (c *Counter) delete(e graph.Edge) {
+	if c.win != nil && !c.win.Kill(e) {
+		// The edge is not live in the window — it already expired or was
+		// never inserted — so its instances left the estimate when expiry
+		// replayed it. Applying the deletion again would subtract mass the
+		// windowed estimate no longer holds.
+		return
+	}
+	c.deleteEdge(e)
+}
+
+// deleteEdge is the deletion estimator shared by genuine stream deletions
+// and window expiry (both are Case 3 of Algorithm 1 + Eq. 12).
+func (c *Counter) deleteEdge(e graph.Edge) {
 	// Eq. (12): subtract the destroyed instances, observed against the
 	// reservoir just before the deletion is applied.
 	c.prods = c.prods[:0]

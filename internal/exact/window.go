@@ -1,0 +1,159 @@
+package exact
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/stream"
+)
+
+// WindowCounter is the exact oracle for sliding-window estimation: it
+// maintains the exact pattern counts of the graph formed by the last W
+// surviving insertion events, expiring aged edges through the inner exact
+// counter as deletions. It mirrors the sampled counter's window semantics
+// precisely — insertion-event time, duplicate checks against the live
+// window before this tick's expiry, deletions of expired or unknown edges
+// ignored — so acceptance tests can compare the two on any stream.
+//
+// The implementation is deliberately independent of internal/window's Ring
+// (a linear ledger with its own bookkeeping), so the acceptance harness is
+// a genuine cross-check rather than the same code run twice.
+type WindowCounter struct {
+	inner      *Counter
+	w          int64
+	insertions int64
+	entries    []winEntry
+	head       int
+	live       map[graph.Edge]int // index into entries of the live entry
+}
+
+type winEntry struct {
+	e    graph.Edge
+	at   int64
+	dead bool
+}
+
+// NewWindow returns a windowed exact counter over the last w insertion
+// events tracking the given patterns (all of them when none are named).
+func NewWindow(w int64, kinds ...pattern.Kind) *WindowCounter {
+	return &WindowCounter{
+		inner: New(kinds...),
+		w:     w,
+		live:  make(map[graph.Edge]int),
+	}
+}
+
+// Apply processes one stream event against the window.
+func (c *WindowCounter) Apply(ev stream.Event) {
+	e := ev.Edge
+	if e.IsLoop() {
+		return
+	}
+	switch ev.Op {
+	case stream.Insert:
+		if _, ok := c.live[e]; ok {
+			// Duplicate within the live window (checked before this tick's
+			// expiry, exactly like the sampled counter).
+			return
+		}
+		c.insertions++
+		c.expire(c.insertions - c.w)
+		c.inner.Apply(ev)
+		c.entries = append(c.entries, winEntry{e: e, at: c.insertions})
+		c.live[e] = len(c.entries) - 1
+	case stream.Delete:
+		i, ok := c.live[e]
+		if !ok {
+			// Already expired or never inserted; the window holds no mass
+			// for it.
+			return
+		}
+		c.entries[i].dead = true
+		delete(c.live, e)
+		c.inner.Apply(ev)
+	}
+}
+
+func (c *WindowCounter) expire(cutoff int64) {
+	for c.head < len(c.entries) {
+		ent := c.entries[c.head]
+		if ent.at > cutoff {
+			break
+		}
+		c.head++
+		if ent.dead {
+			continue
+		}
+		delete(c.live, ent.e)
+		c.inner.Apply(stream.Event{Op: stream.Delete, Edge: ent.e})
+	}
+}
+
+// Count returns the exact count of pattern k over the current window.
+func (c *WindowCounter) Count(k pattern.Kind) int64 { return c.inner.Count(k) }
+
+// DecayCounter is the exact oracle for exponential-decay estimation: the
+// decayed net formation count D(T) = sum over events of delta * e^(-lambda *
+// (T - t)), where delta is the event's exact count change, t its insertion
+// tick (deletions carry the tick of the preceding insertion — they do not
+// age the stream), and lambda = ln2/halflife. When lambda = 0 this is
+// exactly the whole-stream count; for lambda > 0 it is the recency-weighted
+// activity the decay mode estimates.
+//
+// Like the sampled counter, it assumes feasible streams (no duplicate
+// inserts of a present edge): the inner counter skips infeasible events
+// without ticking the clock.
+type DecayCounter struct {
+	inner *Counter
+	step  float64
+	kinds []pattern.Kind
+	vals  map[pattern.Kind]float64
+	prev  map[pattern.Kind]int64
+}
+
+// NewDecay returns a decayed exact counter with the given halflife in
+// insertion events, tracking the given patterns (all when none are named).
+func NewDecay(halflife float64, kinds ...pattern.Kind) *DecayCounter {
+	if len(kinds) == 0 {
+		kinds = pattern.Kinds()
+	}
+	lam := 0.0
+	if halflife > 0 && !math.IsInf(halflife, 1) {
+		lam = math.Ln2 / halflife
+	}
+	return &DecayCounter{
+		inner: New(kinds...),
+		step:  math.Exp(-lam),
+		kinds: kinds,
+		vals:  make(map[pattern.Kind]float64, len(kinds)),
+		prev:  make(map[pattern.Kind]int64, len(kinds)),
+	}
+}
+
+// Apply processes one stream event, decaying every tracked value by one tick
+// on a surviving insertion and folding in the event's exact count change at
+// factor 1.
+func (c *DecayCounter) Apply(ev stream.Event) {
+	e := ev.Edge
+	if e.IsLoop() {
+		return
+	}
+	if ev.Op == stream.Insert {
+		if c.inner.g.Has(e) {
+			return // infeasible duplicate: no tick, mirroring the sampler
+		}
+		for _, k := range c.kinds {
+			c.vals[k] *= c.step
+		}
+	}
+	c.inner.Apply(ev)
+	for _, k := range c.kinds {
+		n := c.inner.Count(k)
+		c.vals[k] += float64(n - c.prev[k])
+		c.prev[k] = n
+	}
+}
+
+// Value returns the decayed count of pattern k.
+func (c *DecayCounter) Value(k pattern.Kind) float64 { return c.vals[k] }

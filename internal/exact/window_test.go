@@ -1,0 +1,185 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/stream"
+)
+
+// randomStream builds a feasible random insert/delete history: inserts of
+// fresh edges, deletions of currently present ones.
+func randomStream(rng *rand.Rand, n, steps int) stream.Stream {
+	var s stream.Stream
+	present := map[graph.Edge]bool{}
+	var edges []graph.Edge
+	for i := 0; i < steps; i++ {
+		if len(edges) > 0 && rng.Float64() < 0.3 {
+			j := rng.Intn(len(edges))
+			e := edges[j]
+			edges[j] = edges[len(edges)-1]
+			edges = edges[:len(edges)-1]
+			delete(present, e)
+			s = append(s, stream.Event{Op: stream.Delete, Edge: e})
+			continue
+		}
+		e := graph.NewEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+		if e.IsLoop() || present[e] {
+			continue
+		}
+		present[e] = true
+		edges = append(edges, e)
+		s = append(s, stream.Event{Op: stream.Insert, Edge: e})
+	}
+	return s
+}
+
+// TestWindowCounterVsStatic replays random streams and checks, at every
+// prefix, that the windowed counter's counts equal a brute-force static
+// count of the reconstructed window graph.
+func TestWindowCounterVsStatic(t *testing.T) {
+	kinds := []pattern.Kind{pattern.Wedge, pattern.Triangle, pattern.FourClique}
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(40 + trial)))
+		s := randomStream(rng, 12, 300)
+		w := int64(10 + rng.Intn(60))
+		wc := NewWindow(w, kinds...)
+
+		// The reference window reconstruction: replay from scratch with the
+		// same semantics (dup check before expiry, deletes of expired edges
+		// ignored) and build the surviving graph.
+		type refEnt struct {
+			e    graph.Edge
+			at   int64
+			dead bool
+		}
+		var ledger []refEnt
+		liveAt := func(now int64) *graph.AdjSet {
+			g := graph.NewAdjSet()
+			for _, ent := range ledger {
+				if !ent.dead && ent.at > now-w {
+					g.Add(ent.e)
+				}
+			}
+			return g
+		}
+		tick := int64(0)
+		for i, ev := range s {
+			wc.Apply(ev)
+			switch ev.Op {
+			case stream.Insert:
+				dup := false
+				for j := range ledger {
+					if !ledger[j].dead && ledger[j].e == ev.Edge && ledger[j].at > tick-w {
+						dup = true
+					}
+				}
+				if !dup {
+					tick++
+					ledger = append(ledger, refEnt{e: ev.Edge, at: tick})
+				}
+			case stream.Delete:
+				for j := range ledger {
+					if !ledger[j].dead && ledger[j].e == ev.Edge && ledger[j].at > tick-w {
+						ledger[j].dead = true
+					}
+				}
+			}
+			if i%23 != 0 && i != len(s)-1 {
+				continue // static counting is O(n^4); spot-check prefixes
+			}
+			g := liveAt(tick)
+			for _, k := range kinds {
+				if got, want := wc.Count(k), CountStatic(g, k); got != want {
+					t.Fatalf("trial %d step %d: windowed %s count %d, static %d (window %d)", trial, i, k, got, want, w)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowCounterInfiniteMatchesWholeStream pins the degenerate case: with
+// a window no stream can outlive, the windowed oracle is the plain oracle.
+func TestWindowCounterInfiniteMatchesWholeStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	edges := gen.PlantedPartition(6, 10, 0.6, 0.05, rng)
+	s := stream.LightDeletion(edges, 0.3, rng)
+	wc := NewWindow(math.MaxInt64, pattern.Triangle)
+	ex := New(pattern.Triangle)
+	for _, ev := range s {
+		wc.Apply(ev)
+		ex.Apply(ev)
+	}
+	if got, want := wc.Count(pattern.Triangle), ex.Count(pattern.Triangle); got != want {
+		t.Fatalf("infinite-window count %d, whole-stream %d", got, want)
+	}
+}
+
+// TestDecayCounterVsDirect replays random streams and compares the decayed
+// counter against a direct recompute from the logged per-event deltas:
+// D(T) = sum delta_i * e^(-lambda * (T - t_i)).
+func TestDecayCounterVsDirect(t *testing.T) {
+	kinds := []pattern.Kind{pattern.Wedge, pattern.Triangle}
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(70 + trial)))
+		s := randomStream(rng, 14, 400)
+		half := 5 + rng.Float64()*100
+		lam := math.Ln2 / half
+		dc := NewDecay(half, kinds...)
+
+		ref := New(kinds...)
+		type logged struct {
+			at    int64
+			delta map[pattern.Kind]int64
+		}
+		var logs []logged
+		prev := map[pattern.Kind]int64{}
+		tick := int64(0)
+		for _, ev := range s {
+			dc.Apply(ev)
+			if ev.Op == stream.Insert && !ref.Graph().Has(ev.Edge) {
+				tick++
+			}
+			ref.Apply(ev)
+			d := map[pattern.Kind]int64{}
+			for _, k := range kinds {
+				n := ref.Count(k)
+				d[k] = n - prev[k]
+				prev[k] = n
+			}
+			logs = append(logs, logged{at: tick, delta: d})
+		}
+		for _, k := range kinds {
+			want := 0.0
+			for _, l := range logs {
+				want += float64(l.delta[k]) * math.Exp(-lam*float64(tick-l.at))
+			}
+			got := dc.Value(k)
+			if diff := math.Abs(got - want); diff > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: decayed %s value %v, direct recompute %v", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestDecayCounterZeroLambdaMatchesWholeStream pins the degenerate case:
+// with an infinite halflife every decay factor is exactly 1, so the decayed
+// value is the exact count with no floating-point drift.
+func TestDecayCounterZeroLambdaMatchesWholeStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	edges := gen.PlantedPartition(6, 10, 0.6, 0.05, rng)
+	s := stream.LightDeletion(edges, 0.3, rng)
+	dc := NewDecay(math.Inf(1), pattern.Triangle)
+	ex := New(pattern.Triangle)
+	for _, ev := range s {
+		dc.Apply(ev)
+		ex.Apply(ev)
+	}
+	if got, want := dc.Value(pattern.Triangle), float64(ex.Count(pattern.Triangle)); got != want {
+		t.Fatalf("infinite-halflife value %v, whole-stream %v", got, want)
+	}
+}

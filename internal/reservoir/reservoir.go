@@ -276,6 +276,26 @@ func (r *Reservoir) Remove(e graph.Edge) *Item {
 	return r.removeAt(it.heapIdx)
 }
 
+// ScaleAll multiplies every stored item's Weight and Rank by c (c > 0) and
+// refreshes the cached inverse weights. Scaling by a positive constant
+// preserves the rank order, so the heap and the thresholds stay consistent
+// as long as the caller scales tau_p/tau_q by the same factor — this is the
+// decay mode's renormalization: weights grow as e^(+lambda*t) and are
+// periodically rescaled toward 1 before they overflow. Weights are floored
+// at a tiny positive value so a long-untouched item's cached 1/Weight can
+// never become +Inf.
+func (r *Reservoir) ScaleAll(c float64) {
+	const minWeight = 1e-300
+	for _, it := range r.heap {
+		it.Weight *= c
+		if it.Weight < minWeight {
+			it.Weight = minWeight
+		}
+		it.Rank *= c
+		it.invW = 1 / it.Weight
+	}
+}
+
 // SetDeleted flips the DEL tag on a stored item, keeping the per-vertex
 // live-degree counts consistent. It is a no-op when the tag already has the
 // requested value.

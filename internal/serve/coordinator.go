@@ -11,6 +11,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/policy"
+	"repro/internal/window"
 )
 
 // CoordinatorConfig describes the worker fleet a coordinator front end
@@ -182,11 +183,19 @@ func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	// Parse ?pattern= before touching the fleet: a malformed name is a 400
-	// that must not cost N worker round trips per request. (Whether a valid
-	// name is actually served is only known after the gather.)
+	// Parse the query before touching the fleet: an unknown parameter, a
+	// malformed pattern name, or a malformed window/halflife is a 400 that
+	// must not cost N worker round trips per request. (Whether a valid
+	// pattern is served — and what temporal mode the fleet runs — is only
+	// known after the gather.)
+	q := r.URL.Query()
+	asked, asserted, err := ParseEstimateQuery(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	var queried *wsd.Pattern
-	if name := r.URL.Query().Get("pattern"); name != "" {
+	if name := q.Get("pattern"); name != "" {
 		// Same resolution as the single-node endpoint: the query value goes
 		// through the flag parser, so alias spellings work, and unknown or
 		// unserved names are client errors.
@@ -206,6 +215,13 @@ func (c *Coordinator) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	if asserted {
+		serving := window.Spec{Window: est.Window, Halflife: est.Halflife}
+		if asked != serving {
+			http.Error(w, fmt.Sprintf("serve: this fleet serves %s estimates, query asked for %s", serving, asked), http.StatusBadRequest)
+			return
+		}
+	}
 	if queried != nil {
 		k := *queried
 		v, ok := est.Estimates[k.String()]
@@ -221,6 +237,8 @@ func (c *Coordinator) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			"gathered":  est.Gathered,
 			"quorum":    est.Quorum,
 			"degraded":  est.Degraded,
+			"window":    est.Window,
+			"halflife":  est.Halflife,
 		})
 		return
 	}

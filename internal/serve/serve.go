@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 
@@ -39,6 +40,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/shard"
 	"repro/internal/stream"
+	"repro/internal/window"
 )
 
 // Config describes the counter the server fronts.
@@ -77,6 +79,16 @@ type Config struct {
 	// PartitionIndex is this worker's slot in [0, PartitionCount); ignored
 	// when PartitionCount is 0.
 	PartitionIndex int
+	// Window, when > 0, makes the deployment serve sliding-window estimates
+	// over the last Window insertion events (wsd.WithWindow): every
+	// /estimate reply is the windowed count, /healthz reports the mode, and
+	// the mode survives /restore. Mutually exclusive with Halflife and with
+	// Patterns (multi-pattern deployments are whole-stream only).
+	Window int64
+	// Halflife, when > 0, makes the deployment serve exponentially decayed
+	// estimates with this halflife in insertion events (wsd.WithDecay).
+	// Mutually exclusive with Window and with Patterns.
+	Halflife float64
 }
 
 const defaultMaxBodyBytes = 64 << 20
@@ -116,6 +128,11 @@ type Server struct {
 	// PUT /policy, re-derived from the snapshot on restore. Guarded by mu.
 	policy *policyStatus
 
+	// temporal is the validated serving mode from Config.Window/Halflife;
+	// the zero Spec serves whole-stream estimates. /estimate queries that
+	// assert a mode (?window=, ?halflife=) are matched against it.
+	temporal window.Spec
+
 	// shadow is the candidate-policy evaluation run (nil when none is
 	// active): a second ensemble fed the same accepted events as the live
 	// one, so an operator can score a candidate against the live weight
@@ -150,6 +167,26 @@ func New(cfg Config) (*Server, error) {
 		opts := cfg.Options[:len(cfg.Options):len(cfg.Options)]
 		cfg.Options = append(opts, wsd.WithPartition(cfg.PartitionIndex, cfg.PartitionCount))
 	}
+	temporal, err := window.New(cfg.Window, cfg.Halflife)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	// Normalized (halflife=+Inf becomes whole-stream) so /healthz, restore
+	// checks, and query matching all compare one canonical form.
+	cfg.Window, cfg.Halflife = temporal.Window, temporal.Halflife
+	if !temporal.IsZero() {
+		if len(cfg.Patterns) > 0 {
+			return nil, fmt.Errorf("serve: multi-pattern deployments do not support window/halflife")
+		}
+		// Like the partition option: land the mode in cfg.Options so
+		// /restore rebuilds (and cross-checks) the same temporal counter.
+		opts := cfg.Options[:len(cfg.Options):len(cfg.Options)]
+		if temporal.Window > 0 {
+			cfg.Options = append(opts, wsd.WithWindow(temporal.Window))
+		} else {
+			cfg.Options = append(opts, wsd.WithDecay(temporal.Halflife))
+		}
+	}
 	patterns := []wsd.Pattern{cfg.Pattern}
 	if len(cfg.Patterns) > 0 {
 		patterns = append([]wsd.Pattern(nil), cfg.Patterns...)
@@ -166,10 +203,7 @@ func New(cfg Config) (*Server, error) {
 		buildOpts = append(cfg.Options[:len(cfg.Options):len(cfg.Options)], wsd.WithPolicy(cfg.Policy.Policy))
 		status = statusFromArtifact(cfg.Policy, policySourceBoot)
 	}
-	var (
-		ens *wsd.ShardedCounter
-		err error
-	)
+	var ens *wsd.ShardedCounter
 	if len(cfg.Patterns) > 0 {
 		ens, err = wsd.NewShardedMultiCounter(patterns, cfg.M, cfg.Shards, buildOpts...)
 	} else {
@@ -182,7 +216,7 @@ func New(cfg Config) (*Server, error) {
 	for i, p := range patterns {
 		byKind[p] = i
 	}
-	return &Server{cfg: cfg, patterns: patterns, byKind: byKind, ens: ens, policy: status}, nil
+	return &Server{cfg: cfg, patterns: patterns, byKind: byKind, ens: ens, policy: status, temporal: temporal}, nil
 }
 
 // Close drains and stops the counter (and any shadow evaluation), returning
@@ -249,6 +283,10 @@ func (s *Server) Restore(blob []byte) (int, error) {
 		if info.TotalM != s.cfg.M && info.TotalM != s.cfg.M*s.cfg.Shards {
 			return fmt.Errorf("serve: snapshot total budget %d does not match m=%d (split) or m*shards=%d (full)",
 				info.TotalM, s.cfg.M, s.cfg.M*s.cfg.Shards)
+		}
+		if info.Window != s.cfg.Window || info.Halflife != s.cfg.Halflife {
+			return fmt.Errorf("serve: snapshot temporal mode %s does not match server %s",
+				window.Spec{Window: info.Window, Halflife: info.Halflife}, s.temporal)
 		}
 		return nil
 	}, s.cfg.Options...)
@@ -320,6 +358,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// (a worker that missed a swap would estimate under different
 		// sampling behavior than its peers).
 		"policy": s.policy.id(),
+		// The temporal serving mode, zero for whole-stream deployments: a
+		// cluster coordinator verifies the fleet serves one mode (a worker
+		// on the wrong window would gather incomparable estimates).
+		"window":   s.cfg.Window,
+		"halflife": s.cfg.Halflife,
 	}
 	if s.cfg.PartitionCount > 0 {
 		// A partitioned coordinator verifies this against its own routing:
@@ -505,7 +548,12 @@ func ingestSkip(ens *wsd.ShardedCounter, pool *stream.BatchPool, body io.Reader,
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if name := r.URL.Query().Get("pattern"); name != "" {
+	q := r.URL.Query()
+	if err := CheckEstimateQuery(q, s.temporal); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if name := q.Get("pattern"); name != "" {
 		// The query value goes through the same parser as the -pattern flag,
 		// so every alias spelling that configures a server also queries it
 		// (?pattern=4clique and ?pattern=4-clique are the same pattern).
@@ -526,6 +574,8 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			"estimate":  s.ens.EstimateAt(idx),
 			"processed": s.ens.Processed(),
 			"m":         s.cfg.M,
+			"window":    s.cfg.Window,
+			"halflife":  s.cfg.Halflife,
 		})
 		return
 	}
@@ -542,7 +592,53 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		"pattern":   s.patterns[0].String(),
 		"patterns":  s.patternNames(),
 		"m":         s.cfg.M,
+		"window":    s.cfg.Window,
+		"halflife":  s.cfg.Halflife,
 	})
+}
+
+// ParseEstimateQuery validates an /estimate query's parameter set and parses
+// its temporal assertion. Only pattern, window, and halflife are recognized —
+// an unknown parameter is an error rather than silently ignored, so a typo
+// (?windw=500) cannot masquerade as a whole-stream read. When window or
+// halflife are present, the parsed spec is returned with asserted=true
+// (?window=inf asserts whole-stream explicitly); absent, the query accepts
+// whatever mode the deployment serves. Shared by the worker and coordinator
+// estimate handlers — the coordinator parses before touching the fleet and
+// matches the assertion after the gather.
+func ParseEstimateQuery(q url.Values) (asked window.Spec, asserted bool, err error) {
+	for key := range q {
+		switch key {
+		case "pattern", "window", "halflife":
+		default:
+			return asked, false, fmt.Errorf("serve: unknown query parameter %q (recognized: pattern, window, halflife)", key)
+		}
+	}
+	_, hasW := q["window"]
+	_, hasH := q["halflife"]
+	if !hasW && !hasH {
+		return asked, false, nil
+	}
+	asked, err = window.ParseSpec(q.Get("window"), q.Get("halflife"))
+	if err != nil {
+		return asked, false, fmt.Errorf("serve: %w", err)
+	}
+	return asked, true, nil
+}
+
+// CheckEstimateQuery runs ParseEstimateQuery and matches any temporal
+// assertion against the deployment's serving mode: a client asking a
+// whole-stream deployment for a windowed count (or vice versa) would
+// otherwise silently read a number with different semantics.
+func CheckEstimateQuery(q url.Values, serving window.Spec) error {
+	asked, asserted, err := ParseEstimateQuery(q)
+	if err != nil {
+		return err
+	}
+	if asserted && asked != serving {
+		return fmt.Errorf("serve: this deployment serves %s estimates, query asked for %s", serving, asked)
+	}
+	return nil
 }
 
 // patternNames renders the served pattern set in estimator order.

@@ -43,6 +43,12 @@ func NewMultiCounter(patterns []Pattern, m int, opts ...Option) (*MultiCounter, 
 	if err != nil {
 		return nil, err
 	}
+	if o.window != 0 || o.halflife != 0 {
+		// The shared sample serves every pattern, but expiry and decay would
+		// have to re-tune the primary-pattern weights per mode; refuse until
+		// the temporal modes learn multi-pattern semantics.
+		return nil, fmt.Errorf("wsd: multi-pattern counters do not support WithWindow/WithDecay")
+	}
 	inner, err := core.NewMulti(core.MultiConfig{
 		M:            m,
 		Patterns:     patterns,
@@ -112,6 +118,9 @@ func RestoreMultiCounter(data []byte, opts ...Option) (*MultiCounter, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.window != 0 || o.halflife != 0 {
+		return nil, fmt.Errorf("wsd: multi-pattern counters do not support WithWindow/WithDecay")
+	}
 	snap, err := core.DecodeSnapshot(data)
 	if err != nil {
 		return nil, err
@@ -153,6 +162,9 @@ func NewShardedMultiCounter(patterns []Pattern, m, shards int, opts ...Option) (
 	ew, err := partitionWeight(&o)
 	if err != nil {
 		return nil, err
+	}
+	if o.window != 0 || o.halflife != 0 {
+		return nil, fmt.Errorf("wsd: multi-pattern counters do not support WithWindow/WithDecay")
 	}
 	budgets := shard.SplitBudget(m, shards)
 	counters := make([]shard.Counter, shards)
@@ -206,9 +218,16 @@ func restoreShardCounter(snap *core.Snapshot, o *options, i int) (shard.Counter,
 	}
 	rng := xrand.NewSequence(o.seed, int64(i))
 	if snap.Multi() {
+		if o.window != 0 || o.halflife != 0 {
+			return nil, fmt.Errorf("wsd: multi-pattern counters do not support WithWindow/WithDecay")
+		}
 		return core.RestoreMulti(snap, core.MultiConfig{Weight: wi, Rng: rng, SkipTemporal: skip, Policy: params, EventWeight: ew})
 	}
-	return core.Restore(snap, core.Config{Weight: wi, Rng: rng, SkipTemporal: skip, Policy: params, EventWeight: ew})
+	spec, err := resolveTemporal(o)
+	if err != nil {
+		return nil, err
+	}
+	return core.Restore(snap, core.Config{Weight: wi, Rng: rng, SkipTemporal: skip, Policy: params, EventWeight: ew, Temporal: spec})
 }
 
 // MultiPatterns is a convenience constructor for the patterns argument:

@@ -39,6 +39,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/stream"
 	"repro/internal/weights"
+	"repro/internal/window"
 	"repro/internal/xrand"
 )
 
@@ -110,6 +111,11 @@ type options struct {
 	// means not partitioned.
 	partitionIndex int
 	partitionCount int
+
+	// Temporal-mode options (WithWindow, WithDecay); both zero means
+	// whole-stream estimation.
+	window   int64
+	halflife float64
 }
 
 // Option configures a counter constructor.
@@ -165,6 +171,38 @@ func WithShardBuffer(n int) Option {
 // this worker's slot in it.
 func WithPartition(index, count int) Option {
 	return func(o *options) { o.partitionIndex, o.partitionCount = index, count }
+}
+
+// WithWindow restricts estimation to a sliding window over the last w
+// insertion events: an edge inserted at tick t stops contributing at tick
+// t+w, expired through the same deletion path genuine stream deletions use,
+// so "how many triangles formed in the last w insertions" is served with the
+// whole-stream estimator's statistical guarantees. Time is insertion-event
+// time — the stream carries no wall-clock timestamps, so "the last hour"
+// translates to the producer's known event rate. w = math.MaxInt64 (nothing
+// ever expires) is bit-identical to the whole-stream counter. Mutually
+// exclusive with WithDecay; not supported by multi-pattern or local
+// counters.
+func WithWindow(w int64) Option {
+	return func(o *options) { o.window = w }
+}
+
+// WithDecay exponentially decays the estimate with the given halflife,
+// measured in insertion events: a pattern instance aged dt ticks contributes
+// 2^(-dt/halflife) of its weight, so the estimate tracks recent formation
+// activity instead of the all-time count. Sampling weights grow by the
+// inverse factor, biasing the reservoir toward recent edges by exactly the
+// decay ratio (the WRS temporal-locality insight). halflife = +Inf is
+// bit-identical to the whole-stream counter. Mutually exclusive with
+// WithWindow; not supported by multi-pattern or local counters.
+func WithDecay(halflife float64) Option {
+	return func(o *options) { o.halflife = halflife }
+}
+
+// resolveTemporal reduces the WithWindow/WithDecay options to a validated
+// window.Spec.
+func resolveTemporal(o *options) (window.Spec, error) {
+	return window.New(o.window, o.halflife)
 }
 
 // partitionWeight reduces the WithPartition option to the per-edge
@@ -251,6 +289,10 @@ func NewCounter(p Pattern, m int, opts ...Option) (Counter, error) {
 	if err != nil {
 		return nil, err
 	}
+	spec, err := resolveTemporal(&o)
+	if err != nil {
+		return nil, err
+	}
 	return core.New(core.Config{
 		M:            m,
 		Pattern:      p,
@@ -259,6 +301,7 @@ func NewCounter(p Pattern, m int, opts ...Option) (Counter, error) {
 		SkipTemporal: skipTemporal(&o),
 		Policy:       policyAnnotation(&o),
 		EventWeight:  ew,
+		Temporal:     spec,
 	})
 }
 
@@ -338,6 +381,12 @@ func NewLocalCounter(p Pattern, m int, opts ...Option) (*LocalCounter, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.window != 0 || o.halflife != 0 {
+		// The per-vertex estimates do not yet carry the temporal modes (a
+		// decayed global estimate with undecayed local counts would be
+		// silently inconsistent), so refuse loudly instead.
+		return nil, fmt.Errorf("wsd: local counters do not support WithWindow/WithDecay")
+	}
 	return local.New(core.Config{
 		M:            m,
 		Pattern:      p,
@@ -410,6 +459,10 @@ func NewShardedCounter(p Pattern, m, shards int, opts ...Option) (*ShardedCounte
 	if err != nil {
 		return nil, err
 	}
+	spec, err := resolveTemporal(&o)
+	if err != nil {
+		return nil, err
+	}
 	budgets := shard.SplitBudget(m, shards)
 	counters := make([]shard.Counter, shards)
 	for i := range counters {
@@ -434,6 +487,7 @@ func NewShardedCounter(p Pattern, m, shards int, opts ...Option) (*ShardedCounte
 			SkipTemporal: skipTemporal(&o),
 			Policy:       policyAnnotation(&o),
 			EventWeight:  ew,
+			Temporal:     spec,
 		})
 		if err != nil {
 			return nil, err
@@ -506,7 +560,13 @@ func RestoreCounter(data []byte, opts ...Option) (Counter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skip, Policy: params, EventWeight: ew})
+	spec, err := resolveTemporal(&o)
+	if err != nil {
+		return nil, err
+	}
+	// A zero spec adopts the snapshot's mode; an explicit WithWindow/
+	// WithDecay must match it (core.Restore checks).
+	return core.Restore(snap, core.Config{Weight: w, Rng: xrand.New(o.seed), SkipTemporal: skip, Policy: params, EventWeight: ew, Temporal: spec})
 }
 
 // RestoreLocalCounter revives a local counter from a Checkpoint blob produced
@@ -519,6 +579,9 @@ func RestoreLocalCounter(data []byte, opts ...Option) (*LocalCounter, error) {
 	ew, err := partitionWeight(&o)
 	if err != nil {
 		return nil, err
+	}
+	if o.window != 0 || o.halflife != 0 {
+		return nil, fmt.Errorf("wsd: local counters do not support WithWindow/WithDecay")
 	}
 	snap, err := local.DecodeSnapshot(data)
 	if err != nil {
@@ -555,6 +618,11 @@ type ShardedSnapshotInfo struct {
 	// shard must carry the same policy; a restore without explicit weight
 	// options revives it.
 	Policy *core.PolicyParams
+	// Window and Halflife record the temporal estimation mode (format v5);
+	// both zero for whole-stream snapshots and for snapshots predating the
+	// field. Every shard must carry the same mode.
+	Window   int64
+	Halflife float64
 }
 
 // decodeShardedSnapshot decodes an ensemble blob into per-shard core
@@ -589,10 +657,13 @@ func decodeShardedSnapshot(data []byte) ([]*core.Snapshot, ShardedSnapshotInfo, 
 				info.Patterns = append([]Pattern(nil), cs.Patterns...)
 			}
 			info.Policy = cs.Policy.Clone()
+			info.Window, info.Halflife = cs.Window, cs.Halflife
 		} else if cs.Pattern != info.Pattern || !slices.Equal(info.Patterns, cs.Patterns) {
 			return nil, ShardedSnapshotInfo{}, fmt.Errorf("wsd: snapshot mixes patterns across shards (%v vs %v)", shardPatterns(info), cs.Patterns)
 		} else if shardPolicyID(cs.Policy) != shardPolicyID(info.Policy) {
 			return nil, ShardedSnapshotInfo{}, fmt.Errorf("wsd: snapshot mixes policies across shards (shard %d has %q, shard 0 has %q)", i, shardPolicyID(cs.Policy), shardPolicyID(info.Policy))
+		} else if cs.Window != info.Window || cs.Halflife != info.Halflife {
+			return nil, ShardedSnapshotInfo{}, fmt.Errorf("wsd: snapshot mixes temporal modes across shards (shard %d has window=%d halflife=%v, shard 0 has window=%d halflife=%v)", i, cs.Window, cs.Halflife, info.Window, info.Halflife)
 		}
 		info.TotalM += cs.M
 		cores[i] = cs
